@@ -1,0 +1,57 @@
+// Ablation A1: fast-path rate vs locality.
+//
+// DESIGN.md's core claim for M2Paxos is that under partitionable
+// workloads nearly every decision takes the 2-delay fast path. This
+// ablation measures, across the locality sweep, what fraction of
+// coordinations were fast / forwarded / acquisitions, plus the retry rate
+// — the mechanism behind Figures 5 and 6.
+#include "bench_common.hpp"
+
+#include "harness/cluster.hpp"
+#include "m2paxos/m2paxos.hpp"
+
+using namespace m2;
+using namespace m2::bench;
+
+int main() {
+  const int n = 11;
+  harness::Table table("Ablation A1 — M2Paxos path mix vs locality (11 nodes)");
+  table.set_header({"locality", "fast", "forwarded", "acquired", "retries/cmd",
+                    "throughput"});
+
+  for (const int pct : {100, 90, 75, 50, 25, 0}) {
+    auto cfg = base_config(core::Protocol::kM2Paxos, n);
+    cfg.load.clients_per_node = 48;
+    cfg.load.max_inflight_per_node = 48;
+    wl::SyntheticWorkload w({n, 1000, pct / 100.0, 0.0, 16, 1});
+    harness::Cluster cluster(cfg, w);
+    const auto r = cluster.run();
+
+    std::uint64_t fast = 0, fwd = 0, acq = 0, retries = 0;
+    for (int i = 0; i < n; ++i) {
+      const auto& c =
+          cluster.replica_as<m2p::M2PaxosReplica>(static_cast<NodeId>(i))
+              .counters();
+      fast += c.fast_path_rounds;
+      fwd += c.forwarded;
+      acq += c.acquisitions;
+      retries += c.retries;
+    }
+    const double total = static_cast<double>(fast + fwd + acq);
+    auto pct_of = [&](std::uint64_t v) {
+      return harness::Table::num(total > 0 ? 100.0 * v / total : 0, 1) + "%";
+    };
+    table.add_row({std::to_string(pct) + "%", pct_of(fast), pct_of(fwd),
+                   pct_of(acq),
+                   harness::Table::num(
+                       r.committed > 0
+                           ? static_cast<double>(retries) / r.committed
+                           : 0,
+                       3),
+                   fmt_kcps(r.committed_per_sec)});
+  }
+  table.print(std::cout);
+  std::printf("claim: remote commands become forwards (3 delays), not\n"
+              "acquisitions — ownership stays stable under the locality sweep\n");
+  return 0;
+}

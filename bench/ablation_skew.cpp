@@ -1,0 +1,41 @@
+// Ablation A5 (extension): Zipfian key skew.
+//
+// The paper's synthetic workload draws objects uniformly; real stores see
+// hot keys. Skew concentrates conflicts on a few objects per partition —
+// commands on one hot object still share an owner (M2Paxos serializes them
+// on its fast path), so per-object ownership degrades gracefully until the
+// complex-command cross-partition traffic hits the same hot objects.
+#include "bench_common.hpp"
+
+using namespace m2;
+using namespace m2::bench;
+
+int main() {
+  const int n = 11;
+  harness::Table table(
+      "Ablation A5 — Zipfian skew (11 nodes, 10% complex commands)");
+  std::vector<std::string> header{"protocol"};
+  const std::vector<double> thetas = {0.0, 0.5, 0.8, 0.99};
+  for (const double t : thetas)
+    header.push_back("theta=" + harness::Table::num(t, 2));
+  table.set_header(header);
+
+  for (const auto p : all_protocols()) {
+    std::vector<std::string> row{core::to_string(p)};
+    for (const double theta : thetas) {
+      auto cfg = base_config(p, n);
+      cfg.load.clients_per_node = 48;
+      cfg.load.max_inflight_per_node = 48;
+      wl::SyntheticConfig wcfg{n, 1000, 1.0, 0.10, 16, 1};
+      wcfg.zipf_theta = theta;
+      wl::SyntheticWorkload w(wcfg);
+      const auto r = harness::run_experiment(cfg, w);
+      row.push_back(fmt_kcps(r.committed_per_sec));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("claim: same-owner conflicts stay on the fast path, so M2Paxos\n"
+              "tolerates skew until hot objects attract cross-node traffic\n");
+  return 0;
+}

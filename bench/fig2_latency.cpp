@@ -1,0 +1,44 @@
+// Figure 2: median command latency without batching, 100 % locality.
+// Paper's claims: M2Paxos wins at every node count — ~23 % below
+// Multi-Paxos at small N, up to 41 % below EPaxos at large N.
+#include "bench_common.hpp"
+
+using namespace m2;
+using namespace m2::bench;
+
+int main() {
+  harness::Table table("Fig. 2 — median latency vs nodes (no batching)");
+  table.set_header({"nodes", "MultiPaxos", "GenPaxos", "EPaxos", "M2Paxos",
+                    "vs MP", "vs EP"});
+
+  for (const int n : node_counts()) {
+    std::vector<std::string> row{std::to_string(n)};
+    double med[4] = {0, 0, 0, 0};
+    int idx = 0;
+    for (const auto p : all_protocols()) {
+      auto cfg = base_config(p, n);
+      cfg.network.batching = false;  // the figure's distinguishing setting
+      // Light load: latency is measured well below every protocol's
+      // saturation point, including Multi-Paxos at 49 nodes.
+      cfg.load.clients_per_node = 4;
+      cfg.load.max_inflight_per_node = 8;
+      cfg.load.think_time = 5 * sim::kMillisecond;
+      cfg.measure = std::max<sim::Time>(cfg.measure, 100 * sim::kMillisecond);
+      wl::SyntheticWorkload w({n, 1000, 1.0, 0.0, 16, 1});
+      const auto r = harness::run_experiment(cfg, w);
+      med[idx++] = static_cast<double>(r.commit_latency.median());
+      row.push_back(fmt_us(static_cast<double>(r.commit_latency.median())));
+    }
+    auto pct = [](double m2v, double other) {
+      return other > 0 ? harness::Table::num(100.0 * (1.0 - m2v / other), 0) + "%"
+                       : std::string("-");
+    };
+    row.push_back(pct(med[3], med[0]));
+    row.push_back(pct(med[3], med[2]));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("paper: M2Paxos ~23%% below Multi-Paxos at small N, up to 41%%\n"
+              "below EPaxos as N grows\n");
+  return 0;
+}

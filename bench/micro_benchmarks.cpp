@@ -1,0 +1,136 @@
+// Google-benchmark microbenchmarks of the building blocks on the
+// protocols' hot paths: event queue churn, RNG, histogram recording,
+// conflict tests, message handling through a small cluster, and EPaxos
+// execution-graph planning.
+#include <benchmark/benchmark.h>
+
+#include "core/command.hpp"
+#include "epaxos/graph.hpp"
+#include "harness/cluster.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/tpcc.hpp"
+
+namespace {
+
+using namespace m2;
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  sim::Simulator sim;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    sim.at(++t, [] {});
+    sim.run(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_EventQueueDeepHeap(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::EventQueue q;
+    sim::Rng rng(1);
+    for (std::size_t i = 0; i < depth; ++i)
+      q.schedule(static_cast<sim::Time>(rng.next() % 1000000), [] {});
+    state.ResumeTiming();
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_EventQueueDeepHeap)->Arg(1024)->Arg(16384);
+
+void BM_RngNext(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  stats::Histogram h;
+  sim::Rng rng(3);
+  for (auto _ : state) h.record(static_cast<std::int64_t>(rng.next() % 10'000'000));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_CommandConflict(benchmark::State& state) {
+  const auto objs = static_cast<std::size_t>(state.range(0));
+  std::vector<core::ObjectId> a_ls, b_ls;
+  for (std::size_t i = 0; i < objs; ++i) {
+    a_ls.push_back(2 * i);
+    b_ls.push_back(2 * i + 1);  // disjoint: worst case scans both lists
+  }
+  const core::Command a(core::CommandId::make(0, 1), a_ls);
+  const core::Command b(core::CommandId::make(1, 1), b_ls);
+  for (auto _ : state) benchmark::DoNotOptimize(a.conflicts_with(b));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CommandConflict)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_TpccGenerate(benchmark::State& state) {
+  wl::TpccWorkload w({5, 10, 0.15, 1});
+  NodeId n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.next(n));
+    n = (n + 1) % 5;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TpccGenerate);
+
+void BM_ExecGraphChain(benchmark::State& state) {
+  using namespace m2::ep;
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  std::vector<std::vector<InstRef>> deps(depth + 1);
+  for (std::uint64_t i = 2; i <= depth; ++i) deps[i].push_back(make_inst(0, i - 1));
+  static const std::vector<InstRef> kEmpty;
+  ExecGraph g;
+  g.deps_of = [&](InstRef r) -> const std::vector<InstRef>& {
+    const auto slot = inst_slot(r);
+    return slot <= depth ? deps[slot] : kEmpty;
+  };
+  g.is_committed = [](InstRef) { return true; };
+  g.is_executed = [](InstRef) { return false; };
+  g.seq_of = [](InstRef r) { return inst_slot(r); };
+  for (auto _ : state) {
+    auto plan = plan_execution(g, make_inst(0, depth));
+    benchmark::DoNotOptimize(plan.to_execute.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_ExecGraphChain)->Arg(64)->Arg(1024);
+
+/// End-to-end: simulated cluster commits per wall-second — the number that
+/// bounds how long the figure benches take.
+void BM_ClusterCommit(benchmark::State& state) {
+  const auto protocol = static_cast<core::Protocol>(state.range(0));
+  wl::SyntheticWorkload w({5, 1000, 1.0, 0.0, 16, 1});
+  harness::ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.cluster.n_nodes = 5;
+  cfg.network.batching = true;
+  cfg.load.clients_per_node = 32;
+  cfg.load.max_inflight_per_node = 32;
+  harness::Cluster cluster(cfg, w);
+  cluster.set_measuring(true);
+  cluster.start_clients();
+  std::uint64_t last = 0;
+  for (auto _ : state) {
+    cluster.run_for(sim::kMillisecond);
+    benchmark::DoNotOptimize(cluster.committed_count());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(cluster.committed_count() - last));
+}
+BENCHMARK(BM_ClusterCommit)
+    ->Arg(static_cast<int>(core::Protocol::kMultiPaxos))
+    ->Arg(static_cast<int>(core::Protocol::kEPaxos))
+    ->Arg(static_cast<int>(core::Protocol::kM2Paxos));
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Model checking demo — the C++ analogue of the paper's appendix, where
+// the authors verified a TLA+ specification of M²Paxos ("GFPaxos":
+// coordinated Multi-Paxos instances, one per object) with TLC.
+//
+// This example exhaustively explores the same shape of model (3 acceptors,
+// 2 objects, 2 commands, majority quorums) and then shows the checker
+// catching a real violation when quorums are broken.
+#include <chrono>
+#include <cstdio>
+
+#include "model/checker.hpp"
+#include "model/gfpaxos_model.hpp"
+
+using namespace m2::model;
+
+namespace {
+
+void run(const char* label, const GfConfig& cfg) {
+  GfPaxosModel model(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = check(model);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("%s\n", label);
+  std::printf("  states explored : %llu (%s)\n",
+              static_cast<unsigned long long>(result.states_explored),
+              result.complete ? "exhaustive"
+                              : (result.ok ? "capped" : "stopped at violation"));
+  std::printf("  transitions     : %llu, depth %d, %.1fs\n",
+              static_cast<unsigned long long>(result.transitions),
+              result.max_depth, secs);
+  if (result.ok) {
+    std::printf("  verdict         : SAFE — per-instance agreement and\n"
+                "                    cross-object ordering hold everywhere\n");
+  } else {
+    std::printf("  verdict         : VIOLATION — %s\n",
+                result.violation.c_str());
+    std::printf("  shortest counterexample (%zu steps), final state:\n    %s\n",
+                result.trace.size() - 1,
+                model.describe(result.trace.back()).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Explicit-state checking of the GFPaxos abstraction\n"
+              "(paper appendix: TLA+ modules MultiConsensus/MultiPaxos/GFPaxos)\n\n");
+
+  GfConfig sound;  // appendix shape: c1 accesses both objects, c2 one
+  run("[1] 3 acceptors, 2 objects, 2 commands, majority quorums", sound);
+
+  GfConfig broken = sound;
+  broken.quorum = 1;  // non-intersecting quorums: Paxos safety must break
+  run("[2] same model with quorums of size 1 (deliberately unsound)", broken);
+
+  std::printf("The violation in [2] is found via BFS, so the counterexample\n"
+              "is a shortest path — the same methodology as the TLC runs the\n"
+              "appendix reports (674M states on 48 cores for their largest\n"
+              "model; this in-process checker covers the scaled-down model\n"
+              "exhaustively in seconds).\n");
+  return 0;
+}

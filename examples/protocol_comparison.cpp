@@ -1,0 +1,47 @@
+// Side-by-side comparison of the four consensus protocols in this
+// repository under one workload — a miniature of the paper's evaluation.
+//
+// Usage: protocol_comparison [n_nodes] [locality%]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace m2;
+
+int main(int argc, char** argv) {
+  const int n_nodes = argc > 1 ? std::atoi(argv[1]) : 7;
+  const double locality = argc > 2 ? std::atof(argv[2]) / 100.0 : 1.0;
+
+  harness::Table table("protocol comparison — " + std::to_string(n_nodes) +
+                       " nodes, " + std::to_string(static_cast<int>(locality * 100)) +
+                       "% locality");
+  table.set_header({"protocol", "throughput", "median lat", "p99 lat",
+                    "bytes/cmd", "cpu util"});
+
+  for (const auto p :
+       {core::Protocol::kMultiPaxos, core::Protocol::kGenPaxos,
+        core::Protocol::kEPaxos, core::Protocol::kM2Paxos}) {
+    auto cfg = harness::default_config(p, n_nodes, 1);
+    cfg.warmup = 30 * sim::kMillisecond;
+    cfg.measure = 100 * sim::kMillisecond;
+    cfg.load.clients_per_node = 48;
+    cfg.load.max_inflight_per_node = 48;
+    wl::SyntheticWorkload workload(
+        {n_nodes, 1000, locality, 0.0, 16, 1});
+    const auto r = harness::run_experiment(cfg, workload);
+    table.add_row({core::to_string(p),
+                   harness::Table::kcps(r.committed_per_sec) + "cmd/s",
+                   harness::Table::num(
+                       static_cast<double>(r.commit_latency.median()) / 1000.0, 0) + "us",
+                   harness::Table::num(
+                       static_cast<double>(r.commit_latency.quantile(0.99)) / 1000.0, 0) + "us",
+                   harness::Table::num(r.bytes_per_command, 0),
+                   harness::Table::num(r.avg_cpu_utilization * 100, 1) + "%"});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "app/kv.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "net/codec.hpp"
+
+namespace m2::app {
+
+namespace {
+constexpr std::uint8_t kTagSingle = 1;
+constexpr std::uint8_t kTagMulti = 2;
+
+void encode_op(net::Writer& w, const KvOp& op) {
+  w.u8(static_cast<std::uint8_t>(op.kind));
+  w.u64(op.key);
+  w.str(op.value);
+}
+
+std::optional<KvOp> decode_op(net::Reader& r) {
+  const auto kind = r.u8();
+  const auto key = r.u64();
+  const auto value = r.str();
+  if (!kind || !key || !value) return std::nullopt;
+  if (*kind < 1 || *kind > 3) return std::nullopt;
+  KvOp op;
+  op.kind = static_cast<KvOp::Kind>(*kind);
+  op.key = *key;
+  op.value = std::move(*value);
+  return op;
+}
+}  // namespace
+
+std::vector<std::uint8_t> KvOp::encode() const {
+  net::Writer w;
+  w.u8(kTagSingle);
+  encode_op(w, *this);
+  return w.data();
+}
+
+std::optional<KvOp> KvOp::decode(const std::uint8_t* data, std::size_t n) {
+  net::Reader r(data, n);
+  const auto tag = r.u8();
+  if (!tag || *tag != kTagSingle) return std::nullopt;
+  return decode_op(r);
+}
+
+core::Command KvOp::to_command(core::CommandId id) const {
+  core::Command c(id, {key});
+  c.set_body(encode());
+  return c;
+}
+
+std::vector<std::uint8_t> KvMultiPut::encode() const {
+  net::Writer w;
+  w.u8(kTagMulti);
+  w.varint(puts.size());
+  for (const auto& op : puts) encode_op(w, op);
+  return w.data();
+}
+
+std::optional<KvMultiPut> KvMultiPut::decode(const std::uint8_t* data,
+                                             std::size_t n) {
+  net::Reader r(data, n);
+  const auto tag = r.u8();
+  if (!tag || *tag != kTagMulti) return std::nullopt;
+  const auto count = r.varint();
+  if (!count || *count > 1024) return std::nullopt;
+  KvMultiPut multi;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto op = decode_op(r);
+    if (!op) return std::nullopt;
+    multi.puts.push_back(std::move(*op));
+  }
+  return multi;
+}
+
+core::Command KvMultiPut::to_command(core::CommandId id) const {
+  std::vector<core::ObjectId> keys;
+  keys.reserve(puts.size());
+  for (const auto& op : puts) keys.push_back(op.key);
+  core::Command c(id, std::move(keys));
+  c.set_body(encode());
+  return c;
+}
+
+void KvStore::apply_one(const KvOp& op) {
+  switch (op.kind) {
+    case KvOp::Kind::kPut:
+      data_[op.key] = op.value;
+      break;
+    case KvOp::Kind::kDelete:
+      data_.erase(op.key);
+      break;
+    case KvOp::Kind::kIncrement: {
+      long delta = 0;
+      std::from_chars(op.value.data(), op.value.data() + op.value.size(),
+                      delta);
+      long cur = 0;
+      auto it = data_.find(op.key);
+      if (it != data_.end())
+        std::from_chars(it->second.data(), it->second.data() + it->second.size(),
+                        cur);
+      data_[op.key] = std::to_string(cur + delta);
+      break;
+    }
+  }
+}
+
+void KvStore::apply(const core::Command& c) {
+  if (c.body == nullptr || c.body->empty()) return;
+  const auto* bytes = c.body->data();
+  const std::size_t n = c.body->size();
+  if (bytes[0] == kTagSingle) {
+    if (auto op = KvOp::decode(bytes, n)) {
+      apply_one(*op);
+      return;
+    }
+  } else if (bytes[0] == kTagMulti) {
+    if (auto multi = KvMultiPut::decode(bytes, n)) {
+      for (const auto& op : multi->puts) apply_one(op);
+      return;
+    }
+  }
+  ++malformed_;  // never crash on bad bytes; count and skip
+}
+
+std::optional<std::string> KvStore::get(core::ObjectId key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::uint8_t> KvStore::snapshot() const {
+  // Entries are written in sorted key order so equal states produce equal
+  // bytes (snapshots can be compared or content-addressed).
+  std::vector<core::ObjectId> keys;
+  keys.reserve(data_.size());
+  for (const auto& [key, value] : data_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  net::Writer w;
+  w.varint(data_.size());
+  for (const core::ObjectId key : keys) {
+    w.u64(key);
+    w.str(data_.at(key));
+  }
+  return w.data();
+}
+
+bool KvStore::restore(const std::uint8_t* data, std::size_t n) {
+  data_.clear();
+  net::Reader r(data, n);
+  const auto count = r.varint();
+  if (!count || *count > (1u << 26)) return false;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto key = r.u64();
+    auto value = r.str();
+    if (!key || !value) {
+      data_.clear();
+      return false;
+    }
+    data_.emplace(*key, std::move(*value));
+  }
+  return true;
+}
+
+std::uint64_t KvStore::digest() const {
+  // Order-independent digest: XOR of per-entry mixes, so iteration order
+  // of the hash map does not matter.
+  std::uint64_t acc = 0x9e3779b97f4a7c15ULL;
+  for (const auto& [key, value] : data_) {
+    std::uint64_t h = key * 0xbf58476d1ce4e5b9ULL;
+    for (const char ch : value)
+      h = (h ^ static_cast<std::uint64_t>(ch)) * 0x100000001b3ULL;
+    acc ^= h;
+  }
+  return acc;
+}
+
+}  // namespace m2::app

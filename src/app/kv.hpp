@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "app/state_machine.hpp"
+#include "core/command.hpp"
+
+namespace m2::app {
+
+/// Key-value operation carried in a command body.
+///
+/// Keys double as consensus object ids, so per-key ownership gives
+/// single-round-trip writes for keys a node homes (the paper's
+/// partitionable-workload sweet spot); multi-key operations become
+/// multi-object commands.
+struct KvOp {
+  enum class Kind : std::uint8_t { kPut = 1, kDelete = 2, kIncrement = 3 };
+
+  Kind kind = Kind::kPut;
+  core::ObjectId key = 0;
+  std::string value;  // put: value; increment: decimal delta
+
+  /// Serializes with the net::codec wire format.
+  std::vector<std::uint8_t> encode() const;
+  /// Returns nullopt on malformed input (never throws on bad bytes).
+  static std::optional<KvOp> decode(const std::uint8_t* data, std::size_t n);
+
+  /// Builds a ready-to-propose command for this operation.
+  core::Command to_command(core::CommandId id) const;
+};
+
+/// Multi-key operation: atomic put of several key/value pairs (a
+/// cross-partition command exercising ownership acquisition).
+struct KvMultiPut {
+  std::vector<KvOp> puts;  // all must be kPut
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<KvMultiPut> decode(const std::uint8_t* data,
+                                          std::size_t n);
+  core::Command to_command(core::CommandId id) const;
+};
+
+/// The replicated KV store state machine.
+class KvStore final : public StateMachine {
+ public:
+  void apply(const core::Command& c) override;
+  std::uint64_t digest() const override;
+
+  std::optional<std::string> get(core::ObjectId key) const;
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t malformed_bodies() const { return malformed_; }
+
+  /// Serializes the full store (the state-transfer primitive a replica
+  /// that fell behind every retention window would bootstrap from).
+  std::vector<std::uint8_t> snapshot() const;
+  /// Replaces the store contents from a snapshot; false on malformed input
+  /// (the store is left empty in that case).
+  bool restore(const std::uint8_t* data, std::size_t n);
+  bool restore(const std::vector<std::uint8_t>& bytes) {
+    return restore(bytes.data(), bytes.size());
+  }
+
+ private:
+  void apply_one(const KvOp& op);
+
+  std::unordered_map<core::ObjectId, std::string> data_;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace m2::app

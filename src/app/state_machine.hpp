@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/command.hpp"
+
+namespace m2::app {
+
+/// A deterministic state machine replicated via the consensus layer.
+///
+/// Every replica applies the same delivered command sequence; because
+/// Generalized Consensus only fixes the order of *conflicting* commands,
+/// an implementation must be insensitive to the order of commuting ones —
+/// which is automatic when a command only touches the state named by its
+/// object set.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Applies a delivered command. `c.body` holds the serialized operation
+  /// (may be null for commands without a payload). Must be deterministic:
+  /// equal inputs on every replica, equal state after.
+  virtual void apply(const core::Command& c) = 0;
+
+  /// Digest of the current state, used by tests and the anti-divergence
+  /// checker to compare replicas cheaply.
+  virtual std::uint64_t digest() const = 0;
+};
+
+/// Drives a StateMachine from a replica's delivery stream: the piece an
+/// application wires into Context::deliver.
+class RsmApplier {
+ public:
+  explicit RsmApplier(StateMachine& sm) : sm_(sm) {}
+
+  /// Feeds one delivered command (no-ops are skipped).
+  void on_deliver(const core::Command& c) {
+    if (c.noop) return;
+    sm_.apply(c);
+    ++applied_;
+  }
+
+  std::uint64_t applied() const { return applied_; }
+
+ private:
+  StateMachine& sm_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace m2::app

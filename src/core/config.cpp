@@ -1,0 +1,19 @@
+#include "core/config.hpp"
+
+namespace m2::core {
+
+std::string to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kMultiPaxos:
+      return "MultiPaxos";
+    case Protocol::kGenPaxos:
+      return "GenPaxos";
+    case Protocol::kEPaxos:
+      return "EPaxos";
+    case Protocol::kM2Paxos:
+      return "M2Paxos";
+  }
+  return "?";
+}
+
+}  // namespace m2::core

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "net/payload.hpp"
+#include "sim/time.hpp"
+
+namespace m2::core {
+
+/// CPU service-time model for protocol message processing.
+///
+/// Receiving or sending a message costs `fixed + per_byte * size`. The
+/// fixed part approximates syscall + dispatch + handler; the per-byte part
+/// approximates copying/marshalling. These costs feed the per-node k-core
+/// queueing model (sim::NodeCpu), which is what produces saturation
+/// (throughput ceilings) in the benchmarks.
+struct CostModel {
+  sim::Time rx_fixed = 1000;      // ns per received message
+  double rx_per_byte = 0.8;       // ns per received byte
+  sim::Time tx_fixed = 400;       // ns per sent message
+  double tx_per_byte = 0.4;       // ns per sent byte
+
+  /// Extra serial cost charged by protocol serialization points (e.g. a
+  /// Multi-Paxos leader's ordering thread, EPaxos' dependency-graph lock).
+  sim::Time serial_fixed = 900;   // ns per serialized handling step
+
+  sim::Time rx_cost(std::size_t bytes) const {
+    return rx_fixed + static_cast<sim::Time>(rx_per_byte * static_cast<double>(bytes));
+  }
+  sim::Time tx_cost(std::size_t bytes) const {
+    return tx_fixed + static_cast<sim::Time>(tx_per_byte * static_cast<double>(bytes));
+  }
+};
+
+/// Static cluster configuration shared by all protocols.
+struct ClusterConfig {
+  int n_nodes = 3;
+  int cores_per_node = 16;  // paper's default machine: c3.4xlarge, 16 cores
+  CostModel cost;
+
+  /// Timeout after which a node that forwarded a command to an owner (or to
+  /// the leader) takes over and re-proposes (Algorithm 1 line 13).
+  sim::Time forward_timeout = 50 * sim::kMillisecond;
+
+  /// Base for randomized exponential backoff between ownership-acquisition
+  /// retries (keeps the unbounded-retry scenario of §IV-C live).
+  sim::Time retry_backoff_min = 200 * sim::kMicrosecond;
+  sim::Time retry_backoff_max = 4 * sim::kMillisecond;
+
+  /// Failure-detector heartbeat period and suspicion timeout.
+  sim::Time heartbeat_period = 10 * sim::kMillisecond;
+  sim::Time suspect_timeout = 50 * sim::kMillisecond;
+
+  /// When true, replicas keep their full delivered sequence in memory for
+  /// consistency auditing (tests). Benchmarks turn this off.
+  bool record_delivered = true;
+
+  /// M²Paxos anti-entropy (extension): period between sync probes for
+  /// stuck delivery frontiers, and how many delivered slots a replica
+  /// retains (in total, across objects) to serve peers' catch-up
+  /// requests. sync_period 0 disables probing.
+  sim::Time sync_period = 25 * sim::kMillisecond;
+  std::size_t sync_retention = 4096;  // delivered slots kept per replica
+  std::size_t sync_batch = 16;        // objects per probe
+
+  /// M²Paxos crossing resolution is a recovery path: the (deterministic)
+  /// wait-cycle search runs at most once per interval, not per message.
+  sim::Time crossing_check_interval = 2 * sim::kMillisecond;
+
+  /// M²Paxos acquisition fallback (§IV-C "bounding the communication
+  /// delays"): after this many failed coordinations, the command is routed
+  /// through the designated conflict leader (node 0), which serializes
+  /// contended ownership acquisitions. 0 disables the fallback.
+  int acquisition_fallback_after = 8;
+
+  /// Capacity of the delivered-command-id dedup window per replica. Ids
+  /// older than this are forgotten; the window only needs to cover the
+  /// maximum lifetime of an in-flight proposal.
+  std::size_t delivered_id_window = 1 << 20;
+
+  int f() const { return (n_nodes - 1) / 2; }
+
+  /// Classic quorum: floor(N/2)+1 — what M²Paxos and Multi-Paxos use.
+  int classic_quorum() const { return n_nodes / 2 + 1; }
+
+  /// Fast quorum for Fast/Generalized Paxos: floor(2N/3)+1 (§I).
+  int fast_quorum() const { return (2 * n_nodes) / 3 + 1; }
+
+  /// EPaxos fast quorum: f + floor((f+1)/2) [Moraru et al., SOSP'13].
+  int epaxos_fast_quorum() const { return f() + (f() + 1) / 2; }
+
+  void validate() const {
+    assert(n_nodes >= 1);
+    assert(cores_per_node >= 1);
+  }
+};
+
+/// Protocols implemented in this repository.
+enum class Protocol { kMultiPaxos, kGenPaxos, kEPaxos, kM2Paxos };
+
+std::string to_string(Protocol p);
+
+}  // namespace m2::core

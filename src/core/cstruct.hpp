@@ -1,0 +1,59 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/command.hpp"
+
+namespace m2::core {
+
+/// A command structure (C-struct) as in Generalized Consensus [Lamport'05]:
+/// the monotonically growing sequence of commands a node has decided.
+///
+/// Nodes only ever append (`Stability`); the harness and the property tests
+/// verify `Consistency` across nodes with `check_pairwise_consistency`.
+class CStruct {
+ public:
+  /// Appends `c`; returns false (and ignores the append) if the command is
+  /// already present — delivery must be exactly-once.
+  bool append(const Command& c);
+
+  bool contains(CommandId id) const { return index_.count(id) > 0; }
+  std::size_t size() const { return seq_.size(); }
+  const std::vector<Command>& sequence() const { return seq_; }
+
+  /// Position of `id` in the sequence, or SIZE_MAX when absent.
+  std::size_t position_of(CommandId id) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Command> seq_;
+  std::unordered_map<CommandId, std::size_t> index_;
+};
+
+/// Result of a consistency audit over a set of per-node C-structs.
+struct ConsistencyReport {
+  bool ok = true;
+  std::string violation;  // human-readable description of the first failure
+};
+
+/// Checks the Generalized Consensus `Consistency` property over the
+/// delivered C-structs of all nodes: every pair of *conflicting* commands
+/// that appears in two C-structs must appear in the same relative order.
+/// Also rejects duplicate deliveries.
+ConsistencyReport check_pairwise_consistency(const std::vector<CStruct>& nodes);
+
+/// Checks that every delivered command was proposed (`Non-triviality`).
+ConsistencyReport check_nontriviality(
+    const std::vector<CStruct>& nodes,
+    const std::unordered_set<std::uint64_t>& proposed_ids);
+
+/// Checks a *total order* requirement (for Multi-Paxos): each node's
+/// sequence must be a prefix of the longest one.
+ConsistencyReport check_total_order(const std::vector<CStruct>& nodes);
+
+}  // namespace m2::core

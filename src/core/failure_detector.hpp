@@ -1,0 +1,69 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/replica.hpp"
+#include "net/payload.hpp"
+#include "sim/time.hpp"
+
+namespace m2::core {
+
+/// Heartbeat message exchanged by the failure detector.
+struct Heartbeat final : net::Payload {
+  explicit Heartbeat(NodeId s) : sender(s) {}
+  NodeId sender;
+  std::uint32_t kind() const override { return net::kKindCommon + 1; }
+  std::size_t wire_size() const override { return 8; }
+  const char* name() const override { return "Heartbeat"; }
+};
+
+/// Eventually-perfect failure detector (◇P-style) built from periodic
+/// heartbeats, plus the Ω leader election the paper assumes (§III):
+/// the leader is the lowest-id node not currently suspected.
+///
+/// A protocol replica owns one detector, calls on_heartbeat() for incoming
+/// Heartbeat payloads, and queries leader()/is_suspected(). Suspicion is
+/// conservative: a node is suspected after `suspect_timeout` of silence and
+/// trusted again on the next heartbeat.
+class FailureDetector {
+ public:
+  FailureDetector(NodeId self, const ClusterConfig& cfg, Context& ctx);
+  ~FailureDetector();
+
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  /// Starts the heartbeat timer. Idempotent.
+  void start();
+  /// Stops heartbeating (on crash).
+  void stop();
+
+  /// Feeds an incoming heartbeat from `from`.
+  void on_heartbeat(NodeId from);
+
+  bool is_suspected(NodeId node) const;
+
+  /// Ω output: lowest-id unsuspected node.
+  NodeId leader() const;
+
+  /// Invoked when the Ω output changes (new leader elected).
+  void set_on_leader_change(std::function<void(NodeId)> fn) {
+    on_leader_change_ = std::move(fn);
+  }
+
+ private:
+  void tick();
+
+  NodeId self_;
+  ClusterConfig cfg_;
+  Context& ctx_;
+  std::vector<sim::Time> last_heard_;
+  sim::EventId timer_ = sim::kInvalidEvent;
+  bool running_ = false;
+  NodeId last_leader_ = kNoNode;
+  std::function<void(NodeId)> on_leader_change_;
+};
+
+}  // namespace m2::core

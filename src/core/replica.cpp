@@ -1,0 +1,9 @@
+#include "core/replica.hpp"
+
+namespace m2::core {
+
+RxCost Replica::rx_cost(const net::Payload& payload) const {
+  return RxCost{0, cfg_.cost.rx_cost(payload.wire_size())};
+}
+
+}  // namespace m2::core

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <functional>
+
+#include "core/command.hpp"
+#include "core/config.hpp"
+#include "net/payload.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace m2::core {
+
+/// Cost of handling one received message, split into the part that must run
+/// under the node's serialization point and the part that parallelizes
+/// across cores. See sim::NodeCpu.
+struct RxCost {
+  sim::Time serial = 0;
+  sim::Time parallel = 0;
+};
+
+/// Environment a replica runs in. Implemented by the cluster harness (on
+/// top of the DES) and by lightweight test doubles. Replicas are sans-I/O
+/// state machines: all effects go through this interface, which is what
+/// makes protocol runs deterministic and replayable.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual sim::Time now() const = 0;
+  virtual sim::Rng& rng() = 0;
+
+  virtual void send(NodeId to, net::PayloadPtr payload) = 0;
+  virtual void broadcast(net::PayloadPtr payload, bool include_self) = 0;
+
+  /// One-shot timer; returns a handle usable with cancel_timer.
+  virtual sim::EventId set_timer(sim::Time delay, std::function<void()> fn) = 0;
+  virtual void cancel_timer(sim::EventId id) = 0;
+
+  /// Reports that this node appended `c` to its C-struct (C-DECIDE). The
+  /// harness records ordering and throughput from these calls.
+  virtual void deliver(const Command& c) = 0;
+
+  /// Reports, at the proposer only and at most once per command, that the
+  /// command's outcome is known (its position is agreed). This is the
+  /// client-visible commit point the paper's latency numbers measure — on
+  /// the M²Paxos fast path it fires after two communication delays.
+  virtual void committed(const Command& c) = 0;
+};
+
+/// Base class of all four protocol replicas.
+///
+/// Life cycle: the harness constructs N replicas, wires delivery callbacks,
+/// then drives them with propose() (C-PROPOSE) and on_message(). A replica
+/// may be crashed (stops reacting) and restarted with empty volatile state;
+/// durable state persistence is modelled by each protocol as needed.
+class Replica {
+ public:
+  Replica(NodeId id, const ClusterConfig& cfg, Context& ctx)
+      : id_(id), cfg_(cfg), ctx_(ctx) {}
+  virtual ~Replica() = default;
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// C-PROPOSE(c): submit a command at this node.
+  virtual void propose(const Command& c) = 0;
+
+  /// Delivery of a protocol message from `from`.
+  virtual void on_message(NodeId from, const net::Payload& payload) = 0;
+
+  /// CPU cost of handling `payload` at this node; protocols override to
+  /// mark their serialization points. Default: fully parallel rx cost.
+  virtual RxCost rx_cost(const net::Payload& payload) const;
+
+  /// Fault hooks driven by the harness.
+  virtual void on_crash() {}
+  virtual void on_recover() {}
+
+  NodeId id() const { return id_; }
+  const ClusterConfig& config() const { return cfg_; }
+
+ protected:
+  Context& ctx() { return ctx_; }
+  const Context& ctx() const { return ctx_; }
+
+  NodeId id_;
+  ClusterConfig cfg_;
+  Context& ctx_;
+};
+
+}  // namespace m2::core

@@ -1,0 +1,198 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/command.hpp"
+#include "core/config.hpp"
+#include "core/replica.hpp"
+#include "epaxos/graph.hpp"
+
+namespace m2::ep {
+
+using core::Command;
+using core::CommandId;
+using core::ObjectId;
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// Instance attributes travelling with PreAccept/Accept/Commit.
+struct Attrs {
+  std::uint64_t seq = 0;
+  std::vector<InstRef> deps;
+
+  bool operator==(const Attrs& o) const {
+    return seq == o.seq && deps == o.deps;
+  }
+  std::size_t wire_size() const { return 8 + 8 * deps.size(); }
+};
+
+struct PreAccept final : net::Payload {
+  PreAccept(InstRef i, Command c, Attrs a)
+      : inst(i), cmd(std::move(c)), attrs(std::move(a)) {}
+  InstRef inst;
+  Command cmd;
+  Attrs attrs;
+  std::uint32_t kind() const override { return net::kKindEPaxos + 1; }
+  std::size_t wire_size() const override {
+    return 8 + cmd.wire_size() + attrs.wire_size();
+  }
+  const char* name() const override { return "EP.PreAccept"; }
+};
+
+struct PreAcceptReply final : net::Payload {
+  InstRef inst = 0;
+  NodeId acceptor = kNoNode;
+  bool changed = false;  // acceptor extended seq/deps
+  Attrs attrs;
+  std::uint32_t kind() const override { return net::kKindEPaxos + 2; }
+  std::size_t wire_size() const override { return 8 + 4 + 1 + attrs.wire_size(); }
+  const char* name() const override { return "EP.PreAcceptReply"; }
+};
+
+/// Paxos-Accept of the slow path, carrying the unioned attributes.
+struct AcceptMsg final : net::Payload {
+  AcceptMsg(InstRef i, Command c, Attrs a)
+      : inst(i), cmd(std::move(c)), attrs(std::move(a)) {}
+  InstRef inst;
+  Command cmd;
+  Attrs attrs;
+  std::uint32_t kind() const override { return net::kKindEPaxos + 3; }
+  std::size_t wire_size() const override {
+    return 8 + cmd.wire_size() + attrs.wire_size();
+  }
+  const char* name() const override { return "EP.Accept"; }
+};
+
+struct AcceptReply final : net::Payload {
+  InstRef inst = 0;
+  NodeId acceptor = kNoNode;
+  std::uint32_t kind() const override { return net::kKindEPaxos + 4; }
+  std::size_t wire_size() const override { return 13; }
+  const char* name() const override { return "EP.AcceptReply"; }
+};
+
+struct CommitMsg final : net::Payload {
+  CommitMsg(InstRef i, Command c, Attrs a)
+      : inst(i), cmd(std::move(c)), attrs(std::move(a)) {}
+  InstRef inst;
+  Command cmd;
+  Attrs attrs;
+  std::uint32_t kind() const override { return net::kKindEPaxos + 5; }
+  std::size_t wire_size() const override {
+    return 8 + cmd.wire_size() + attrs.wire_size();
+  }
+  const char* name() const override { return "EP.Commit"; }
+};
+
+// ---------------------------------------------------------------------
+// Replica
+// ---------------------------------------------------------------------
+
+struct EpCounters {
+  std::uint64_t fast_commits = 0;
+  std::uint64_t slow_commits = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dep_bytes_sent = 0;  // dependency metadata volume
+  std::uint64_t exec_blocked = 0;    // execution deferrals on uncommitted deps
+};
+
+/// EPaxos [Moraru et al., SOSP'13] — the paper's strongest competitor.
+///
+/// Every replica leads its own instance space. A command leader computes
+/// interference attributes (seq, deps) and PreAccepts at a *fast quorum*
+/// (f + floor((f+1)/2)); unchanged replies commit in two delays, otherwise
+/// a Paxos-Accept round with a classic quorum adds two more. Commands are
+/// executed by dependency-graph SCC order (src/epaxos/graph.*).
+///
+/// Crash recovery (explicit-prepare) is not implemented — the paper's
+/// evaluation runs crash-free — but ballots are carried so the slow path is
+/// shaped faithfully. Costs: dependency computation and the execution graph
+/// serialize on shared state (rx_cost), and dependency lists travel in
+/// every message — the two overheads M²Paxos eliminates.
+class EPaxosReplica final : public core::Replica {
+ public:
+  EPaxosReplica(NodeId id, const core::ClusterConfig& cfg, core::Context& ctx);
+
+  void propose(const Command& c) override;
+  void on_message(NodeId from, const net::Payload& payload) override;
+  core::RxCost rx_cost(const net::Payload& payload) const override;
+  void on_crash() override;
+  void on_recover() override;
+
+  const EpCounters& counters() const { return counters_; }
+  const std::vector<Command>& delivered_sequence() const {
+    return delivered_seq_;
+  }
+
+ private:
+  enum class Status : std::uint8_t {
+    kNone,
+    kPreAccepted,
+    kAccepted,
+    kCommitted,
+    kExecuted
+  };
+  struct InstState {
+    Command cmd;
+    Attrs attrs;
+    Status status = Status::kNone;
+    // Command-leader bookkeeping (acceptor lists deduplicated: the network
+    // may duplicate deliveries).
+    std::vector<NodeId> preaccept_repliers;
+    bool all_unchanged = true;
+    Attrs merged;
+    std::vector<NodeId> accept_repliers;
+  };
+
+  InstState& inst(InstRef r) { return instances_[r]; }
+
+  /// Computes (seq, deps) for `c` from the local interference table and
+  /// registers `r` as the new latest instance for each object of `c`.
+  Attrs compute_attrs(const Command& c, InstRef r);
+  /// Merges remotely computed attrs with local interference state.
+  bool extend_attrs(const Command& c, InstRef r, Attrs& attrs);
+
+  void handle_preaccept(NodeId from, const PreAccept& msg);
+  void handle_preaccept_reply(const PreAcceptReply& msg);
+  void handle_accept(NodeId from, const AcceptMsg& msg);
+  void handle_accept_reply(const AcceptReply& msg);
+  void handle_commit(const CommitMsg& msg);
+  void commit(InstRef r, const Command& cmd, Attrs attrs);
+  void try_execute(InstRef r);
+
+  std::vector<NodeId> fast_quorum_peers() const;
+
+  /// Garbage collection: all slots of replica r below pruned_below_[r] are
+  /// executed and have been erased from instances_.
+  void prune_executed();
+  bool is_pruned(InstRef r) const {
+    return inst_slot(r) < pruned_below_[inst_replica(r)];
+  }
+
+  /// Interference table: for every object, the latest-known instance of
+  /// *each replica* that accessed it (EPaxos keeps per-replica entries —
+  /// a single shared "latest" cell would let a stale slow-path message
+  /// erase knowledge of a newer conflict, leaving two conflicting commands
+  /// with no dependency edge in either direction).
+  std::vector<InstRef>& interf_row(ObjectId l);
+  void note_access(ObjectId l, InstRef r);
+
+  std::unordered_map<InstRef, InstState> instances_;
+  std::unordered_map<ObjectId, std::vector<InstRef>> latest_interf_;
+  std::unordered_map<InstRef, std::vector<InstRef>> exec_waiters_;
+  std::vector<std::uint64_t> pruned_below_;
+  std::uint64_t next_slot_ = 1;
+  std::vector<Command> delivered_seq_;
+  std::uint64_t delivered_count_ = 0;
+  bool crashed_ = false;
+  EpCounters counters_;
+};
+
+}  // namespace m2::ep

@@ -1,0 +1,107 @@
+#include "epaxos/graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace m2::ep {
+
+namespace {
+
+struct NodeInfo {
+  std::uint32_t index = 0;
+  std::uint32_t lowlink = 0;
+  bool on_stack = false;
+  bool visited = false;
+};
+
+}  // namespace
+
+ExecResult plan_execution(const ExecGraph& g, InstRef root) {
+  ExecResult result;
+  if (g.is_executed(root)) return result;
+  if (!g.is_committed(root)) {
+    result.blocked = true;
+    result.blocked_on = root;
+    return result;
+  }
+
+  // Iterative Tarjan. Frames carry the next dependency index to resume at.
+  std::unordered_map<InstRef, NodeInfo> info;
+  std::vector<InstRef> stack;                       // Tarjan stack
+  std::vector<std::pair<InstRef, std::size_t>> call;  // DFS frames
+  std::vector<std::vector<InstRef>> sccs;
+  std::uint32_t next_index = 1;
+
+  auto open = [&](InstRef v) {
+    NodeInfo& ni = info[v];
+    ni.index = ni.lowlink = next_index++;
+    ni.visited = true;
+    ni.on_stack = true;
+    stack.push_back(v);
+    call.emplace_back(v, 0);
+  };
+
+  open(root);
+  while (!call.empty()) {
+    auto& [v, edge] = call.back();
+    const std::vector<InstRef>& deps = g.deps_of(v);
+    bool descended = false;
+    while (edge < deps.size()) {
+      const InstRef w = deps[edge];
+      ++edge;
+      if (g.is_executed(w)) continue;  // satisfied edge
+      if (!g.is_committed(w)) {
+        result.blocked = true;
+        result.blocked_on = w;
+        return result;
+      }
+      NodeInfo& wi = info[w];
+      if (!wi.visited) {
+        open(w);
+        descended = true;
+        break;
+      }
+      if (wi.on_stack) {
+        NodeInfo& vi = info[v];
+        vi.lowlink = std::min(vi.lowlink, wi.index);
+      }
+    }
+    if (descended) continue;
+
+    // Close frame v.
+    NodeInfo& vi = info[v];
+    if (vi.lowlink == vi.index) {
+      std::vector<InstRef> scc;
+      for (;;) {
+        const InstRef w = stack.back();
+        stack.pop_back();
+        info[w].on_stack = false;
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      sccs.push_back(std::move(scc));
+    }
+    const InstRef closed = v;
+    call.pop_back();
+    if (!call.empty()) {
+      NodeInfo& pi = info[call.back().first];
+      pi.lowlink = std::min(pi.lowlink, info[closed].lowlink);
+    }
+  }
+
+  // Tarjan emits SCCs in reverse topological order, which is exactly the
+  // execution order (dependencies first).
+  for (auto& scc : sccs) {
+    std::sort(scc.begin(), scc.end(), [&](InstRef a, InstRef b) {
+      const std::uint64_t sa = g.seq_of(a);
+      const std::uint64_t sb = g.seq_of(b);
+      if (sa != sb) return sa < sb;
+      return a < b;
+    });
+    for (InstRef v : scc) result.to_execute.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace m2::ep

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace m2::ep {
+
+/// Instance reference: owning replica in the top 16 bits, slot below.
+using InstRef = std::uint64_t;
+
+inline InstRef make_inst(std::uint32_t replica, std::uint64_t slot) {
+  return (static_cast<std::uint64_t>(replica) << 48) | slot;
+}
+inline std::uint32_t inst_replica(InstRef r) {
+  return static_cast<std::uint32_t>(r >> 48);
+}
+inline std::uint64_t inst_slot(InstRef r) {
+  return r & ((1ULL << 48) - 1);
+}
+
+/// Callbacks the execution walker uses to query instance state. Keeping the
+/// graph algorithm independent of the replica makes it unit-testable on
+/// synthetic graphs.
+struct ExecGraph {
+  /// Dependency edges of `inst` (committed attributes).
+  std::function<const std::vector<InstRef>&(InstRef)> deps_of;
+  /// True iff the instance is committed (attributes final).
+  std::function<bool(InstRef)> is_committed;
+  /// True iff the instance has already been executed.
+  std::function<bool(InstRef)> is_executed;
+  /// Sequence number used to break ties inside a strongly connected
+  /// component (EPaxos `seq`).
+  std::function<std::uint64_t(InstRef)> seq_of;
+};
+
+/// Result of an execution attempt rooted at one instance.
+struct ExecResult {
+  /// Instances to execute now, in order (SCCs in reverse topological order,
+  /// members of an SCC sorted by (seq, instance id)).
+  std::vector<InstRef> to_execute;
+  /// Set when execution must wait: the first uncommitted instance found.
+  bool blocked = false;
+  InstRef blocked_on = 0;
+};
+
+/// EPaxos execution rule: explore the dependency closure of `root` with
+/// Tarjan's SCC algorithm (iterative — dependency chains can be long) and
+/// produce the execution order, or report the uncommitted instance that
+/// blocks it.
+ExecResult plan_execution(const ExecGraph& g, InstRef root);
+
+}  // namespace m2::ep

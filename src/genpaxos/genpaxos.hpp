@@ -1,0 +1,210 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/command.hpp"
+#include "core/config.hpp"
+#include "core/replica.hpp"
+
+namespace m2::gp {
+
+using core::Command;
+using core::CommandId;
+using core::ObjectId;
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// Fast round: the proposer bypasses the leader and broadcasts directly to
+/// the acceptors (as in Fast/Generalized Paxos).
+struct FastPropose final : net::Payload {
+  explicit FastPropose(Command c) : cmd(std::move(c)) {}
+  Command cmd;
+  std::uint32_t kind() const override { return net::kKindGenPaxos + 1; }
+  std::size_t wire_size() const override { return cmd.wire_size(); }
+  const char* name() const override { return "GP.FastPropose"; }
+};
+
+/// Acceptor's vote: for every object of the command, the predecessor
+/// command the acceptor appended before it (its c-struct tail on that
+/// object). `cstruct_bytes` models the c-struct suffix that real
+/// Generalized Paxos acceptors ship with every vote — the protocol's
+/// dominant bandwidth overhead.
+struct FastAck final : net::Payload {
+  struct Pred {
+    ObjectId object = 0;
+    CommandId pred;  // invalid id == no predecessor
+  };
+  CommandId cmd_id;
+  NodeId acceptor = kNoNode;
+  std::vector<Pred> preds;
+  std::uint32_t cstruct_bytes = 0;
+
+  std::uint32_t kind() const override { return net::kKindGenPaxos + 2; }
+  std::size_t wire_size() const override {
+    return 8 + 4 + 16 * preds.size() + cstruct_bytes;
+  }
+  const char* name() const override { return "GP.FastAck"; }
+};
+
+/// Fast-quorum agreement reached: the proposer asks the leader to sequence
+/// the command (the leader is the single learner coordinator).
+struct CommitNotify final : net::Payload {
+  explicit CommitNotify(Command c) : cmd(std::move(c)) {}
+  Command cmd;
+  std::uint32_t kind() const override { return net::kKindGenPaxos + 3; }
+  std::size_t wire_size() const override { return cmd.wire_size() + 8; }
+  const char* name() const override { return "GP.CommitNotify"; }
+};
+
+/// Collision: acceptors voted with different predecessors; the leader must
+/// serialize the command through a classic round.
+struct ResolveReq final : net::Payload {
+  explicit ResolveReq(Command c) : cmd(std::move(c)) {}
+  Command cmd;
+  std::uint32_t kind() const override { return net::kKindGenPaxos + 4; }
+  std::size_t wire_size() const override { return cmd.wire_size() + 8; }
+  const char* name() const override { return "GP.ResolveReq"; }
+};
+
+/// Classic round phase-2a run by the leader for collided commands.
+struct SlowAccept final : net::Payload {
+  SlowAccept(std::uint64_t b, Command c) : ballot(b), cmd(std::move(c)) {}
+  std::uint64_t ballot;
+  Command cmd;
+  std::uint32_t kind() const override { return net::kKindGenPaxos + 5; }
+  std::size_t wire_size() const override { return 8 + cmd.wire_size(); }
+  const char* name() const override { return "GP.SlowAccept"; }
+};
+
+struct SlowAck final : net::Payload {
+  std::uint64_t ballot = 0;
+  CommandId cmd_id;
+  NodeId acceptor = kNoNode;
+  std::uint32_t kind() const override { return net::kKindGenPaxos + 6; }
+  std::size_t wire_size() const override { return 20; }
+  const char* name() const override { return "GP.SlowAck"; }
+};
+
+/// Leader-assigned delivery position, broadcast to all learners.
+struct Sequence final : net::Payload {
+  Sequence(std::uint64_t i, Command c) : index(i), cmd(std::move(c)) {}
+  std::uint64_t index;
+  Command cmd;
+  std::uint32_t kind() const override { return net::kKindGenPaxos + 7; }
+  std::size_t wire_size() const override { return 8 + cmd.wire_size(); }
+  const char* name() const override { return "GP.Sequence"; }
+};
+
+// ---------------------------------------------------------------------
+// Replica
+// ---------------------------------------------------------------------
+
+struct GpCounters {
+  std::uint64_t fast_agreements = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t sequenced = 0;  // leader only
+  std::uint64_t delivered = 0;
+  std::uint64_t retries = 0;
+};
+
+/// Generalized Paxos baseline [Lamport, MSR-TR-2005-33].
+///
+/// Model (documented in DESIGN.md): proposers broadcast to acceptors and
+/// wait for a *fast quorum* (floor(2N/3)+1) of votes; votes carry each
+/// acceptor's per-object predecessor (its c-struct tail restricted to the
+/// command's objects) plus a c-struct-suffix payload that models the
+/// protocol's message-size overhead. If all votes agree, the command
+/// commits after two delays, as in the paper; disagreeing votes are a
+/// collision resolved by the designated leader through a classic round.
+/// The leader also acts as learner coordinator, assigning the global
+/// delivery sequence — which is why Generalized Paxos inherits the single-
+/// leader scalability ceiling the paper observes (§VI-A).
+///
+/// Leader re-election is not implemented (the evaluation is crash-free);
+/// ballots are carried for shape fidelity.
+class GenPaxosReplica final : public core::Replica {
+ public:
+  GenPaxosReplica(NodeId id, const core::ClusterConfig& cfg,
+                  core::Context& ctx);
+
+  void propose(const Command& c) override;
+  void on_message(NodeId from, const net::Payload& payload) override;
+  core::RxCost rx_cost(const net::Payload& payload) const override;
+  void on_crash() override;
+  void on_recover() override;
+
+  const GpCounters& counters() const { return counters_; }
+  const std::vector<Command>& delivered_sequence() const {
+    return delivered_seq_;
+  }
+
+ private:
+  struct PendingCommand {
+    Command cmd;
+    int attempts = 0;
+    std::vector<NodeId> ackers;  // deduplicated (network may duplicate)
+    bool mismatch = false;
+    bool handed_to_leader = false;
+    bool commit_reported = false;
+    std::vector<FastAck::Pred> first_preds;  // reference vote
+    sim::EventId timer = sim::kInvalidEvent;
+  };
+  struct SlowRound {
+    Command cmd;
+    std::vector<NodeId> ackers;  // deduplicated
+  };
+
+  void handle_fast_propose(NodeId from, const FastPropose& msg);
+  void handle_fast_ack(const FastAck& msg);
+  void handle_commit_notify(const CommitNotify& msg);
+  void handle_resolve(const ResolveReq& msg);
+  void handle_slow_accept(NodeId from, const SlowAccept& msg);
+  void handle_slow_ack(const SlowAck& msg);
+  void handle_sequence(const Sequence& msg);
+  void leader_sequence(const Command& cmd);
+  void try_deliver();
+  void arm_retry(CommandId id);
+
+  NodeId leader_ = 0;  // fixed: crash-free baseline
+  // Acceptor: per-object tail of the local c-struct.
+  std::unordered_map<ObjectId, CommandId> last_seen_;
+  /// Models c-struct suffix growth: commands voted on but not yet
+  /// sequenced. Tracked as two monotone counters because a Sequence can
+  /// overtake its FastPropose on a different link.
+  std::uint64_t fast_proposes_seen_ = 0;
+  std::uint64_t delivered_total_ = 0;
+  std::uint64_t unsequenced() const {
+    return fast_proposes_seen_ > delivered_total_
+               ? fast_proposes_seen_ - delivered_total_
+               : 0;
+  }
+  // Proposer.
+  std::unordered_map<CommandId, PendingCommand> pending_;
+  // Leader.
+  std::uint64_t next_index_ = 1;
+  std::unordered_map<CommandId, SlowRound> slow_rounds_;
+  std::unordered_set<CommandId> sequenced_ids_;
+  std::deque<CommandId> sequenced_fifo_;
+  /// Recently assigned (index, cmd) pairs, replayed when a retry arrives
+  /// for an already-sequenced command (lost Sequence repair).
+  std::unordered_map<CommandId, std::pair<std::uint64_t, Command>>
+      recent_sequences_;
+  // Learner.
+  std::map<std::uint64_t, Command> seq_log_;
+  std::uint64_t last_delivered_ = 0;
+  std::vector<Command> delivered_seq_;
+  std::unordered_set<CommandId> delivered_ids_;
+  std::deque<CommandId> delivered_fifo_;
+
+  bool crashed_ = false;
+  GpCounters counters_;
+};
+
+}  // namespace m2::gp

@@ -1,0 +1,51 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace m2::harness {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string Table::kcps(double commands_per_sec) {
+  return num(commands_per_sec / 1000.0, 1) + "k";
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+         << (i < row.size() ? row[i] : "");
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  std::string rule;
+  for (std::size_t w : widths) rule += std::string(w + 2, '-');
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os << "\n";
+}
+
+}  // namespace m2::harness

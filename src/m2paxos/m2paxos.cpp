@@ -1,0 +1,918 @@
+#include "m2paxos/m2paxos.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+namespace m2::m2p {
+
+namespace {
+
+/// Wire size of a slot list: headers plus each distinct command once.
+std::size_t slots_wire_size(const std::vector<SlotValue>& slots) {
+  std::size_t bytes = 0;
+  std::vector<std::uint64_t> seen;
+  for (const auto& s : slots) {
+    bytes += SlotValue::kHeaderBytes + 8;  // header + command-id reference
+    if (std::find(seen.begin(), seen.end(), s.cmd.id.value) == seen.end()) {
+      seen.push_back(s.cmd.id.value);
+      bytes += s.cmd.wire_size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t Accept::wire_size() const {
+  if (cached_size_ == SIZE_MAX) cached_size_ = 8 + slots_wire_size(slots);
+  return cached_size_;
+}
+
+std::size_t Decide::wire_size() const {
+  if (cached_size_ == SIZE_MAX) cached_size_ = slots_wire_size(slots);
+  return cached_size_;
+}
+
+std::size_t AckPrepare::wire_size() const {
+  std::size_t bytes =
+      8 + 4 + 1 + 24 * hints.size() + 16 * delivered_floors.size();
+  for (const auto& v : votes) bytes += 25 + v.cmd.wire_size();
+  return bytes;
+}
+
+M2PaxosReplica::M2PaxosReplica(NodeId id, const core::ClusterConfig& cfg,
+                               core::Context& ctx)
+    : core::Replica(id, cfg, ctx) {}
+
+// ---------------------------------------------------------------------
+// Anti-entropy (extension, DESIGN.md §5a)
+// ---------------------------------------------------------------------
+
+void M2PaxosReplica::start_sync_timer() {
+  // Demand-driven: armed only while some frontier is stuck, so an idle
+  // replica schedules nothing (and simulations can drain).
+  if (sync_timer_ != sim::kInvalidEvent) return;
+  if (cfg_.sync_period <= 0 || cfg_.n_nodes < 2 || crashed_) return;
+  if (stuck_objects_.empty()) return;
+  // Jittered so replicas do not probe in lockstep.
+  const sim::Time delay =
+      cfg_.sync_period / 2 +
+      static_cast<sim::Time>(ctx_.rng().uniform(
+          static_cast<std::uint64_t>(cfg_.sync_period)));
+  sync_timer_ = ctx_.set_timer(delay, [this] { sync_tick(); });
+}
+
+void M2PaxosReplica::sync_tick() {
+  sync_timer_ = sim::kInvalidEvent;
+  if (crashed_) return;
+  if (!stuck_objects_.empty()) {
+    // Probe a random peer for the frontier slots we are missing. Only
+    // objects whose frontier slot is undecided need help — a decided
+    // frontier is waiting on other objects, which have their own entries.
+    std::vector<SyncRequest::Entry> entries;
+    for (const ObjectId l : stuck_objects_) {
+      ObjectState& st = table_.obj(l);
+      auto it = st.slots.find(st.last_appended + 1);
+      if (it != st.slots.end() && it->second.decided) continue;
+      entries.push_back(SyncRequest::Entry{l, st.last_appended + 1});
+      if (entries.size() >= cfg_.sync_batch) break;
+    }
+    if (!entries.empty()) {
+      ++counters_.sync_probes;
+      NodeId peer = static_cast<NodeId>(
+          ctx_.rng().uniform(static_cast<std::uint64_t>(cfg_.n_nodes - 1)));
+      if (peer >= id_) ++peer;
+      ctx_.send(peer, net::make_payload<SyncRequest>(std::move(entries)));
+    }
+    start_sync_timer();
+  }
+}
+
+void M2PaxosReplica::handle_sync_request(NodeId from, const SyncRequest& msg) {
+  std::vector<SlotValue> slots;
+  for (const auto& e : msg.entries) {
+    const ObjectState* st = table_.find(e.object);
+    if (st == nullptr) continue;
+    for (auto it = st->slots.lower_bound(e.from_instance);
+         it != st->slots.end(); ++it) {
+      if (!it->second.decided) continue;
+      slots.push_back(SlotValue{e.object, it->first, 0, *it->second.decided});
+    }
+  }
+  if (!slots.empty())
+    ctx_.send(from, net::make_payload<SyncReply>(std::move(slots)));
+}
+
+void M2PaxosReplica::handle_sync_reply(const SyncReply& msg) {
+  for (const auto& s : msg.slots) {
+    ObjectState& st = table_.obj(s.object);
+    auto it = st.slots.find(s.instance);
+    if (s.instance > st.last_appended &&
+        (it == st.slots.end() || !it->second.decided)) {
+      ++counters_.sync_slots_learned;
+      decide_slot(s.object, s.instance, s.cmd);
+    }
+  }
+  try_deliver();
+}
+
+void M2PaxosReplica::preassign_owner(ObjectId l, NodeId owner) {
+  ObjectState& st = table_.obj(l);
+  st.owner = owner;
+  st.promised = 0;
+  st.owned_epoch = 0;
+  st.next_slot = 1;
+}
+
+core::RxCost M2PaxosReplica::rx_cost(const net::Payload& payload) const {
+  // The distinguishing property of M²Paxos (paper §VI-A, Fig. 4): no
+  // shared dependency metadata, so message handling is fully parallel
+  // across cores. No serialization point.
+  return core::RxCost{0, cfg_.cost.rx_cost(payload.wire_size())};
+}
+
+void M2PaxosReplica::on_crash() {
+  crashed_ = true;
+  for (auto& [id, pc] : pending_) ctx_.cancel_timer(pc.watchdog);
+  pending_.clear();
+  accepts_.clear();
+  prepares_.clear();
+  ctx_.cancel_timer(sync_timer_);
+  sync_timer_ = sim::kInvalidEvent;
+  ctx_.cancel_timer(crossing_timer_);
+  crossing_timer_ = sim::kInvalidEvent;
+}
+
+void M2PaxosReplica::on_recover() {
+  crashed_ = false;
+  start_sync_timer();  // no-op unless a frontier is stuck
+}
+
+std::vector<ObjectId> M2PaxosReplica::undecided_objects(
+    const core::Command& c) const {
+  std::vector<ObjectId> out;
+  for (ObjectId l : c.objects)
+    if (!table_.is_decided_on(c, l)) out.push_back(l);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Coordination phase (Algorithm 1)
+// ---------------------------------------------------------------------
+
+void M2PaxosReplica::propose(const core::Command& c) {
+  if (crashed_) return;
+  if (delivered_ids_.count(c.id) > 0) return;
+  auto [it, inserted] = pending_.try_emplace(c.id, PendingCommand{c, 0, false,
+                                                                  sim::kInvalidEvent});
+  if (!inserted) return;  // already coordinating this command
+  coordinate(c.id);
+}
+
+void M2PaxosReplica::coordinate(core::CommandId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  PendingCommand& pc = it->second;
+  if (pc.in_flight) return;
+
+  // ins = {<l, next position> : l in c.LS, c not decided on l}
+  const std::vector<ObjectId> objects = undecided_objects(pc.cmd);
+  if (objects.empty()) {
+    // Decided on every object; normally delivery cleans the entry up.
+    try_deliver();
+    auto again = pending_.find(id);
+    if (again == pending_.end()) return;
+    // Still undelivered: the delivery frontier of some accessed object is
+    // blocked. If it is blocked on a hole (an undecided slot abandoned by
+    // a failed round), repair it with an acquisition, which forces
+    // surviving votes and fills true holes with no-ops. Keep the watchdog
+    // alive either way so delivery is always driven to completion.
+    PendingCommand& again_pc = again->second;
+    arm_watchdog(again_pc);
+    if (!again_pc.in_flight) {
+      std::vector<ObjectId> blocked;
+      for (ObjectId l : again_pc.cmd.objects) {
+        ObjectState& st = table_.obj(l);
+        auto slot = st.slots.find(st.last_appended + 1);
+        if (slot == st.slots.end() || !slot->second.decided)
+          blocked.push_back(l);
+      }
+      if (!blocked.empty())
+        start_acquisition(again_pc, blocked, /*force_prepare_all=*/true);
+    }
+    return;
+  }
+
+  arm_watchdog(pc);
+
+  if (table_.owns_all(id_, pc.cmd)) {
+    ++counters_.fast_path_rounds;
+    start_fast_accept(pc, objects);
+    return;
+  }
+
+  // §IV-C fallback: a command that keeps losing ownership races is routed
+  // through the designated conflict leader, which serializes contended
+  // acquisitions (contending commands queue behind each other there
+  // instead of NACKing each other's prepares forever).
+  if (cfg_.acquisition_fallback_after > 0 &&
+      pc.attempts >= cfg_.acquisition_fallback_after && id_ != 0) {
+    ++counters_.fallbacks;
+    ctx_.send(0, net::make_payload<Propose>(pc.cmd));
+    return;
+  }
+
+  // Forward to the node owning the most of c's objects (the unique owner
+  // when there is one — Algorithm 1 lines 11-15; otherwise the plurality
+  // holder, which then acquires only the objects it lacks instead of a
+  // minority holder stealing a hot object from its home). The watchdog
+  // re-coordinates if the target fails to decide; after several timeouts
+  // the target is presumed crashed and this node takes over by acquiring
+  // ownership itself (the paper's embedded recovery).
+  const NodeId owner = table_.plurality_owner(pc.cmd);
+  if (owner != kNoNode && owner != id_ && pc.attempts < 3) {
+    ++counters_.forwarded;
+    ctx_.send(owner, net::make_payload<Propose>(pc.cmd));
+    return;
+  }
+
+  start_acquisition(pc, objects);
+}
+
+void M2PaxosReplica::arm_watchdog(PendingCommand& pc) {
+  ctx_.cancel_timer(pc.watchdog);
+  const core::CommandId id = pc.cmd.id;
+  // Backed-off watchdog: re-coordinations of a congested command must not
+  // multiply its load.
+  const sim::Time delay = cfg_.forward_timeout
+                          << std::min(pc.attempts, 3);
+  pc.watchdog = ctx_.set_timer(delay, [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    ++counters_.timeouts;
+    ++it->second.attempts;
+    it->second.in_flight = false;  // abandon whatever round was stuck
+    coordinate(id);
+  });
+}
+
+void M2PaxosReplica::start_fast_accept(PendingCommand& pc,
+                                       const std::vector<ObjectId>& objects) {
+  std::vector<SlotValue> slots;
+  slots.reserve(objects.size());
+  for (ObjectId l : objects) {
+    ObjectState& st = table_.obj(l);
+    // Retransmission: if a previous round already assigned this object a
+    // slot at the still-current epoch, reuse it. Assigning a fresh slot
+    // would leave the old one as a permanent hole in the delivery frontier.
+    const SlotValue* prior = nullptr;
+    for (const auto& s : pc.assigned_slots) {
+      if (s.object == l && s.epoch == st.owned_epoch &&
+          s.instance > st.last_appended) {
+        prior = &s;
+        break;
+      }
+    }
+    if (prior != nullptr) {
+      slots.push_back(*prior);
+      continue;
+    }
+    const Instance in = std::max(st.next_slot, st.last_appended + 1);
+    st.next_slot = in + 1;
+    // owns_all guarantees promised == owned_epoch here, so this accept is
+    // issued at an epoch this node actually prepared (or was preassigned).
+    slots.push_back(SlotValue{l, in, st.owned_epoch, pc.cmd});
+  }
+  pc.in_flight = true;
+  pc.assigned_slots = slots;
+  send_accept(pc.cmd.id, std::move(slots));
+}
+
+// ---------------------------------------------------------------------
+// Accept phase (Algorithm 2)
+// ---------------------------------------------------------------------
+
+void M2PaxosReplica::send_accept(core::CommandId for_cmd,
+                                 std::vector<SlotValue> slots) {
+  const std::uint64_t req = next_req_++;
+  accepts_.emplace(req, AcceptRound{slots, for_cmd, {}, false});
+  ctx_.broadcast(net::make_payload<Accept>(req, std::move(slots)), true);
+}
+
+void M2PaxosReplica::handle_accept(NodeId from, const Accept& msg) {
+  bool ok = true;
+  for (const auto& s : msg.slots) {
+    const ObjectState* st = table_.find(s.object);
+    if (st != nullptr && s.epoch < st->promised) {
+      ok = false;
+      break;
+    }
+  }
+
+  auto reply = std::make_shared<AckAccept>();
+  reply->req_id = msg.req_id;
+  reply->acceptor = id_;
+  reply->ack = ok;
+  if (ok) {
+    for (const auto& s : msg.slots) {
+      ObjectState& st = table_.obj(s.object);
+      st.promised = std::max(st.promised, s.epoch);
+      st.owner = from;  // Algorithm 2, line 18
+      Slot& slot = st.slots[s.instance];
+      if (s.epoch >= slot.accepted_epoch) {
+        slot.accepted_epoch = s.epoch;
+        slot.accepted = s.cmd;
+      }
+    }
+  } else {
+    for (const auto& s : msg.slots) {
+      const ObjectState* st = table_.find(s.object);
+      if (st != nullptr && s.epoch < st->promised)
+        reply->hints.push_back(ViewHint{s.object, st->promised, st->owner});
+    }
+  }
+  ctx_.send(from, std::move(reply));
+}
+
+void M2PaxosReplica::handle_ack_accept(NodeId /*from*/, const AckAccept& msg) {
+  auto it = accepts_.find(msg.req_id);
+  if (it == accepts_.end()) return;
+  AcceptRound& round = it->second;
+
+  if (!msg.ack) {
+    ++counters_.accept_nacks;
+    apply_hints(msg.hints);
+    const core::CommandId cmd = round.for_cmd;
+    accepts_.erase(it);
+    if (cmd.valid()) retry_later(cmd);
+    return;
+  }
+
+  if (round.done) return;
+  if (std::find(round.ackers.begin(), round.ackers.end(), msg.acceptor) !=
+      round.ackers.end())
+    return;  // duplicate delivery
+  round.ackers.push_back(msg.acceptor);
+  if (static_cast<int>(round.ackers.size()) < cfg_.classic_quorum()) return;
+  round.done = true;
+
+  // Quorum of ACKs: decide every slot locally and broadcast the decision.
+  std::vector<SlotValue> slots = std::move(round.slots);
+  const core::CommandId cmd = round.for_cmd;
+  accepts_.erase(it);
+  for (const auto& s : slots) decide_slot(s.object, s.instance, s.cmd);
+  ctx_.broadcast(net::make_payload<Decide>(std::move(slots)), false);
+  if (cmd.valid()) {
+    auto pit = pending_.find(cmd);
+    if (pit != pending_.end()) {
+      pit->second.in_flight = false;
+      maybe_report_commit(pit->second.cmd);
+      // If the round decided forced commands rather than this command on
+      // some objects, re-coordinate for the remaining objects.
+      if (!undecided_objects(pit->second.cmd).empty()) coordinate(cmd);
+    }
+  }
+  try_deliver();
+}
+
+// ---------------------------------------------------------------------
+// Decision phase (Algorithm 3)
+// ---------------------------------------------------------------------
+
+void M2PaxosReplica::handle_decide(const Decide& msg) {
+  for (const auto& s : msg.slots) decide_slot(s.object, s.instance, s.cmd);
+  for (const auto& s : msg.slots) maybe_report_commit(s.cmd);
+  try_deliver();
+}
+
+void M2PaxosReplica::maybe_report_commit(const core::Command& c) {
+  auto it = pending_.find(c.id);
+  if (it == pending_.end() || it->second.commit_reported) return;
+  if (!table_.is_decided_everywhere(c)) return;
+  it->second.commit_reported = true;
+  ctx_.committed(c);
+}
+
+void M2PaxosReplica::decide_slot(ObjectId l, Instance in,
+                                 const core::Command& c) {
+  ObjectState& st = table_.obj(l);
+  Slot& slot = st.slots[in];
+  if (slot.decided) {
+    assert(slot.decided->id == c.id && "two commands decided in one slot");
+    return;
+  }
+  slot.decided = c;
+  ++counters_.decided_slots;
+  dirty_objects_.push_back(l);
+  if (in > st.last_appended + 1) {
+    // Decision gap: an earlier decision for this object was missed (lost
+    // Decide, partition). Anti-entropy will probe a peer for it.
+    stuck_objects_.insert(l);
+    start_sync_timer();
+  }
+}
+
+void M2PaxosReplica::retire_slot(ObjectId l, Instance in) {
+  // Slots at or below the delivery frontier are never read by the protocol
+  // again (position selection starts at last_appended+1 and duplicate
+  // proposals are filtered through delivered_ids_), but they are kept in a
+  // bounded ring so anti-entropy can serve peers that missed the decision.
+  retained_.emplace_back(l, in);
+  while (retained_.size() > cfg_.sync_retention) {
+    const auto [rl, rin] = retained_.front();
+    retained_.pop_front();
+    ObjectState& st = table_.obj(rl);
+    if (rin <= st.last_appended) st.slots.erase(rin);
+  }
+}
+
+void M2PaxosReplica::deliver_command(const core::Command& c) {
+  delivered_ids_.insert(c.id);
+  delivered_fifo_.push_back(c.id);
+  while (delivered_fifo_.size() > cfg_.delivered_id_window) {
+    delivered_ids_.erase(delivered_fifo_.front());
+    delivered_fifo_.pop_front();
+  }
+  if (!c.noop) {
+    if (cfg_.record_delivered) delivered_seq_.push_back(c);
+    ++counters_.delivered;
+  }
+  // Advance the frontier of every object where c sits exactly at the
+  // frontier (on crossing resolution, c may occupy a later slot of some
+  // object; that slot is skipped when the frontier reaches it).
+  for (ObjectId l2 : c.objects) {
+    ObjectState& st2 = table_.obj(l2);
+    auto it2 = st2.slots.find(st2.last_appended + 1);
+    if (it2 != st2.slots.end() && it2->second.decided &&
+        it2->second.decided->id == c.id) {
+      ++st2.last_appended;
+      st2.next_slot = std::max(st2.next_slot, st2.last_appended + 1);
+      retire_slot(l2, st2.last_appended);
+      if (!stuck_objects_.empty()) stuck_objects_.erase(l2);
+      dirty_objects_.push_back(l2);
+    }
+  }
+  auto pit = pending_.find(c.id);
+  if (pit != pending_.end()) {
+    if (!pit->second.commit_reported) ctx_.committed(c);
+    ctx_.cancel_timer(pit->second.watchdog);
+    pending_.erase(pit);
+  }
+  ctx_.deliver(c);
+}
+
+void M2PaxosReplica::schedule_crossing_check() {
+  if (crossing_timer_ != sim::kInvalidEvent || crashed_) return;
+  crossing_timer_ =
+      ctx_.set_timer(cfg_.crossing_check_interval, [this] {
+        crossing_timer_ = sim::kInvalidEvent;
+        if (crashed_ || stuck_objects_.empty()) return;
+        if (delivering_) return;  // re-armed by the active try_deliver
+        delivering_ = true;
+        while (resolve_crossings()) {
+          delivering_ = false;
+          try_deliver();  // drain normal progress unlocked by the cycle
+          delivering_ = true;
+        }
+        delivering_ = false;
+      });
+}
+
+void M2PaxosReplica::try_deliver() {
+  if (delivering_) return;
+  delivering_ = true;
+  for (;;) {
+    while (!dirty_objects_.empty()) {
+      const ObjectId l = dirty_objects_.front();
+      dirty_objects_.pop_front();
+
+      for (;;) {
+        ObjectState& st = table_.obj(l);
+        auto it = st.slots.find(st.last_appended + 1);
+        if (it == st.slots.end() || !it->second.decided) break;
+        const core::Command c = *it->second.decided;
+
+        if (delivered_ids_.count(c.id) > 0) {
+          // Duplicate decision of an already-delivered command (possible
+          // after retransmissions and crossing resolution); skip the slot.
+          ++st.last_appended;
+          st.next_slot = std::max(st.next_slot, st.last_appended + 1);
+          retire_slot(l, st.last_appended);
+          stuck_objects_.erase(l);
+          continue;
+        }
+
+        // Deliverable iff c sits at the frontier of every object it
+        // accesses (Algorithm 3, line 12).
+        bool ready = true;
+        for (ObjectId l2 : c.objects) {
+          const ObjectState& st2 = table_.obj(l2);
+          auto it2 = st2.slots.find(st2.last_appended + 1);
+          if (it2 == st2.slots.end() || !it2->second.decided ||
+              it2->second.decided->id != c.id) {
+            ready = false;
+            break;
+          }
+        }
+        if (!ready) {
+          stuck_objects_.insert(l);
+          start_sync_timer();
+          break;
+        }
+        deliver_command(c);
+      }
+    }
+    // No normal progress possible. Wait cycles (rare, only after partial
+    // forced recovery) are broken by the rate-limited crossing check.
+    if (!stuck_objects_.empty()) schedule_crossing_check();
+    break;
+  }
+  delivering_ = false;
+}
+
+bool M2PaxosReplica::resolve_crossings() {
+  // Candidates: commands at a stuck frontier whose every accessed object
+  // has a decided frontier slot (so all wait-for edges are known locally).
+  struct Candidate {
+    core::Command cmd;
+    std::vector<core::CommandId> waits_on;
+  };
+  std::map<core::CommandId, Candidate> cands;
+  for (const ObjectId l : stuck_objects_) {
+    ObjectState& st = table_.obj(l);
+    auto it = st.slots.find(st.last_appended + 1);
+    if (it == st.slots.end() || !it->second.decided) continue;
+    const core::Command& c = *it->second.decided;
+    if (delivered_ids_.count(c.id) > 0 || cands.count(c.id) > 0) continue;
+
+    Candidate cand;
+    cand.cmd = c;
+    bool complete = true;
+    for (ObjectId l2 : c.objects) {
+      ObjectState& st2 = table_.obj(l2);
+      auto it2 = st2.slots.find(st2.last_appended + 1);
+      if (it2 == st2.slots.end() || !it2->second.decided) {
+        complete = false;  // wait for the missing decision instead
+        break;
+      }
+      if (it2->second.decided->id != c.id)
+        cand.waits_on.push_back(it2->second.decided->id);
+    }
+    if (complete) cands.emplace(c.id, std::move(cand));
+  }
+
+  // Drop candidates waiting on a non-candidate: their progress depends on
+  // future decisions/deliveries, not on cycle breaking.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (auto it = cands.begin(); it != cands.end();) {
+      const bool external =
+          std::any_of(it->second.waits_on.begin(), it->second.waits_on.end(),
+                      [&](core::CommandId w) { return cands.count(w) == 0; });
+      if (external) {
+        it = cands.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (cands.empty()) return false;
+
+  // Every remaining candidate waits only on candidates, so the graph
+  // contains at least one cycle and at least one *sink* SCC (an SCC with
+  // no edges leaving it). Sink SCCs are a deterministic function of the
+  // decided table (a candidate's out-edges are fully known once all its
+  // frontier slots are decided, and decided slots agree across nodes), so
+  // delivering exactly the sink SCCs, each in ascending command-id order,
+  // resolves the crossing identically everywhere. Two conflicting
+  // candidates always end up in one SCC or connected by an edge, so
+  // distinct sink SCCs never conflict and their relative delivery order is
+  // free under Generalized Consensus.
+  std::unordered_map<std::uint64_t, std::uint32_t> index, lowlink;
+  std::unordered_map<std::uint64_t, bool> on_stack;
+  std::vector<core::CommandId> stack;
+  std::vector<std::vector<core::CommandId>> sccs;
+  std::uint32_t next_index = 1;
+
+  std::function<void(core::CommandId)> strongconnect =
+      [&](core::CommandId v) {
+        index[v.value] = lowlink[v.value] = next_index++;
+        stack.push_back(v);
+        on_stack[v.value] = true;
+        for (const core::CommandId w : cands.at(v).waits_on) {
+          if (index.count(w.value) == 0) {
+            strongconnect(w);
+            lowlink[v.value] = std::min(lowlink[v.value], lowlink[w.value]);
+          } else if (on_stack[w.value]) {
+            lowlink[v.value] = std::min(lowlink[v.value], index[w.value]);
+          }
+        }
+        if (lowlink[v.value] == index[v.value]) {
+          std::vector<core::CommandId> scc;
+          for (;;) {
+            const core::CommandId w = stack.back();
+            stack.pop_back();
+            on_stack[w.value] = false;
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          sccs.push_back(std::move(scc));
+        }
+      };
+  for (const auto& [id, cand] : cands)
+    if (index.count(id.value) == 0) strongconnect(id);
+
+  // Assign SCC ids, then find sink SCCs (no out-edge to another SCC).
+  std::unordered_map<std::uint64_t, std::size_t> scc_of;
+  for (std::size_t s = 0; s < sccs.size(); ++s)
+    for (const core::CommandId id : sccs[s]) scc_of[id.value] = s;
+
+  bool delivered_any = false;
+  for (std::size_t s = 0; s < sccs.size(); ++s) {
+    if (sccs[s].size() < 2) continue;  // singletons resolve via normal path
+    bool sink = true;
+    for (const core::CommandId id : sccs[s]) {
+      for (const core::CommandId w : cands.at(id).waits_on) {
+        if (scc_of.at(w.value) != s) {
+          sink = false;
+          break;
+        }
+      }
+      if (!sink) break;
+    }
+    if (!sink) continue;
+    std::vector<core::CommandId> order = sccs[s];
+    std::sort(order.begin(), order.end());
+    for (const core::CommandId id : order) deliver_command(cands.at(id).cmd);
+    delivered_any = true;
+  }
+  return delivered_any;
+}
+
+// ---------------------------------------------------------------------
+// Acquisition phase (Algorithm 4)
+// ---------------------------------------------------------------------
+
+void M2PaxosReplica::start_acquisition(PendingCommand& pc,
+                                       const std::vector<ObjectId>& objects,
+                                       bool force_prepare_all) {
+  // Only acquire what we do not hold: re-preparing an object we own would
+  // bump our own epoch and abort every in-flight fast-path accept on it.
+  // (Repair rounds force the prepare: its vote collection and no-op hole
+  // filling are the whole point there.)
+  std::vector<ObjectId> owned;
+  std::vector<Prepare::Entry> entries;
+  for (ObjectId l : objects) {
+    ObjectState& st = table_.obj(l);
+    if (!force_prepare_all && st.owner == id_ &&
+        st.promised == st.owned_epoch) {
+      owned.push_back(l);
+    } else {
+      entries.push_back(
+          Prepare::Entry{l, table_.first_undecided(l), st.promised + 1});
+    }
+  }
+  if (entries.empty()) {
+    // Everything already owned (a race resolved in our favor).
+    start_fast_accept(pc, objects);
+    return;
+  }
+  ++counters_.acquisitions;
+  const std::uint64_t req = next_req_++;
+  PrepareRound round;
+  round.cmd = pc.cmd;
+  round.entries = entries;
+  round.owned_objects = std::move(owned);
+  prepares_.emplace(req, std::move(round));
+  pc.in_flight = true;
+  ctx_.broadcast(net::make_payload<Prepare>(req, std::move(entries)), true);
+}
+
+void M2PaxosReplica::handle_prepare(NodeId from, const Prepare& msg) {
+  bool ok = true;
+  for (const auto& e : msg.entries) {
+    const ObjectState* st = table_.find(e.object);
+    if (st != nullptr && e.epoch <= st->promised) {
+      ok = false;
+      break;
+    }
+  }
+
+  auto reply = std::make_shared<AckPrepare>();
+  reply->req_id = msg.req_id;
+  reply->acceptor = id_;
+  reply->ack = ok;
+  if (ok) {
+    for (const auto& e : msg.entries) {
+      ObjectState& st = table_.obj(e.object);
+      st.promised = e.epoch;
+      reply->delivered_floors.emplace_back(e.object, st.last_appended);
+      // Report every vote (accepted or decided) at or above the prepared
+      // position — the decs of Algorithm 4, covering the whole suffix.
+      for (auto it = st.slots.lower_bound(e.from_instance);
+           it != st.slots.end(); ++it) {
+        const Slot& slot = it->second;
+        if (slot.decided) {
+          reply->votes.push_back(AckPrepare::Vote{
+              e.object, it->first, slot.accepted_epoch, true, *slot.decided});
+        } else if (slot.accepted) {
+          reply->votes.push_back(AckPrepare::Vote{
+              e.object, it->first, slot.accepted_epoch, false, *slot.accepted});
+        }
+      }
+    }
+  } else {
+    for (const auto& e : msg.entries) {
+      const ObjectState* st = table_.find(e.object);
+      if (st != nullptr && e.epoch <= st->promised)
+        reply->hints.push_back(ViewHint{e.object, st->promised, st->owner});
+    }
+  }
+  ctx_.send(from, std::move(reply));
+}
+
+void M2PaxosReplica::handle_ack_prepare(NodeId /*from*/, const AckPrepare& msg) {
+  auto it = prepares_.find(msg.req_id);
+  if (it == prepares_.end()) return;
+  PrepareRound& round = it->second;
+
+  if (!msg.ack) {
+    ++counters_.prepare_nacks;
+    apply_hints(msg.hints);
+    const core::CommandId cmd = round.cmd.id;
+    prepares_.erase(it);
+    retry_later(cmd);
+    return;
+  }
+
+  if (std::find(round.ackers.begin(), round.ackers.end(), msg.acceptor) !=
+      round.ackers.end())
+    return;  // duplicate delivery
+  round.ackers.push_back(msg.acceptor);
+  round.votes.insert(round.votes.end(), msg.votes.begin(), msg.votes.end());
+  for (const auto& [obj, floor] : msg.delivered_floors) {
+    auto [it2, inserted] = round.floors.try_emplace(obj, floor);
+    if (!inserted && floor > it2->second) it2->second = floor;
+  }
+  if (static_cast<int>(round.ackers.size()) < cfg_.classic_quorum()) return;
+
+  PrepareRound done = std::move(round);
+  prepares_.erase(it);
+  finish_acquisition(std::move(done));
+}
+
+void M2PaxosReplica::finish_acquisition(PrepareRound round) {
+  // SELECT (Algorithm 4): per slot keep the vote with the highest accepted
+  // epoch; a decided vote always wins.
+  std::map<std::pair<ObjectId, Instance>, const AckPrepare::Vote*> best;
+  for (const auto& v : round.votes) {
+    auto key = std::make_pair(v.object, v.instance);
+    auto [bit, inserted] = best.try_emplace(key, &v);
+    if (!inserted) {
+      const AckPrepare::Vote* cur = bit->second;
+      if ((v.decided && !cur->decided) ||
+          (v.decided == cur->decided && v.accepted_epoch > cur->accepted_epoch))
+        bit->second = &v;
+    }
+  }
+
+  std::vector<SlotValue> slots;
+  for (const auto& e : round.entries) {
+    ObjectState& st = table_.obj(e.object);
+    st.promised = std::max(st.promised, e.epoch);
+    st.owner = id_;
+    st.owned_epoch = e.epoch;
+
+    // Instances at or below the quorum's delivered floor are decided with
+    // values that may be garbage-collected everywhere we can see; never
+    // write there (any decided instance above the floor is covered by a
+    // surviving vote, by quorum intersection). Anti-entropy fetches the
+    // values if this node still needs them for delivery.
+    const auto fit = round.floors.find(e.object);
+    const Instance floor = fit == round.floors.end() ? 0 : fit->second;
+    const Instance from = std::max(e.from_instance, floor + 1);
+
+    // Highest voted instance for this object.
+    Instance max_voted = from - 1;
+    for (const auto& v : round.votes)
+      if (v.object == e.object) max_voted = std::max(max_voted, v.instance);
+
+    // Re-accept every vote in [from, max_voted]; fill holes with no-ops so
+    // delivery frontiers cannot stall behind lost accepts.
+    bool cmd_placed = false;
+    for (Instance in = from; in <= max_voted; ++in) {
+      auto bit = best.find({e.object, in});
+      if (bit != best.end()) {
+        slots.push_back(SlotValue{e.object, in, e.epoch, bit->second->cmd});
+        if (bit->second->cmd.id == round.cmd.id) cmd_placed = true;
+      } else {
+        slots.push_back(SlotValue{e.object, in, e.epoch, make_noop(e.object)});
+        ++counters_.noops_filled;
+      }
+    }
+    if (cmd_placed) {
+      // The command already occupies a forced slot; the next free position
+      // is max_voted+1 (assigning max_voted+2 would leave a permanent hole
+      // that stalls the delivery frontier).
+      st.next_slot = max_voted + 1;
+    } else {
+      slots.push_back(SlotValue{e.object, max_voted + 1, e.epoch, round.cmd});
+      st.next_slot = max_voted + 2;
+    }
+  }
+
+  // Objects we already owned ride along at their existing epoch; any that
+  // were stolen while the prepare was in flight are simply left out — the
+  // command stays undecided there and coordination re-runs for them.
+  for (ObjectId l : round.owned_objects) {
+    ObjectState& st = table_.obj(l);
+    if (st.owner != id_ || st.promised != st.owned_epoch) continue;
+    if (table_.is_decided_on(round.cmd, l)) continue;
+    const Instance in = std::max(st.next_slot, st.last_appended + 1);
+    st.next_slot = in + 1;
+    slots.push_back(SlotValue{l, in, st.owned_epoch, round.cmd});
+  }
+
+  send_accept(round.cmd.id, std::move(slots));
+}
+
+// ---------------------------------------------------------------------
+// Plumbing
+// ---------------------------------------------------------------------
+
+void M2PaxosReplica::handle_propose(const Propose& msg) { propose(msg.cmd); }
+
+void M2PaxosReplica::retry_later(core::CommandId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  PendingCommand& pc = it->second;
+  pc.in_flight = false;
+  ++pc.attempts;
+  ++counters_.retries;
+
+  const int shift = std::min(pc.attempts, 6);
+  const sim::Time base = std::min(cfg_.retry_backoff_max,
+                                  cfg_.retry_backoff_min << shift);
+  const sim::Time delay =
+      base / 2 + static_cast<sim::Time>(ctx_.rng().uniform(
+                     static_cast<std::uint64_t>(base)));
+  ctx_.cancel_timer(pc.watchdog);
+  pc.watchdog = ctx_.set_timer(delay, [this, id] { coordinate(id); });
+}
+
+void M2PaxosReplica::apply_hints(const std::vector<ViewHint>& hints) {
+  for (const auto& h : hints) {
+    ObjectState& st = table_.obj(h.object);
+    if (h.epoch > st.promised) {
+      st.promised = h.epoch;
+      if (h.owner != kNoNode) st.owner = h.owner;
+    }
+  }
+}
+
+core::Command M2PaxosReplica::make_noop(ObjectId l) {
+  // Noop ids live in a reserved per-node sequence range above 2^40 so they
+  // can never collide with client command ids.
+  core::Command noop(core::CommandId::make(id_, (1ULL << 40) + noop_seq_++),
+                     {l}, 0);
+  noop.noop = true;
+  return noop;
+}
+
+void M2PaxosReplica::on_message(NodeId from, const net::Payload& payload) {
+  if (crashed_) return;
+  switch (payload.kind()) {
+    case net::kKindM2Paxos + 1:
+      handle_propose(static_cast<const Propose&>(payload));
+      break;
+    case net::kKindM2Paxos + 2:
+      handle_accept(from, static_cast<const Accept&>(payload));
+      break;
+    case net::kKindM2Paxos + 3:
+      handle_ack_accept(from, static_cast<const AckAccept&>(payload));
+      break;
+    case net::kKindM2Paxos + 4:
+      handle_decide(static_cast<const Decide&>(payload));
+      break;
+    case net::kKindM2Paxos + 5:
+      handle_prepare(from, static_cast<const Prepare&>(payload));
+      break;
+    case net::kKindM2Paxos + 6:
+      handle_ack_prepare(from, static_cast<const AckPrepare&>(payload));
+      break;
+    case net::kKindM2Paxos + 7:
+      handle_sync_request(from, static_cast<const SyncRequest&>(payload));
+      break;
+    case net::kKindM2Paxos + 8:
+      handle_sync_reply(static_cast<const SyncReply&>(payload));
+      break;
+    default:
+      break;  // not ours (e.g. heartbeats)
+  }
+}
+
+}  // namespace m2::m2p

@@ -1,0 +1,204 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/command.hpp"
+#include "core/config.hpp"
+#include "core/replica.hpp"
+#include "m2paxos/messages.hpp"
+#include "m2paxos/ownership.hpp"
+
+namespace m2::m2p {
+
+/// Per-replica protocol statistics, used by tests and the ablation benches.
+struct M2Counters {
+  std::uint64_t fast_path_rounds = 0;   // accept started while owning all
+  std::uint64_t forwarded = 0;          // commands forwarded to a remote owner
+  std::uint64_t acquisitions = 0;       // Prepare rounds started
+  std::uint64_t accept_nacks = 0;       // accept rounds aborted by a NACK
+  std::uint64_t prepare_nacks = 0;      // prepare rounds aborted by a NACK
+  std::uint64_t retries = 0;            // re-coordinations after failure
+  std::uint64_t timeouts = 0;           // watchdog re-coordinations
+  std::uint64_t noops_filled = 0;       // recovery holes filled with no-ops
+  std::uint64_t decided_slots = 0;
+  std::uint64_t delivered = 0;          // non-noop commands appended locally
+  std::uint64_t sync_probes = 0;        // anti-entropy requests sent
+  std::uint64_t sync_slots_learned = 0; // decisions learned via sync
+  std::uint64_t fallbacks = 0;          // routed via the conflict leader
+};
+
+/// M²Paxos replica: Generalized Consensus via per-object Multi-Paxos
+/// incarnations and object ownership (Algorithms 1-4 of the paper).
+///
+/// Three paths for a proposed command c:
+///  - fast (2 delays): this node owns all of c.LS → Accept/AckAccept with a
+///    classic quorum;
+///  - forward (3 delays): another single node owns all of c.LS → Propose
+///    is sent there;
+///  - acquisition (>= 4 delays): Prepare with bumped epochs per object,
+///    forced re-proposals of pending commands, no-op hole filling, then
+///    Accept.
+///
+/// Deviations from the paper's pseudocode (full list with rationale and
+/// the test pinning each one: DESIGN.md §5a):
+///  - AckAccept goes to the proposer only, which then broadcasts Decide
+///    (standard learning optimization; pseudocode broadcasts every ack);
+///  - an ownership epoch covers the whole per-object instance suffix, and
+///    owners keep a next-slot cursor, so a stable owner pipelines commands
+///    (this is exactly "one incarnation of Multi-Paxos per object");
+///  - recovery fills undecided holes below forced votes with no-op
+///    commands, as EPaxos does, so delivery frontiers cannot stall;
+///  - fast-path retries retransmit the same slots; cross-object wait
+///    cycles left by partial forced recovery are broken deterministically
+///    (sink SCCs in command-id order);
+///  - mixed-owner commands forward to the plurality owner, which acquires
+///    only what it lacks; repeated losers route through the conflict
+///    leader (§IV-C); promises carry delivered floors so retention GC of
+///    old slots stays safe; anti-entropy syncs missed decisions.
+class M2PaxosReplica final : public core::Replica {
+ public:
+  M2PaxosReplica(NodeId id, const core::ClusterConfig& cfg, core::Context& ctx);
+
+  void propose(const core::Command& c) override;
+  void on_message(NodeId from, const net::Payload& payload) override;
+  core::RxCost rx_cost(const net::Payload& payload) const override;
+  void on_crash() override;
+  void on_recover() override;
+
+  /// Pre-assigns ownership of `l` to `owner` on this replica (must be
+  /// called identically on all replicas before any proposal). Models a
+  /// cluster whose ownership map is already stable, which is the paper's
+  /// steady-state evaluation setting.
+  void preassign_owner(ObjectId l, NodeId owner);
+
+  /// Installs a partition map applied lazily to objects first seen later;
+  /// see OwnershipTable::set_default_owner.
+  void set_default_owner(std::function<NodeId(ObjectId)> fn) {
+    table_.set_default_owner(std::move(fn));
+  }
+
+  const M2Counters& counters() const { return counters_; }
+  const OwnershipTable& table() const { return table_; }
+  /// Introspection for tests and diagnostics.
+  std::size_t pending_count() const { return pending_.size(); }
+  std::vector<core::CommandId> pending_ids() const {
+    std::vector<core::CommandId> out;
+    for (const auto& [id, pc] : pending_) out.push_back(id);
+    return out;
+  }
+  std::vector<ObjectId> stuck_objects() const {
+    return {stuck_objects_.begin(), stuck_objects_.end()};
+  }
+  /// Commands (non-noop) appended locally, in order — the local C-struct.
+  const std::vector<core::Command>& delivered_sequence() const {
+    return delivered_seq_;
+  }
+
+ private:
+  struct PendingCommand {
+    core::Command cmd;
+    int attempts = 0;
+    bool in_flight = false;  // an Accept or Prepare round is outstanding
+    bool commit_reported = false;
+    sim::EventId watchdog = sim::kInvalidEvent;
+    /// Slots assigned by a previous fast accept; reused on retry so a lost
+    /// round is retransmitted instead of leaving a hole at the old slot.
+    std::vector<SlotValue> assigned_slots;
+  };
+  struct AcceptRound {
+    std::vector<SlotValue> slots;
+    core::CommandId for_cmd;
+    std::vector<NodeId> ackers;  // deduplicated (the network may duplicate)
+    bool done = false;
+  };
+  struct PrepareRound {
+    core::Command cmd;
+    std::vector<Prepare::Entry> entries;
+    /// Max delivered frontier per object reported by the promise quorum;
+    /// slots at or below it are decided and must not be written.
+    std::unordered_map<ObjectId, Instance> floors;
+    /// Objects of cmd the proposer already owned when the round started;
+    /// they are not re-prepared (bumping our own epoch would NACK all of
+    /// our in-flight fast-path accepts) — the final Accept carries their
+    /// slots at the existing owned epoch.
+    std::vector<ObjectId> owned_objects;
+    std::vector<NodeId> ackers;  // deduplicated
+    std::vector<AckPrepare::Vote> votes;
+  };
+
+  // --- Coordination phase (Algorithm 1) -----------------------------
+  void coordinate(core::CommandId id);
+  void start_fast_accept(PendingCommand& pc,
+                         const std::vector<ObjectId>& objects);
+  // --- Accept phase (Algorithm 2) ------------------------------------
+  void send_accept(core::CommandId for_cmd, std::vector<SlotValue> slots);
+  void handle_accept(NodeId from, const Accept& msg);
+  void handle_ack_accept(NodeId from, const AckAccept& msg);
+  // --- Decision phase (Algorithm 3) -----------------------------------
+  void handle_decide(const Decide& msg);
+  void decide_slot(ObjectId l, Instance in, const core::Command& c);
+  void maybe_report_commit(const core::Command& c);
+  void try_deliver();
+  void deliver_command(const core::Command& c);
+  /// Arms the one-shot crossing-resolution timer (rate limiting: the
+  /// wait-cycle search is O(waiting frontiers) and must not run per
+  /// message; running it late only delays delivery, never changes it).
+  void schedule_crossing_check();
+  /// Breaks cross-order waits (command c before d on one object, after it
+  /// on another — possible when recovery forces a command on a subset of
+  /// its objects) by delivering wait-for cycles in deterministic id order.
+  /// Returns true if any command was delivered.
+  bool resolve_crossings();
+  // --- Acquisition phase (Algorithm 4) ---------------------------------
+  /// `force_prepare_all` makes even currently-owned objects go through the
+  /// prepare (used by delivery repair, where the point of the round is to
+  /// surface lost votes and fill holes, not to gain ownership).
+  void start_acquisition(PendingCommand& pc,
+                         const std::vector<ObjectId>& objects,
+                         bool force_prepare_all = false);
+  void handle_prepare(NodeId from, const Prepare& msg);
+  void handle_ack_prepare(NodeId from, const AckPrepare& msg);
+  void finish_acquisition(PrepareRound round);
+  // --- anti-entropy (extension, DESIGN.md §5a) -----------------------
+  void start_sync_timer();
+  void sync_tick();
+  void handle_sync_request(NodeId from, const SyncRequest& msg);
+  void handle_sync_reply(const SyncReply& msg);
+
+  // --- plumbing ---------------------------------------------------------
+  void handle_propose(const Propose& msg);
+  void retry_later(core::CommandId id);
+  void arm_watchdog(PendingCommand& pc);
+  void apply_hints(const std::vector<ViewHint>& hints);
+  core::Command make_noop(ObjectId l);
+  std::vector<ObjectId> undecided_objects(const core::Command& c) const;
+  /// Moves a delivered slot into the bounded retention ring; the oldest
+  /// retained slot is erased from the table when the ring overflows.
+  void retire_slot(ObjectId l, Instance in);
+
+  OwnershipTable table_;
+  std::unordered_map<core::CommandId, PendingCommand> pending_;
+  std::unordered_map<std::uint64_t, AcceptRound> accepts_;
+  std::unordered_map<std::uint64_t, PrepareRound> prepares_;
+  std::unordered_set<core::CommandId> delivered_ids_;
+  std::deque<core::CommandId> delivered_fifo_;  // eviction order for the set
+  std::vector<core::Command> delivered_seq_;    // only if cfg.record_delivered
+  std::deque<ObjectId> dirty_objects_;
+  std::deque<std::pair<ObjectId, Instance>> retained_;  // delivered slots
+  /// Objects whose frontier slot is decided but whose command is waiting on
+  /// other objects — the candidates for crossing resolution.
+  std::unordered_set<ObjectId> stuck_objects_;
+  bool delivering_ = false;  // reentrancy guard for try_deliver
+  std::uint64_t next_req_ = 1;
+  std::uint64_t noop_seq_ = 0;
+  sim::EventId sync_timer_ = sim::kInvalidEvent;
+  sim::EventId crossing_timer_ = sim::kInvalidEvent;
+  bool crashed_ = false;
+  M2Counters counters_;
+};
+
+}  // namespace m2::m2p

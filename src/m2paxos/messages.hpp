@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/command.hpp"
+#include "net/payload.hpp"
+
+namespace m2::m2p {
+
+using core::Command;
+using core::Epoch;
+using core::Instance;
+using core::ObjectId;
+
+/// One (object, position) cell targeted by an Accept/Decide, together with
+/// the epoch it is proposed in and the command to place there.
+struct SlotValue {
+  ObjectId object = 0;
+  Instance instance = 0;
+  Epoch epoch = 0;
+  Command cmd;
+
+  static constexpr std::size_t kHeaderBytes = 24;  // object+instance+epoch
+};
+
+/// Forwarding of a command to the node owning all its objects (§IV-B).
+struct Propose final : net::Payload {
+  explicit Propose(Command c) : cmd(std::move(c)) {}
+  Command cmd;
+
+  std::uint32_t kind() const override { return net::kKindM2Paxos + 1; }
+  std::size_t wire_size() const override { return cmd.wire_size(); }
+  const char* name() const override { return "M2.Propose"; }
+};
+
+/// Phase-2a over a set of slots. `req_id` correlates replies with the
+/// outstanding accept round at the proposer.
+struct Accept final : net::Payload {
+  Accept(std::uint64_t rid, std::vector<SlotValue> s)
+      : req_id(rid), slots(std::move(s)) {}
+  std::uint64_t req_id;
+  std::vector<SlotValue> slots;
+
+  std::uint32_t kind() const override { return net::kKindM2Paxos + 2; }
+  std::size_t wire_size() const override;  // cached; payloads are immutable
+  const char* name() const override { return "M2.Accept"; }
+
+ private:
+  mutable std::size_t cached_size_ = SIZE_MAX;
+};
+
+/// Per-object view hint piggybacked on NACKs so a stale proposer converges
+/// to the current epoch/owner without waiting for the next Accept.
+struct ViewHint {
+  ObjectId object = 0;
+  Epoch epoch = 0;
+  NodeId owner = kNoNode;
+};
+
+/// Phase-2b reply. ACKs go to the proposer only (learning optimization over
+/// the pseudocode's ack-to-all; the proposer then broadcasts Decide).
+struct AckAccept final : net::Payload {
+  std::uint64_t req_id = 0;
+  NodeId acceptor = kNoNode;
+  bool ack = false;
+  std::vector<ViewHint> hints;  // populated on NACK
+
+  std::uint32_t kind() const override { return net::kKindM2Paxos + 3; }
+  std::size_t wire_size() const override { return 8 + 4 + 1 + 24 * hints.size(); }
+  const char* name() const override { return "M2.AckAccept"; }
+};
+
+/// Learn message: the decided command per slot, broadcast by the proposer
+/// once a classic quorum of ACKs arrived.
+struct Decide final : net::Payload {
+  explicit Decide(std::vector<SlotValue> s) : slots(std::move(s)) {}
+  std::vector<SlotValue> slots;
+
+  std::uint32_t kind() const override { return net::kKindM2Paxos + 4; }
+  std::size_t wire_size() const override;  // cached; payloads are immutable
+  const char* name() const override { return "M2.Decide"; }
+
+ private:
+  mutable std::size_t cached_size_ = SIZE_MAX;
+};
+
+/// Phase-1a of the ownership acquisition (§IV-C): for each object, claim
+/// every instance >= `from_instance` at `epoch` (suffix-covering promise,
+/// exactly a Multi-Paxos prepare per object incarnation).
+struct Prepare final : net::Payload {
+  struct Entry {
+    ObjectId object = 0;
+    Instance from_instance = 1;
+    Epoch epoch = 0;
+  };
+  Prepare(std::uint64_t rid, std::vector<Entry> e)
+      : req_id(rid), entries(std::move(e)) {}
+  std::uint64_t req_id;
+  std::vector<Entry> entries;
+
+  std::uint32_t kind() const override { return net::kKindM2Paxos + 5; }
+  std::size_t wire_size() const override { return 8 + 24 * entries.size(); }
+  const char* name() const override { return "M2.Prepare"; }
+};
+
+/// Phase-1b reply: for every covered instance the acceptor has voted in (or
+/// knows decided), the vote and its epoch — the `decs` of Algorithm 4.
+struct AckPrepare final : net::Payload {
+  struct Vote {
+    ObjectId object = 0;
+    Instance instance = 0;
+    Epoch accepted_epoch = 0;
+    bool decided = false;
+    Command cmd;
+  };
+  std::uint64_t req_id = 0;
+  NodeId acceptor = kNoNode;
+  bool ack = false;
+  std::vector<Vote> votes;
+  /// Per prepared object, this acceptor's delivered frontier. Instances at
+  /// or below a frontier are decided (and may have been garbage-collected
+  /// here), so the acquirer must never place values there — without this,
+  /// a lagging acquirer could no-op-fill a slot whose decided command was
+  /// already evicted from every retention window it can see.
+  std::vector<std::pair<ObjectId, Instance>> delivered_floors;
+  std::vector<ViewHint> hints;  // populated on NACK
+
+  std::uint32_t kind() const override { return net::kKindM2Paxos + 6; }
+  std::size_t wire_size() const override;
+  const char* name() const override { return "M2.AckPrepare"; }
+};
+
+/// Anti-entropy: ask a peer for decided slots this node is missing
+/// (extension beyond the paper; see DESIGN.md §5a). Sent when a delivery
+/// frontier has been stuck on an undecided slot for a sync period.
+struct SyncRequest final : net::Payload {
+  struct Entry {
+    ObjectId object = 0;
+    Instance from_instance = 1;
+  };
+  explicit SyncRequest(std::vector<Entry> e) : entries(std::move(e)) {}
+  std::vector<Entry> entries;
+
+  std::uint32_t kind() const override { return net::kKindM2Paxos + 7; }
+  std::size_t wire_size() const override { return 16 * entries.size(); }
+  const char* name() const override { return "M2.SyncRequest"; }
+};
+
+/// Reply: the peer's retained decided slots at or above the requested
+/// positions (served from its retention window).
+struct SyncReply final : net::Payload {
+  explicit SyncReply(std::vector<SlotValue> s) : slots(std::move(s)) {}
+  std::vector<SlotValue> slots;
+
+  std::uint32_t kind() const override { return net::kKindM2Paxos + 8; }
+  std::size_t wire_size() const override {
+    std::size_t bytes = 0;
+    for (const auto& s : slots)
+      bytes += SlotValue::kHeaderBytes + s.cmd.wire_size();
+    return bytes;
+  }
+  const char* name() const override { return "M2.SyncReply"; }
+};
+
+}  // namespace m2::m2p

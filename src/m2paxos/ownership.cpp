@@ -1,0 +1,98 @@
+#include "m2paxos/ownership.hpp"
+
+namespace m2::m2p {
+
+ObjectState& OwnershipTable::obj(ObjectId l) {
+  auto [it, inserted] = objects_.try_emplace(l);
+  if (inserted && default_owner_) it->second.owner = default_owner_(l);
+  return it->second;
+}
+
+const ObjectState* OwnershipTable::find(ObjectId l) const {
+  auto it = objects_.find(l);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+bool OwnershipTable::owns_all(NodeId self, const Command& c) {
+  for (ObjectId l : c.objects) {
+    const ObjectState& st = obj(l);
+    if (st.owner != self) return false;
+    if (st.promised != st.owned_epoch) return false;  // ownership stolen
+  }
+  return true;
+}
+
+NodeId OwnershipTable::unique_owner(const Command& c) {
+  NodeId owner = kNoNode;
+  for (ObjectId l : c.objects) {
+    const ObjectState& st = obj(l);
+    if (st.owner == kNoNode) return kNoNode;
+    if (owner == kNoNode) {
+      owner = st.owner;
+    } else if (owner != st.owner) {
+      return kNoNode;
+    }
+  }
+  return owner;
+}
+
+NodeId OwnershipTable::plurality_owner(const Command& c) {
+  // Object lists are tiny (usually < 16); a flat count is cheapest.
+  std::vector<std::pair<NodeId, int>> counts;
+  for (ObjectId l : c.objects) {
+    const NodeId owner = obj(l).owner;
+    if (owner == kNoNode) continue;
+    bool found = false;
+    for (auto& [node, count] : counts) {
+      if (node == owner) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.emplace_back(owner, 1);
+  }
+  NodeId best = kNoNode;
+  int best_count = 0;
+  for (const auto& [node, count] : counts) {
+    if (count > best_count || (count == best_count && node < best)) {
+      best = node;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+bool OwnershipTable::is_decided_on(const Command& c, ObjectId l) const {
+  const ObjectState* st = find(l);
+  if (st == nullptr) return false;
+  for (const auto& [in, slot] : st->slots)
+    if (slot.decided && slot.decided->id == c.id) return true;
+  return false;
+}
+
+bool OwnershipTable::is_decided_everywhere(const Command& c) const {
+  for (ObjectId l : c.objects)
+    if (!is_decided_on(c, l)) return false;
+  return true;
+}
+
+bool OwnershipTable::set_decided(ObjectId l, Instance in, const Command& c) {
+  Slot& slot = objects_[l].slots[in];
+  if (slot.decided) return false;
+  slot.decided = c;
+  return true;
+}
+
+Instance OwnershipTable::first_undecided(ObjectId l) const {
+  const ObjectState* st = find(l);
+  if (st == nullptr) return 1;
+  Instance in = st->last_appended + 1;
+  for (auto it = st->slots.find(in); it != st->slots.end() && it->first == in;
+       ++it, ++in) {
+    if (!it->second.decided) return in;
+  }
+  return in;
+}
+
+}  // namespace m2::m2p

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "core/command.hpp"
+#include "net/payload.hpp"
+
+namespace m2::m2p {
+
+using core::Command;
+using core::Epoch;
+using core::Instance;
+using core::ObjectId;
+
+/// Acceptor/learner state of one consensus instance ⟨l, in⟩:
+/// Rdec/Vdec of the paper plus the learned decision.
+struct Slot {
+  Epoch accepted_epoch = 0;          // Rdec[l][in]
+  std::optional<Command> accepted;   // Vdec[l][in]
+  std::optional<Command> decided;    // Decided[l][in]
+};
+
+/// Full per-object state: one Multi-Paxos incarnation.
+struct ObjectState {
+  /// Highest epoch this node promised/observed for the object. A promise
+  /// covers the whole instance suffix from `promised_from` (Multi-Paxos
+  /// style), which is what makes pipelined fast-path accepts safe.
+  Epoch promised = 0;
+  Instance promised_from = 1;
+
+  /// Current owner as known locally (the paper's Owners[l]); kNoNode until
+  /// the first accept/decide is observed.
+  NodeId owner = kNoNode;
+
+  /// Epoch at which this node acquired ownership; only meaningful when
+  /// owner == self. Ownership is valid only while promised == owned_epoch:
+  /// a higher promise means another node ran a Prepare and this node must
+  /// not issue further accepts at that epoch (it never prepared it).
+  Epoch owned_epoch = 0;
+
+  /// Owner-side cursor: next instance this node would assign, valid while
+  /// this node is the owner. Reset on ownership acquisition.
+  Instance next_slot = 1;
+
+  /// Delivery frontier: highest instance whose command was appended to the
+  /// local C-struct (the paper's LastDecided[l]).
+  Instance last_appended = 0;
+
+  std::map<Instance, Slot> slots;
+};
+
+/// Ownership/acceptor table of one M²Paxos node: the state of every object
+/// this node has heard about, with the operations the four phases need.
+class OwnershipTable {
+ public:
+  /// Installs the static partition map consulted when an object is first
+  /// seen: new ObjectState entries start owned by `fn(l)` at epoch 0. Must
+  /// be installed identically on every node (it models an agreed initial
+  /// ownership assignment, the paper's steady-state setting).
+  void set_default_owner(std::function<NodeId(ObjectId)> fn) {
+    default_owner_ = std::move(fn);
+  }
+
+  /// State of object `l`, created (with the default owner) if unseen.
+  ObjectState& obj(ObjectId l);
+  const ObjectState* find(ObjectId l) const;
+
+  /// IsOwner(self, c.LS): true iff this node owns every object of `c` and
+  /// each ownership is still current (promised epoch unchanged since it was
+  /// acquired — see ObjectState::owned_epoch).
+  bool owns_all(NodeId self, const Command& c);
+
+  /// GetOwners(c.LS): the unique owner of all objects of `c`, or kNoNode if
+  /// owners differ / any is unknown.
+  NodeId unique_owner(const Command& c);
+
+  /// The owner holding the most objects of `c` (kNoNode when no object has
+  /// a known owner). Forwarding to the plurality owner lets it acquire
+  /// only the few objects it lacks, instead of a minority holder stealing
+  /// a hot object (e.g. a TPC-C warehouse) from its home node.
+  NodeId plurality_owner(const Command& c);
+
+  /// True iff `c` is decided at some instance of object `l`.
+  bool is_decided_on(const Command& c, ObjectId l) const;
+
+  /// True iff `c` is decided on all objects it accesses.
+  bool is_decided_everywhere(const Command& c) const;
+
+  /// Records a decision; returns true if the slot's decision was new.
+  bool set_decided(ObjectId l, Instance in, const Command& c);
+
+  /// First instance of `l` with no decided command, starting the scan at
+  /// the delivery frontier (instances <= last_appended are all decided).
+  Instance first_undecided(ObjectId l) const;
+
+  std::size_t n_objects_known() const { return objects_.size(); }
+
+ private:
+  std::unordered_map<ObjectId, ObjectState> objects_;
+  std::function<NodeId(ObjectId)> default_owner_;
+};
+
+}  // namespace m2::m2p

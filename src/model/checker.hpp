@@ -1,0 +1,93 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace m2::model {
+
+/// Result of an explicit-state exploration.
+struct CheckResult {
+  bool ok = true;
+  bool complete = false;  // whole state space explored (no cap hit)
+  std::uint64_t states_explored = 0;
+  std::uint64_t transitions = 0;
+  int max_depth = 0;
+  std::string violation;           // first invariant violation found
+  std::vector<std::uint64_t> trace;  // path from init to the violation
+};
+
+/// Generic explicit-state breadth-first model checker over models whose
+/// states pack into 64 bits — the C++ analogue of the TLC runs in the
+/// paper's appendix.
+///
+/// Model requirements:
+///   std::uint64_t initial() const;
+///   void successors(std::uint64_t s, std::vector<std::uint64_t>& out) const;
+///   std::optional<std::string> invariant_violation(std::uint64_t s) const;
+///   bool prune(std::uint64_t s) const;   // state constraint: don't expand
+///
+/// Pruned states are still invariant-checked but not expanded — the same
+/// role the appendix's TLC state constraints play.
+/// BFS guarantees the returned violation trace is shortest.
+template <typename Model>
+CheckResult check(const Model& model, std::uint64_t max_states = 50'000'000) {
+  CheckResult result;
+  // parent map doubles as the visited set; kNoParent marks the root.
+  constexpr std::uint64_t kNoParent = ~0ULL;
+  std::unordered_map<std::uint64_t, std::uint64_t> parent;
+  std::deque<std::pair<std::uint64_t, int>> frontier;
+
+  auto fail = [&](std::uint64_t state, std::string why) {
+    result.ok = false;
+    result.violation = std::move(why);
+    for (std::uint64_t s = state;;) {
+      result.trace.push_back(s);
+      const std::uint64_t p = parent.at(s);
+      if (p == kNoParent) break;
+      s = p;
+    }
+    std::reverse(result.trace.begin(), result.trace.end());
+  };
+
+  const std::uint64_t init = model.initial();
+  parent.emplace(init, kNoParent);
+  frontier.emplace_back(init, 0);
+  if (auto why = model.invariant_violation(init)) {
+    fail(init, *why);
+    return result;
+  }
+
+  std::vector<std::uint64_t> next;
+  while (!frontier.empty()) {
+    const auto [state, depth] = frontier.front();
+    frontier.pop_front();
+    ++result.states_explored;
+    result.max_depth = std::max(result.max_depth, depth);
+    if (result.states_explored >= max_states) {
+      result.complete = false;
+      return result;  // cap hit: ok so far but exploration incomplete
+    }
+
+    next.clear();
+    model.successors(state, next);
+    for (const std::uint64_t s : next) {
+      ++result.transitions;
+      auto [it, inserted] = parent.emplace(s, state);
+      if (!inserted) continue;
+      if (auto why = model.invariant_violation(s)) {
+        fail(s, *why);
+        return result;
+      }
+      if (!model.prune(s)) frontier.emplace_back(s, depth + 1);
+    }
+  }
+  result.complete = true;
+  return result;
+}
+
+}  // namespace m2::model

@@ -1,0 +1,361 @@
+#include "model/gfpaxos_model.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace m2::model {
+
+namespace {
+int bits_for(int n_values) {
+  int bits = 0;
+  while ((1 << bits) < n_values) ++bits;
+  return bits;
+}
+}  // namespace
+
+GfPaxosModel::GfPaxosModel(GfConfig cfg) : cfg_(std::move(cfg)) {
+  vote_cells_ = cfg_.n_objects * cfg_.n_acceptors * cfg_.n_instances *
+                cfg_.n_ballots;
+  ballot_offset_ = vote_cells_ * vote_bits_per_cell();
+  proposed_offset_ = ballot_offset_ + cfg_.n_objects * cfg_.n_acceptors *
+                                          ballot_bits_per_cell();
+  const int total_bits = proposed_offset_ + n_commands();
+  assert(total_bits <= 64 && "model too large for 64-bit packing");
+  (void)total_bits;
+  enumerate_quorums();
+}
+
+void GfPaxosModel::enumerate_quorums() {
+  // All subsets of acceptors of exactly `quorum` size.
+  const int n = cfg_.n_acceptors;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    if (__builtin_popcount(static_cast<unsigned>(mask)) != cfg_.quorum)
+      continue;
+    std::vector<int> q;
+    for (int a = 0; a < n; ++a)
+      if (mask & (1 << a)) q.push_back(a);
+    quorums_.push_back(std::move(q));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Bit packing
+// ---------------------------------------------------------------------
+
+int GfPaxosModel::vote_bits_per_cell() const {
+  return bits_for(n_commands() + 1);  // 0 = none
+}
+int GfPaxosModel::ballot_bits_per_cell() const {
+  return bits_for(cfg_.n_ballots + 1);  // 0 = unset (-1), else b+1
+}
+
+std::uint64_t GfPaxosModel::get_vote(std::uint64_t s, int o, int a, int i,
+                                     int b) const {
+  const int cell =
+      ((o * cfg_.n_acceptors + a) * cfg_.n_instances + i) * cfg_.n_ballots + b;
+  const int bits = vote_bits_per_cell();
+  return (s >> (cell * bits)) & ((1ULL << bits) - 1);
+}
+
+std::uint64_t GfPaxosModel::set_vote(std::uint64_t s, int o, int a, int i,
+                                     int b, int cmd) const {
+  const int cell =
+      ((o * cfg_.n_acceptors + a) * cfg_.n_instances + i) * cfg_.n_ballots + b;
+  const int bits = vote_bits_per_cell();
+  const std::uint64_t mask = ((1ULL << bits) - 1) << (cell * bits);
+  return (s & ~mask) |
+         (static_cast<std::uint64_t>(cmd) << (cell * bits));
+}
+
+int GfPaxosModel::get_ballot(std::uint64_t s, int o, int a) const {
+  const int cell = o * cfg_.n_acceptors + a;
+  const int bits = ballot_bits_per_cell();
+  const auto raw =
+      (s >> (ballot_offset_ + cell * bits)) & ((1ULL << bits) - 1);
+  return static_cast<int>(raw) - 1;
+}
+
+std::uint64_t GfPaxosModel::set_ballot(std::uint64_t s, int o, int a,
+                                       int b) const {
+  const int cell = o * cfg_.n_acceptors + a;
+  const int bits = ballot_bits_per_cell();
+  const std::uint64_t mask = ((1ULL << bits) - 1)
+                             << (ballot_offset_ + cell * bits);
+  return (s & ~mask) | (static_cast<std::uint64_t>(b + 1)
+                        << (ballot_offset_ + cell * bits));
+}
+
+bool GfPaxosModel::proposed(std::uint64_t s, int c) const {
+  return (s >> (proposed_offset_ + c)) & 1;
+}
+std::uint64_t GfPaxosModel::set_proposed(std::uint64_t s, int c) const {
+  return s | (1ULL << (proposed_offset_ + c));
+}
+
+// ---------------------------------------------------------------------
+// Spec operators
+// ---------------------------------------------------------------------
+
+int GfPaxosModel::chosen(std::uint64_t s, int o, int i) const {
+  for (int b = 0; b < cfg_.n_ballots; ++b) {
+    for (const auto& q : quorums_) {
+      const int v = static_cast<int>(get_vote(s, o, q[0], i, b));
+      if (v == 0) continue;
+      bool all = true;
+      for (std::size_t k = 1; k < q.size(); ++k) {
+        if (static_cast<int>(get_vote(s, o, q[k], i, b)) != v) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return v;
+    }
+  }
+  return 0;
+}
+
+bool GfPaxosModel::two_chosen(std::uint64_t s, int o, int i) const {
+  int first = 0;
+  for (int b = 0; b < cfg_.n_ballots; ++b) {
+    for (const auto& q : quorums_) {
+      const int v = static_cast<int>(get_vote(s, o, q[0], i, b));
+      if (v == 0) continue;
+      bool all = true;
+      for (std::size_t k = 1; k < q.size(); ++k) {
+        if (static_cast<int>(get_vote(s, o, q[k], i, b)) != v) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) continue;
+      if (first == 0) {
+        first = v;
+      } else if (first != v) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+int GfPaxosModel::next_instance(std::uint64_t s, int o) const {
+  for (int i = 0; i < cfg_.n_instances; ++i)
+    if (chosen(s, o, i) == 0) return i;
+  return cfg_.n_instances;  // everything complete
+}
+
+bool GfPaxosModel::proved_safe(std::uint64_t s, int o, int i, int b,
+                               const std::vector<int>& q, int c) const {
+  // HighestVote(i, b-1, Q): the vote at the maximal ballot < b among Q.
+  int max_ballot = -1;
+  int max_value = 0;
+  for (const int a : q) {
+    for (int bb = b - 1; bb >= 0; --bb) {
+      const int v = static_cast<int>(get_vote(s, o, a, i, bb));
+      if (v != 0) {
+        if (bb > max_ballot) {
+          max_ballot = bb;
+          max_value = v;
+        }
+        break;
+      }
+    }
+  }
+  if (max_ballot == -1) return true;  // nothing voted below b: all safe
+  return max_value == c;
+}
+
+bool GfPaxosModel::vote_enabled(std::uint64_t s, int o, int a, int i,
+                                int c) const {
+  const int b = get_ballot(s, o, a);
+  if (b == -1) return false;
+  const int current = static_cast<int>(get_vote(s, o, a, i, b));
+  if (current != 0 && current != c) return false;
+  // Conservativity: no other acceptor voted a different value at (o,i,b).
+  for (int other = 0; other < cfg_.n_acceptors; ++other) {
+    const int v = static_cast<int>(get_vote(s, o, other, i, b));
+    if (v != 0 && v != c) return false;
+  }
+  // Some quorum whose members all reached ballot b proves c safe.
+  for (const auto& q : quorums_) {
+    bool reached = true;
+    for (const int qa : q) {
+      if (get_ballot(s, o, qa) < b) {
+        reached = false;
+        break;
+      }
+    }
+    if (reached && proved_safe(s, o, i, b, q, c)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Next-state relation
+// ---------------------------------------------------------------------
+
+void GfPaxosModel::successors(std::uint64_t s,
+                              std::vector<std::uint64_t>& out) const {
+  // Propose(c)
+  for (int c = 0; c < n_commands(); ++c)
+    if (!proposed(s, c)) out.push_back(set_proposed(s, c));
+
+  // JoinBallot(a, o, b)
+  for (int o = 0; o < cfg_.n_objects; ++o)
+    for (int a = 0; a < cfg_.n_acceptors; ++a)
+      for (int b = get_ballot(s, o, a) + 1; b < cfg_.n_ballots; ++b)
+        out.push_back(set_ballot(s, o, a, b));
+
+  // Vote(c, a): vote in one instance per accessed object, all enabled,
+  // instances bounded by NextInstance per the spec's state constraint.
+  for (int c0 = 0; c0 < n_commands(); ++c0) {
+    if (!proposed(s, c0)) continue;
+    const int cmd = c0 + 1;
+    const auto& objs = cfg_.access_sets[static_cast<std::size_t>(c0)];
+    for (int a = 0; a < cfg_.n_acceptors; ++a) {
+      // Enumerate instance choices per object (cartesian product).
+      std::vector<int> limits;
+      bool feasible = true;
+      for (const int o : objs) {
+        const int limit = std::min(next_instance(s, o), cfg_.n_instances - 1);
+        if (limit < 0) {
+          feasible = false;
+          break;
+        }
+        limits.push_back(limit);
+      }
+      if (!feasible) continue;
+      std::vector<int> is(objs.size(), 0);
+      for (;;) {
+        bool enabled = true;
+        for (std::size_t k = 0; k < objs.size(); ++k) {
+          if (!vote_enabled(s, objs[k], a, is[k], cmd)) {
+            enabled = false;
+            break;
+          }
+        }
+        if (enabled) {
+          std::uint64_t t = s;
+          for (std::size_t k = 0; k < objs.size(); ++k) {
+            const int b = get_ballot(t, objs[k], a);
+            t = set_vote(t, objs[k], a, is[k], b, cmd);
+          }
+          if (t != s) out.push_back(t);
+        }
+        // Advance the cartesian counter.
+        std::size_t k = 0;
+        while (k < is.size() && ++is[k] > limits[k]) {
+          is[k] = 0;
+          ++k;
+        }
+        if (k == is.size()) break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------
+
+std::optional<std::string> GfPaxosModel::invariant_violation(
+    std::uint64_t s) const {
+  // Paxos safety per (object, instance).
+  for (int o = 0; o < cfg_.n_objects; ++o) {
+    for (int i = 0; i < cfg_.n_instances; ++i) {
+      if (two_chosen(s, o, i)) {
+        std::ostringstream os;
+        os << "two values chosen for object " << o << " instance " << i;
+        return os.str();
+      }
+    }
+  }
+
+  // CorrectnessSimple: commands chosen for two shared objects must be
+  // ordered identically by both objects' instance sequences.
+  for (int c1 = 0; c1 < n_commands(); ++c1) {
+    for (int c2 = c1 + 1; c2 < n_commands(); ++c2) {
+      // Shared objects of c1 and c2.
+      for (const int o1 : cfg_.access_sets[static_cast<std::size_t>(c1)]) {
+        bool c2_has_o1 = false;
+        for (const int x : cfg_.access_sets[static_cast<std::size_t>(c2)])
+          c2_has_o1 |= (x == o1);
+        if (!c2_has_o1) continue;
+        for (const int o2 : cfg_.access_sets[static_cast<std::size_t>(c1)]) {
+          if (o2 <= o1) continue;
+          bool c2_has_o2 = false;
+          for (const int x : cfg_.access_sets[static_cast<std::size_t>(c2)])
+            c2_has_o2 |= (x == o2);
+          if (!c2_has_o2) continue;
+
+          auto order = [&](int o) {
+            int p1 = -1, p2 = -1;
+            for (int i = 0; i < cfg_.n_instances; ++i) {
+              const int v = chosen(s, o, i);
+              if (v == c1 + 1 && p1 == -1) p1 = i;
+              if (v == c2 + 1 && p2 == -1) p2 = i;
+            }
+            return std::make_pair(p1, p2);
+          };
+          const auto [a1, a2] = order(o1);
+          const auto [b1, b2] = order(o2);
+          if (a1 >= 0 && a2 >= 0 && b1 >= 0 && b2 >= 0 &&
+              (a1 < a2) != (b1 < b2)) {
+            std::ostringstream os;
+            os << "commands " << c1 + 1 << " and " << c2 + 1
+               << " chosen in opposite orders on objects " << o1 << " and "
+               << o2;
+            return os.str();
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool GfPaxosModel::prune(std::uint64_t s) const {
+  for (int o = 0; o < cfg_.n_objects; ++o) {
+    bool any_incomplete = false;
+    unsigned seen = 0;
+    for (int i = 0; i < cfg_.n_instances; ++i) {
+      const int v = chosen(s, o, i);
+      if (v == 0) {
+        any_incomplete = true;
+        continue;
+      }
+      if (seen & (1u << v)) return true;  // duplicate chosen command
+      seen |= 1u << v;
+    }
+    if (!any_incomplete) return true;  // object's instance space exhausted
+  }
+  return false;
+}
+
+std::string GfPaxosModel::describe(std::uint64_t s) const {
+  std::ostringstream os;
+  for (int o = 0; o < cfg_.n_objects; ++o) {
+    os << "obj" << o << ": ballots[";
+    for (int a = 0; a < cfg_.n_acceptors; ++a)
+      os << (a ? "," : "") << get_ballot(s, o, a);
+    os << "] votes";
+    for (int i = 0; i < cfg_.n_instances; ++i) {
+      os << " i" << i << "(";
+      for (int a = 0; a < cfg_.n_acceptors; ++a) {
+        for (int b = 0; b < cfg_.n_ballots; ++b) {
+          const auto v = get_vote(s, o, a, i, b);
+          if (v != 0) os << "a" << a << "b" << b << "=c" << v << " ";
+        }
+      }
+      os << ")";
+    }
+    os << "  ";
+  }
+  os << "proposed{";
+  for (int c = 0; c < n_commands(); ++c)
+    if (proposed(s, c)) os << "c" << c + 1 << " ";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace m2::model

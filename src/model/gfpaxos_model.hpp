@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/checker.hpp"
+
+namespace m2::model {
+
+/// Abstract model of M²Paxos as "coordinated Multi-Paxos instances, one
+/// per object" — a C++ port of the GFPaxos TLA+ specification in the
+/// paper's appendix (modules MultiConsensus / MultiPaxos / GFPaxos).
+///
+/// State (packed into 64 bits for the explicit-state checker):
+///   ballots[o][a]        — acceptor a's current ballot for object o
+///                          (-1 = none, else 0..n_ballots-1);
+///   votes[o][a][i][b]    — the command acceptor a voted for in instance i
+///                          of object o at ballot b (0 = none);
+///   proposed[c]          — whether command c was proposed.
+///
+/// Actions (the appendix's Spec2 next-state relation):
+///   Propose(c); JoinBallot(a, o, b); Vote(c, a, is) — a votes for c in
+///   one instance per accessed object, gated by Multi-Paxos vote enabling
+///   (ProvedSafeAt over some quorum, conservativity of the ballot).
+///
+/// Invariants checked on every reachable state:
+///   - per (object, instance) at most one chosen value (Paxos safety);
+///   - CorrectnessSimple: two commands chosen for two shared objects are
+///     chosen in the same relative order.
+struct GfConfig {
+  int n_acceptors = 3;
+  int n_objects = 2;
+  int n_ballots = 2;
+  int n_instances = 2;
+  /// Access sets: access_sets[c] lists the objects command c+1 touches.
+  /// Default mirrors the appendix model: one command accessing both
+  /// objects, one accessing only object 0.
+  std::vector<std::vector<int>> access_sets = {{0, 1}, {0}};
+  /// Quorum size; the default (majority) is safe. Tests inject 1 to show
+  /// the checker catches the resulting violation.
+  int quorum = 2;
+};
+
+class GfPaxosModel {
+ public:
+  explicit GfPaxosModel(GfConfig cfg);
+
+  std::uint64_t initial() const { return 0; }
+  void successors(std::uint64_t s, std::vector<std::uint64_t>& out) const;
+  std::optional<std::string> invariant_violation(std::uint64_t s) const;
+
+  /// State constraint from the appendix's TLC model: stop expanding once a
+  /// command is chosen twice for one object or an object's instance space
+  /// is exhausted (such extensions add no new behaviours of interest).
+  bool prune(std::uint64_t s) const;
+
+  /// Human-readable dump of a packed state (for violation traces).
+  std::string describe(std::uint64_t s) const;
+
+  int n_commands() const { return static_cast<int>(cfg_.access_sets.size()); }
+
+ private:
+  // --- bit packing ----------------------------------------------------
+  int vote_bits_per_cell() const;  // bits to store one vote (command id+1)
+  int ballot_bits_per_cell() const;
+  std::uint64_t get_vote(std::uint64_t s, int o, int a, int i, int b) const;
+  std::uint64_t set_vote(std::uint64_t s, int o, int a, int i, int b,
+                         int cmd) const;
+  int get_ballot(std::uint64_t s, int o, int a) const;  // -1 if unset
+  std::uint64_t set_ballot(std::uint64_t s, int o, int a, int b) const;
+  bool proposed(std::uint64_t s, int c) const;
+  std::uint64_t set_proposed(std::uint64_t s, int c) const;
+
+  // --- spec operators ---------------------------------------------------
+  /// Chosen(o, i) = value v such that some quorum voted v at one ballot.
+  int chosen(std::uint64_t s, int o, int i) const;  // 0 = none, else cmd id
+  /// Second distinct chosen value if any (safety violation probe).
+  bool two_chosen(std::uint64_t s, int o, int i) const;
+  /// NextInstance(o): first instance with nothing chosen.
+  int next_instance(std::uint64_t s, int o) const;
+  /// ProvedSafeAt ∩ {c}: is c safe to vote at (o, i, b) given quorum Q?
+  bool proved_safe(std::uint64_t s, int o, int i, int b,
+                   const std::vector<int>& q, int c) const;
+  /// Multi-Paxos Vote enabling for acceptor a, command c, object o,
+  /// instance i (including conservativity).
+  bool vote_enabled(std::uint64_t s, int o, int a, int i, int c) const;
+
+  void enumerate_quorums();
+
+  GfConfig cfg_;
+  std::vector<std::vector<int>> quorums_;
+  // Bit layout offsets.
+  int vote_cells_ = 0;
+  int ballot_offset_ = 0;
+  int proposed_offset_ = 0;
+};
+
+}  // namespace m2::model

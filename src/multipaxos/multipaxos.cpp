@@ -1,0 +1,377 @@
+#include "multipaxos/multipaxos.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace m2::mp {
+
+namespace {
+
+/// Smallest ballot > `above` that is led by `node` (ballot mod N == node).
+Ballot next_ballot_for(NodeId node, Ballot above, int n_nodes) {
+  const Ballot n = static_cast<Ballot>(n_nodes);
+  Ballot b = (above / n + 1) * n + node;
+  while (b <= above) b += n;
+  return b;
+}
+
+}  // namespace
+
+MultiPaxosReplica::MultiPaxosReplica(NodeId id, const core::ClusterConfig& cfg,
+                                     core::Context& ctx)
+    : core::Replica(id, cfg, ctx), fd_(id, cfg, ctx) {
+  fd_.set_on_leader_change([this](NodeId new_leader) {
+    if (crashed_) return;
+    if (new_leader == id_ && leader_ != id_) {
+      start_leader_change();
+    } else if (new_leader != leader_ && fd_.is_suspected(leader_)) {
+      leader_ = new_leader;
+    }
+  });
+}
+
+void MultiPaxosReplica::start(bool enable_failure_detector) {
+  if (enable_failure_detector) fd_.start();
+}
+
+void MultiPaxosReplica::on_crash() {
+  crashed_ = true;
+  fd_.stop();
+  for (auto& [id, pc] : pending_) ctx_.cancel_timer(pc.timer);
+  pending_.clear();
+  preparing_ = false;
+}
+
+void MultiPaxosReplica::on_recover() {
+  crashed_ = false;
+  // Acceptor/learner state (promised_, slots_, delivered log) is durable.
+  fd_.start();
+}
+
+core::RxCost MultiPaxosReplica::rx_cost(const net::Payload& payload) const {
+  const sim::Time parallel = cfg_.cost.rx_cost(payload.wire_size());
+  // The leader's ordering step (assigning log slots to proposals) is a
+  // single thread. Phase-2 ack counting is per-slot and parallelizes, but
+  // every message of every command still lands on the one leader — which
+  // is the "single leader saturating its computational resources" of the
+  // paper (§VI-A, Fig. 1 and Fig. 4).
+  if (leader_ == id_ && payload.kind() == net::kKindMultiPaxos + 1) {
+    return core::RxCost{cfg_.cost.serial_fixed, parallel};
+  }
+  return core::RxCost{0, parallel};
+}
+
+// --------------------------------------------------------------------
+// Proposer
+// --------------------------------------------------------------------
+
+void MultiPaxosReplica::propose(const Command& c) {
+  if (crashed_) return;
+  if (delivered_ids_.count(c.id) > 0) return;
+  auto [it, inserted] = pending_.try_emplace(c.id, PendingCommand{c, sim::kInvalidEvent});
+  if (!inserted) return;
+  arm_retry(c);
+  handle_propose(c);
+}
+
+void MultiPaxosReplica::arm_retry(const Command& c) {
+  auto it = pending_.find(c.id);
+  if (it == pending_.end()) return;
+  ctx_.cancel_timer(it->second.timer);
+  const CommandId id = c.id;
+  // Exponential backoff with jitter: retransmissions on a congested leader
+  // must not amplify the congestion.
+  const int shift = std::min(it->second.attempts, 3);
+  const sim::Time base = cfg_.forward_timeout << shift;
+  const sim::Time delay =
+      base / 2 + static_cast<sim::Time>(
+                     ctx_.rng().uniform(static_cast<std::uint64_t>(base)));
+  it->second.timer = ctx_.set_timer(delay, [this, id] {
+    auto pit = pending_.find(id);
+    if (pit == pending_.end()) return;
+    ++counters_.retries;
+    ++pit->second.attempts;
+    if (fd_.is_suspected(leader_)) leader_ = fd_.leader();
+    arm_retry(pit->second.cmd);
+    handle_propose(pit->second.cmd);
+  });
+}
+
+void MultiPaxosReplica::handle_propose(const Command& c) {
+  // Note: already-delivered commands still go through lead(), which
+  // replays their Commit — the retry means the proposer's copy was lost.
+  if (leader_ == id_ && !preparing_) {
+    lead(c);
+  } else if (leader_ != id_) {
+    ++counters_.proposals_forwarded;
+    ctx_.send(leader_, net::make_payload<ClientPropose>(c));
+  }
+  // If we are mid-prepare, the proposer-side retry timer re-submits later.
+}
+
+// --------------------------------------------------------------------
+// Leader
+// --------------------------------------------------------------------
+
+void MultiPaxosReplica::lead(const Command& c) {
+  // Dedup and retransmission: a re-proposed command that already occupies a
+  // slot is re-driven (lost Accepts/Commits are retransmitted) rather than
+  // assigned a second slot.
+  if (delivered_ids_.count(c.id) > 0) {
+    // Already delivered here; the proposer retried, so its Commit must
+    // have been lost — replay it.
+    auto rit = recent_commits_.find(c.id);
+    if (rit != recent_commits_.end())
+      ctx_.broadcast(net::make_payload<Commit>(rit->second.first,
+                                               rit->second.second),
+                     false);
+    return;
+  }
+  auto ait = assigned_.find(c.id);
+  if (ait != assigned_.end()) {
+    auto sit = slots_.find(ait->second);
+    if (sit != slots_.end()) {
+      const SlotState& st = sit->second;
+      if (st.committed && st.committed->id == c.id) {
+        ctx_.broadcast(net::make_payload<Commit>(sit->first, *st.committed),
+                       false);
+        return;
+      }
+      if (st.accepted && st.accepted->id == c.id &&
+          st.accepted_ballot == ballot_) {
+        ctx_.broadcast(net::make_payload<Accept>(ballot_, sit->first, c), true);
+        return;
+      }
+    }
+    assigned_.erase(ait);  // stale (delivered/pruned or lost to a new ballot)
+    if (delivered_ids_.count(c.id) > 0) return;
+  }
+  const std::uint64_t slot = next_slot_++;
+  assigned_.emplace(c.id, slot);
+  ++counters_.slots_led;
+  ctx_.broadcast(net::make_payload<Accept>(ballot_, slot, c), true);
+}
+
+void MultiPaxosReplica::handle_accepted(const Accepted& msg) {
+  if (leader_ != id_ || msg.ballot != ballot_ || !msg.ack) return;
+  SlotState& st = slots_[msg.slot];
+  if (st.committed) return;
+  if (std::find(st.ackers.begin(), st.ackers.end(), msg.acceptor) !=
+      st.ackers.end())
+    return;  // duplicate ack from a retransmission
+  st.ackers.push_back(msg.acceptor);
+  if (static_cast<int>(st.ackers.size()) < cfg_.classic_quorum()) return;
+  if (!st.accepted) return;  // quorum acks but our own accept not processed yet
+  const Command cmd = *st.accepted;
+  commit_slot(msg.slot, cmd);
+  ++counters_.commits;
+  ctx_.broadcast(net::make_payload<Commit>(msg.slot, cmd), false);
+}
+
+// --------------------------------------------------------------------
+// Acceptor
+// --------------------------------------------------------------------
+
+void MultiPaxosReplica::handle_accept(NodeId from, const Accept& msg) {
+  auto reply = std::make_shared<Accepted>();
+  reply->ballot = msg.ballot;
+  reply->slot = msg.slot;
+  reply->acceptor = id_;
+  if (msg.ballot >= promised_) {
+    promised_ = msg.ballot;
+    leader_ = static_cast<NodeId>(msg.ballot % cfg_.n_nodes);
+    SlotState& st = slots_[msg.slot];
+    if (msg.ballot >= st.accepted_ballot) {
+      st.accepted_ballot = msg.ballot;
+      st.accepted = msg.cmd;
+    }
+    reply->ack = true;
+  } else {
+    reply->ack = false;
+  }
+  ctx_.send(from, std::move(reply));
+}
+
+void MultiPaxosReplica::handle_prepare(NodeId from, const Prepare& msg) {
+  auto reply = std::make_shared<Promise>();
+  reply->ballot = msg.ballot;
+  reply->acceptor = id_;
+  if (msg.ballot > promised_) {
+    promised_ = msg.ballot;
+    leader_ = static_cast<NodeId>(msg.ballot % cfg_.n_nodes);
+    reply->ack = true;
+    for (auto it = slots_.lower_bound(msg.from_slot); it != slots_.end(); ++it) {
+      const SlotState& st = it->second;
+      if (st.committed) {
+        reply->votes.push_back(Promise::Vote{it->first, UINT64_MAX, *st.committed});
+      } else if (st.accepted) {
+        reply->votes.push_back(
+            Promise::Vote{it->first, st.accepted_ballot, *st.accepted});
+      }
+    }
+  } else {
+    reply->ack = false;
+  }
+  ctx_.send(from, std::move(reply));
+}
+
+// --------------------------------------------------------------------
+// Leader change
+// --------------------------------------------------------------------
+
+void MultiPaxosReplica::start_leader_change() {
+  ballot_ = next_ballot_for(id_, std::max(promised_, ballot_), cfg_.n_nodes);
+  preparing_ = true;
+  promise_ackers_.clear();
+  promise_votes_.clear();
+  ctx_.broadcast(net::make_payload<Prepare>(ballot_, last_delivered_ + 1), true);
+}
+
+void MultiPaxosReplica::handle_promise(const Promise& msg) {
+  if (!preparing_ || msg.ballot != ballot_) return;
+  if (!msg.ack) {
+    // Lost the race to a higher ballot; retry if Ω still nominates us.
+    preparing_ = false;
+    ctx_.set_timer(cfg_.retry_backoff_max, [this] {
+      if (!crashed_ && fd_.leader() == id_ && leader_ != id_)
+        start_leader_change();
+    });
+    return;
+  }
+  if (std::find(promise_ackers_.begin(), promise_ackers_.end(),
+                msg.acceptor) != promise_ackers_.end())
+    return;  // duplicate delivery
+  promise_ackers_.push_back(msg.acceptor);
+  promise_votes_.insert(promise_votes_.end(), msg.votes.begin(),
+                        msg.votes.end());
+  if (static_cast<int>(promise_ackers_.size()) >= cfg_.classic_quorum())
+    become_leader();
+}
+
+void MultiPaxosReplica::become_leader() {
+  preparing_ = false;
+  leader_ = id_;
+  ++counters_.leader_changes;
+
+  // Highest-ballot vote per slot (committed votes carry UINT64_MAX).
+  std::map<std::uint64_t, const Promise::Vote*> best;
+  std::uint64_t max_slot = last_delivered_;
+  for (const auto& v : promise_votes_) {
+    max_slot = std::max(max_slot, v.slot);
+    auto [it, inserted] = best.try_emplace(v.slot, &v);
+    if (!inserted && v.vballot > it->second->vballot) it->second = &v;
+  }
+
+  // Re-propose surviving votes; fill holes with no-ops so delivery cannot
+  // stall behind slots whose value was lost with the old leader.
+  for (std::uint64_t slot = last_delivered_ + 1; slot <= max_slot; ++slot) {
+    auto it = best.find(slot);
+    Command cmd;
+    if (it != best.end()) {
+      cmd = it->second->cmd;
+    } else {
+      cmd = Command(CommandId::make(id_, (1ULL << 40) + slot), {}, 0);
+      cmd.noop = true;
+    }
+    ctx_.broadcast(net::make_payload<Accept>(ballot_, slot, std::move(cmd)),
+                   true);
+  }
+  next_slot_ = max_slot + 1;
+  promise_votes_.clear();
+
+  // Re-submit our own pending proposals under the new ballot.
+  for (const auto& [cid, pc] : pending_) lead(pc.cmd);
+}
+
+// --------------------------------------------------------------------
+// Learner
+// --------------------------------------------------------------------
+
+void MultiPaxosReplica::handle_commit(const Commit& msg) {
+  commit_slot(msg.slot, msg.cmd);
+}
+
+void MultiPaxosReplica::commit_slot(std::uint64_t slot, const Command& cmd) {
+  SlotState& st = slots_[slot];
+  if (st.committed) {
+    assert(st.committed->id == cmd.id && "two commands committed in one slot");
+    return;
+  }
+  st.committed = cmd;
+  assigned_.erase(cmd.id);
+  if (leader_ == id_) {
+    recent_commits_[cmd.id] = {slot, cmd};
+    // Bound the replay window alongside the delivered-id window.
+    if (recent_commits_.size() > cfg_.delivered_id_window)
+      recent_commits_.clear();
+  }
+  auto pit = pending_.find(cmd.id);
+  if (pit != pending_.end() && !pit->second.commit_reported) {
+    pit->second.commit_reported = true;
+    ctx_.committed(cmd);
+  }
+  try_deliver();
+}
+
+void MultiPaxosReplica::try_deliver() {
+  for (;;) {
+    auto it = slots_.find(last_delivered_ + 1);
+    if (it == slots_.end() || !it->second.committed) return;
+    const Command c = *it->second.committed;
+    ++last_delivered_;
+    slots_.erase(it);  // slots below the delivery frontier are never re-read
+
+    if (delivered_ids_.count(c.id) > 0) continue;  // duplicate via retry
+    delivered_ids_.insert(c.id);
+    delivered_fifo_.push_back(c.id);
+    while (delivered_fifo_.size() > cfg_.delivered_id_window) {
+      delivered_ids_.erase(delivered_fifo_.front());
+      delivered_fifo_.pop_front();
+    }
+    if (!c.noop) {
+      if (cfg_.record_delivered) delivered_seq_.push_back(c);
+      ++counters_.delivered;
+      auto pit = pending_.find(c.id);
+      if (pit != pending_.end()) {
+        ctx_.cancel_timer(pit->second.timer);
+        pending_.erase(pit);
+      }
+      ctx_.deliver(c);
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Dispatch
+// --------------------------------------------------------------------
+
+void MultiPaxosReplica::on_message(NodeId from, const net::Payload& payload) {
+  if (crashed_) return;
+  switch (payload.kind()) {
+    case net::kKindCommon + 1:
+      fd_.on_heartbeat(static_cast<const core::Heartbeat&>(payload).sender);
+      break;
+    case net::kKindMultiPaxos + 1:
+      handle_propose(static_cast<const ClientPropose&>(payload).cmd);
+      break;
+    case net::kKindMultiPaxos + 2:
+      handle_prepare(from, static_cast<const Prepare&>(payload));
+      break;
+    case net::kKindMultiPaxos + 3:
+      handle_promise(static_cast<const Promise&>(payload));
+      break;
+    case net::kKindMultiPaxos + 4:
+      handle_accept(from, static_cast<const Accept&>(payload));
+      break;
+    case net::kKindMultiPaxos + 5:
+      handle_accepted(static_cast<const Accepted&>(payload));
+      break;
+    case net::kKindMultiPaxos + 6:
+      handle_commit(static_cast<const Commit&>(payload));
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace m2::mp

@@ -1,0 +1,204 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/command.hpp"
+#include "core/config.hpp"
+#include "core/failure_detector.hpp"
+#include "core/replica.hpp"
+
+namespace m2::mp {
+
+using core::Command;
+using core::CommandId;
+
+/// Ballot number; ballot b is led by node (b mod N), so competing
+/// candidates never collide on a ballot.
+using Ballot = std::uint64_t;
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// Client/replica forwarding of a command to the current leader.
+struct ClientPropose final : net::Payload {
+  explicit ClientPropose(Command c) : cmd(std::move(c)) {}
+  Command cmd;
+  std::uint32_t kind() const override { return net::kKindMultiPaxos + 1; }
+  std::size_t wire_size() const override { return cmd.wire_size(); }
+  const char* name() const override { return "MP.Propose"; }
+};
+
+/// Phase-1a: new-leader prepare covering the whole log suffix from `from_slot`.
+struct Prepare final : net::Payload {
+  Prepare(Ballot b, std::uint64_t from) : ballot(b), from_slot(from) {}
+  Ballot ballot;
+  std::uint64_t from_slot;
+  std::uint32_t kind() const override { return net::kKindMultiPaxos + 2; }
+  std::size_t wire_size() const override { return 16; }
+  const char* name() const override { return "MP.Prepare"; }
+};
+
+/// Phase-1b: promise plus every vote at or above the prepared slot.
+struct Promise final : net::Payload {
+  struct Vote {
+    std::uint64_t slot = 0;
+    Ballot vballot = 0;
+    Command cmd;
+  };
+  Ballot ballot = 0;
+  NodeId acceptor = kNoNode;
+  bool ack = false;
+  std::vector<Vote> votes;
+  std::uint32_t kind() const override { return net::kKindMultiPaxos + 3; }
+  std::size_t wire_size() const override {
+    std::size_t bytes = 8 + 4 + 1;
+    for (const auto& v : votes) bytes += 16 + v.cmd.wire_size();
+    return bytes;
+  }
+  const char* name() const override { return "MP.Promise"; }
+};
+
+/// Phase-2a: leader proposes `cmd` in `slot` at `ballot`.
+struct Accept final : net::Payload {
+  Accept(Ballot b, std::uint64_t s, Command c)
+      : ballot(b), slot(s), cmd(std::move(c)) {}
+  Ballot ballot;
+  std::uint64_t slot;
+  Command cmd;
+  std::uint32_t kind() const override { return net::kKindMultiPaxos + 4; }
+  std::size_t wire_size() const override { return 16 + cmd.wire_size(); }
+  const char* name() const override { return "MP.Accept"; }
+};
+
+/// Phase-2b: acceptor's reply to the leader.
+struct Accepted final : net::Payload {
+  Ballot ballot = 0;
+  std::uint64_t slot = 0;
+  NodeId acceptor = kNoNode;
+  bool ack = false;
+  std::uint32_t kind() const override { return net::kKindMultiPaxos + 5; }
+  std::size_t wire_size() const override { return 21; }
+  const char* name() const override { return "MP.Accepted"; }
+};
+
+/// Learn message broadcast by the leader once a slot reaches quorum.
+struct Commit final : net::Payload {
+  Commit(std::uint64_t s, Command c) : slot(s), cmd(std::move(c)) {}
+  std::uint64_t slot;
+  Command cmd;
+  std::uint32_t kind() const override { return net::kKindMultiPaxos + 6; }
+  std::size_t wire_size() const override { return 8 + cmd.wire_size(); }
+  const char* name() const override { return "MP.Commit"; }
+};
+
+// ---------------------------------------------------------------------
+// Replica
+// ---------------------------------------------------------------------
+
+struct MpCounters {
+  std::uint64_t proposals_forwarded = 0;
+  std::uint64_t slots_led = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t leader_changes = 0;
+  std::uint64_t retries = 0;
+};
+
+/// Classic Multi-Paxos with a designated leader (the paper's baseline).
+///
+/// Commands are forwarded to the leader, which assigns consecutive log
+/// slots and runs phase-2 per slot; commits are learned via a leader
+/// broadcast. A heartbeat failure detector triggers leader change: the new
+/// leader runs a suffix-covering phase-1 and re-proposes surviving votes.
+///
+/// The leader's ordering step is a serialization point (rx_cost), which is
+/// why Multi-Paxos neither scales with node count (Fig. 1/3) nor with
+/// cores (Fig. 4).
+class MultiPaxosReplica final : public core::Replica {
+ public:
+  MultiPaxosReplica(NodeId id, const core::ClusterConfig& cfg,
+                    core::Context& ctx);
+
+  void propose(const Command& c) override;
+  void on_message(NodeId from, const net::Payload& payload) override;
+  core::RxCost rx_cost(const net::Payload& payload) const override;
+  void on_crash() override;
+  void on_recover() override;
+
+  /// Starts the failure detector (the harness calls this on all replicas
+  /// after wiring; without it, node 0 stays leader forever).
+  void start(bool enable_failure_detector);
+
+  bool is_leader() const { return leader_ == id_ && !preparing_; }
+  NodeId current_leader() const { return leader_; }
+  const MpCounters& counters() const { return counters_; }
+  const std::vector<Command>& delivered_sequence() const {
+    return delivered_seq_;
+  }
+
+ private:
+  struct SlotState {
+    Ballot accepted_ballot = 0;  // highest ballot a value was accepted at
+    std::optional<Command> accepted;
+    std::optional<Command> committed;
+    std::vector<NodeId> ackers;  // leader-side phase-2 acks (deduplicated)
+  };
+  struct PendingCommand {
+    Command cmd;
+    bool commit_reported = false;
+    int attempts = 0;  // drives exponential retry backoff
+    sim::EventId timer = sim::kInvalidEvent;
+  };
+
+  void handle_propose(const Command& c);
+  void lead(const Command& c);
+  void handle_prepare(NodeId from, const Prepare& msg);
+  void handle_promise(const Promise& msg);
+  void handle_accept(NodeId from, const Accept& msg);
+  void handle_accepted(const Accepted& msg);
+  void handle_commit(const Commit& msg);
+  void commit_slot(std::uint64_t slot, const Command& cmd);
+  void try_deliver();
+  void start_leader_change();
+  void become_leader();
+  void arm_retry(const Command& c);
+
+  // Acceptor state.
+  Ballot promised_ = 0;
+  std::map<std::uint64_t, SlotState> slots_;
+
+  // Leader state (valid while leader_ == id_).
+  Ballot ballot_ = 0;
+  std::uint64_t next_slot_ = 1;
+  bool preparing_ = false;
+  std::vector<NodeId> promise_ackers_;  // deduplicated
+  std::vector<Promise::Vote> promise_votes_;
+  std::unordered_map<CommandId, std::uint64_t> assigned_;  // cmd -> slot
+  /// Recently committed (cmd -> slot, cmd) pairs kept so the leader can
+  /// replay a Commit lost on the wire (bounded by delivered_id_window).
+  std::unordered_map<CommandId, std::pair<std::uint64_t, Command>>
+      recent_commits_;
+
+  // Learner state.
+  std::uint64_t last_delivered_ = 0;
+  std::vector<Command> delivered_seq_;
+  std::unordered_set<CommandId> delivered_ids_;
+  std::deque<CommandId> delivered_fifo_;
+
+  // Proposer state.
+  std::unordered_map<CommandId, PendingCommand> pending_;
+
+  NodeId leader_ = 0;
+  core::FailureDetector fd_;
+  bool crashed_ = false;
+  MpCounters counters_;
+};
+
+}  // namespace m2::mp

@@ -1,0 +1,115 @@
+#include "net/codec.hpp"
+
+#include <cstring>
+
+namespace m2::net {
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void Writer::str(const std::string& s) {
+  varint(s.size());
+  bytes(s.data(), s.size());
+}
+
+std::optional<std::uint8_t> Reader::u8() {
+  if (remaining() < 1) return std::nullopt;
+  return *data_++;
+}
+
+std::optional<std::uint32_t> Reader::u32() {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(*data_++) << (8 * i);
+  return v;
+}
+
+std::optional<std::uint64_t> Reader::u64() {
+  if (remaining() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(*data_++) << (8 * i);
+  return v;
+}
+
+std::optional<std::uint64_t> Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (remaining() > 0) {
+    const std::uint8_t b = *data_++;
+    if (shift >= 64 || (shift == 63 && (b & 0x7e) != 0)) return std::nullopt;
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return std::nullopt;  // truncated
+}
+
+std::optional<std::string> Reader::str() {
+  const auto n = varint();
+  if (!n || *n > remaining()) return std::nullopt;
+  std::string s(reinterpret_cast<const char*>(data_), *n);
+  data_ += *n;
+  return s;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc ^= p[i];
+    for (int k = 0; k < 8; ++k)
+      crc = (crc >> 1) ^ (0x82f63b78u & (0u - (crc & 1)));
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::vector<std::uint8_t> FrameHeader::encode() const {
+  Writer w;
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u32(sender);
+  w.u32(message_count);
+  w.u64(body_bytes);
+  w.u32(checksum);
+  return w.data();
+}
+
+std::optional<FrameHeader> FrameHeader::decode(const std::uint8_t* data,
+                                               std::size_t n) {
+  Reader r(data, n);
+  const auto magic = r.u32();
+  if (!magic || *magic != kMagic) return std::nullopt;
+  const auto version = r.u8();
+  if (!version || *version != kVersion) return std::nullopt;
+  FrameHeader h;
+  const auto sender = r.u32();
+  const auto count = r.u32();
+  const auto bytes = r.u64();
+  const auto crc = r.u32();
+  if (!sender || !count || !bytes || !crc) return std::nullopt;
+  h.sender = *sender;
+  h.message_count = *count;
+  h.body_bytes = *bytes;
+  h.checksum = *crc;
+  return h;
+}
+
+}  // namespace m2::net

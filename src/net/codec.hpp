@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace m2::net {
+
+/// Minimal binary wire format used for envelope framing.
+///
+/// Protocol payloads in the simulator report sizes instead of serializing,
+/// but the harness snapshot/trace files and the frame header use this real
+/// codec, and its round-trip behaviour is unit tested.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// LEB128 variable-length unsigned integer.
+  void varint(std::uint64_t v);
+  void bytes(const void* data, std::size_t n);
+  void str(const std::string& s);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reader over a byte span; every accessor returns nullopt on underflow or
+/// malformed input instead of throwing, so frames from a faulty peer cannot
+/// crash the process.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t n) : data_(data), end_(data + n) {}
+  explicit Reader(const std::vector<std::uint8_t>& v)
+      : Reader(v.data(), v.size()) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::uint64_t> varint();
+  std::optional<std::string> str();
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - data_); }
+
+ private:
+  const std::uint8_t* data_;
+  const std::uint8_t* end_;
+};
+
+/// Frame header preceding every batch on a real wire: magic, version,
+/// sender, message count, byte length, checksum.
+struct FrameHeader {
+  std::uint32_t sender = 0;
+  std::uint32_t message_count = 0;
+  std::uint64_t body_bytes = 0;
+  std::uint32_t checksum = 0;
+
+  static constexpr std::uint32_t kMagic = 0x4d32'5058;  // "M2PX"
+  static constexpr std::uint8_t kVersion = 1;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<FrameHeader> decode(const std::uint8_t* data,
+                                           std::size_t n);
+};
+
+/// CRC32C (Castagnoli), bitwise implementation — slow but dependency-free;
+/// only used on control-path frames.
+std::uint32_t crc32c(const void* data, std::size_t n);
+
+}  // namespace m2::net

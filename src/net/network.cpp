@@ -1,0 +1,189 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace m2::net {
+
+Network::Network(sim::Simulator& sim, NetworkConfig cfg, int n_nodes)
+    : sim_(sim),
+      cfg_(cfg),
+      latency_(cfg.latency),
+      rng_(sim.rng().split()),
+      delivery_(static_cast<std::size_t>(n_nodes)),
+      nic_free_at_(static_cast<std::size_t>(n_nodes), 0),
+      crashed_(static_cast<std::size_t>(n_nodes), 0),
+      link_down_(static_cast<std::size_t>(n_nodes) * n_nodes, 0),
+      counters_(static_cast<std::size_t>(n_nodes)) {
+  assert(n_nodes > 0);
+}
+
+void Network::set_delivery(NodeId node, DeliveryFn fn) {
+  delivery_[node] = std::move(fn);
+}
+
+bool Network::link_up(NodeId from, NodeId to) const {
+  return link_down_[static_cast<std::size_t>(from) * delivery_.size() + to] == 0;
+}
+
+void Network::set_link(NodeId from, NodeId to, bool up) {
+  link_down_[static_cast<std::size_t>(from) * delivery_.size() + to] =
+      up ? 0 : 1;
+}
+
+void Network::partition(const std::vector<NodeId>& group_a) {
+  std::vector<char> in_a(delivery_.size(), 0);
+  for (NodeId n : group_a) in_a[n] = 1;
+  const int n = n_nodes();
+  for (NodeId i = 0; i < static_cast<NodeId>(n); ++i)
+    for (NodeId j = 0; j < static_cast<NodeId>(n); ++j)
+      set_link(i, j, in_a[i] == in_a[j]);
+}
+
+void Network::heal() {
+  std::fill(link_down_.begin(), link_down_.end(), 0);
+}
+
+void Network::set_crashed(NodeId node, bool crashed) {
+  crashed_[node] = crashed ? 1 : 0;
+}
+
+TrafficCounters Network::total_counters() const {
+  TrafficCounters total;
+  for (const auto& c : counters_) {
+    total.messages_sent += c.messages_sent;
+    total.bytes_sent += c.bytes_sent;
+    total.messages_delivered += c.messages_delivered;
+    total.batches_sent += c.batches_sent;
+    total.messages_dropped += c.messages_dropped;
+  }
+  return total;
+}
+
+void Network::reset_counters() {
+  for (auto& c : counters_) c = TrafficCounters{};
+  bytes_by_kind_.clear();
+}
+
+void Network::account_send(const Envelope& env, std::size_t framed_bytes) {
+  auto& c = counters_[env.from];
+  ++c.messages_sent;
+  c.bytes_sent += framed_bytes;
+  bytes_by_kind_[env.payload->name()] += framed_bytes;
+}
+
+void Network::send(NodeId from, NodeId to, PayloadPtr payload) {
+  assert(payload != nullptr);
+  if (crashed_[from]) return;
+  Envelope env{from, to, std::move(payload), sim_.now()};
+
+  if (from == to) {
+    // Loopback: no NIC, no propagation; delivered on the next event so the
+    // sender's current handler finishes first.
+    account_send(env, env.payload->wire_size());
+    sim_.after(0, [this, env = std::move(env)] {
+      if (crashed_[env.to] || !delivery_[env.to]) return;
+      ++counters_[env.to].messages_delivered;
+      delivery_[env.to](env);
+    });
+    return;
+  }
+  enqueue(std::move(env));
+}
+
+void Network::broadcast(NodeId from, PayloadPtr payload, bool include_self) {
+  const int n = n_nodes();
+  for (NodeId to = 0; to < static_cast<NodeId>(n); ++to) {
+    if (to == from && !include_self) continue;
+    send(from, to, payload);
+  }
+}
+
+void Network::enqueue(Envelope env) {
+  const std::size_t msg_bytes =
+      env.payload->wire_size() + cfg_.per_message_overhead;
+
+  if (!cfg_.batching) {
+    std::vector<Envelope> one;
+    const NodeId from = env.from;
+    const NodeId to = env.to;
+    account_send(env, msg_bytes);
+    one.push_back(std::move(env));
+    transmit(from, to, std::move(one), msg_bytes + cfg_.per_batch_overhead);
+    return;
+  }
+
+  auto& batch = batches_[{env.from, env.to}];
+  account_send(env, msg_bytes);
+  batch.bytes += msg_bytes;
+  batch.envelopes.push_back(std::move(env));
+
+  const NodeId from = batch.envelopes.back().from;
+  const NodeId to = batch.envelopes.back().to;
+  if (batch.envelopes.size() >= cfg_.batch_max_messages ||
+      batch.bytes >= cfg_.batch_max_bytes) {
+    flush(from, to);
+  } else if (batch.flush_event == sim::kInvalidEvent) {
+    batch.flush_event =
+        sim_.after(cfg_.batch_window, [this, from, to] { flush(from, to); });
+  }
+}
+
+void Network::flush(NodeId from, NodeId to) {
+  auto it = batches_.find({from, to});
+  if (it == batches_.end() || it->second.envelopes.empty()) return;
+  Batch batch = std::move(it->second);
+  batches_.erase(it);
+  sim_.cancel(batch.flush_event);
+  ++counters_[from].batches_sent;
+  transmit(from, to, std::move(batch.envelopes),
+           batch.bytes + cfg_.per_batch_overhead);
+}
+
+void Network::transmit(NodeId from, NodeId to, std::vector<Envelope> envelopes,
+                       std::size_t bytes) {
+  if (crashed_[from]) return;
+
+  // Egress NIC: transmissions from one node share its link bandwidth.
+  const sim::Time ser = latency_.serialization(bytes);
+  const sim::Time leave = std::max(sim_.now(), nic_free_at_[from]) + ser;
+  nic_free_at_[from] = leave;
+
+  if (!link_up(from, to)) {
+    counters_[from].messages_dropped += envelopes.size();
+    return;
+  }
+  if (cfg_.loss_probability > 0 && rng_.chance(cfg_.loss_probability)) {
+    counters_[from].messages_dropped += envelopes.size();
+    return;
+  }
+
+  // Propagation is sampled once per transmission; size cost was already
+  // paid at the NIC, so only the propagation+jitter component remains.
+  sim::Time arrival = leave + latency_.one_way(0, rng_);
+  if (cfg_.fifo_links) {
+    sim::Time& last = last_arrival_[{from, to}];
+    arrival = std::max(arrival, last + 1);
+    last = arrival;
+  }
+  const int copies =
+      (cfg_.duplicate_probability > 0 && rng_.chance(cfg_.duplicate_probability))
+          ? 2
+          : 1;
+  for (int copy = 0; copy < copies; ++copy) {
+    // The duplicate trails the original, as a retransmission would.
+    const sim::Time when =
+        copy == 0 ? arrival : arrival + cfg_.latency.propagation;
+    sim_.at(when, [this, to, envelopes] {
+      if (crashed_[to] || !delivery_[to]) return;
+      for (const Envelope& env : envelopes) {
+        // A sender crash after the message hit the wire does not unsend
+        // it (crash semantics, not Byzantine) — deliver regardless.
+        ++counters_[to].messages_delivered;
+        delivery_[to](env);
+      }
+    });
+  }
+}
+
+}  // namespace m2::net

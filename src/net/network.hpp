@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/payload.hpp"
+#include "sim/simulator.hpp"
+
+namespace m2::net {
+
+/// Network-wide knobs.
+struct NetworkConfig {
+  LatencyConfig latency;
+
+  /// Framing overhead charged per message (headers, envelope).
+  std::size_t per_message_overhead = 64;
+  /// Extra framing charged once per batch.
+  std::size_t per_batch_overhead = 64;
+
+  /// When true, messages to the same destination are coalesced and flushed
+  /// together (paper: "network messages are batched in order to optimize
+  /// the network utilization", all experiments except Fig. 2).
+  bool batching = false;
+  sim::Time batch_window = 100 * sim::kMicrosecond;
+  std::size_t batch_max_messages = 64;
+  std::size_t batch_max_bytes = 48 * 1024;
+
+  /// Independent drop probability per message (0 in the paper's runs;
+  /// used by fault-injection tests).
+  double loss_probability = 0.0;
+
+  /// Probability a transmission is delivered twice (at-least-once
+  /// semantics of a retransmitting transport); fault-injection only.
+  double duplicate_probability = 0.0;
+
+  /// Enforce FIFO delivery per directed link, as a TCP connection would
+  /// (jitter still varies per-transmission latency, but transmissions on
+  /// one link never overtake each other).
+  bool fifo_links = true;
+};
+
+/// Per-node traffic counters, and per-kind byte accounting for the
+/// message-size ablation (A3).
+struct TrafficCounters {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t batches_sent = 0;
+  std::uint64_t messages_dropped = 0;
+};
+
+/// In-process simulated network connecting N nodes.
+///
+/// Responsibilities: per-node egress NIC serialization (shared-bandwidth
+/// bottleneck), propagation latency with jitter, optional batching, message
+/// loss and partitions for fault injection, and traffic accounting.
+///
+/// Delivery is via a callback per node, installed by the cluster harness,
+/// which routes the envelope through the destination node's CPU model.
+class Network {
+ public:
+  using DeliveryFn = std::function<void(const Envelope&)>;
+
+  Network(sim::Simulator& sim, NetworkConfig cfg, int n_nodes);
+
+  void set_delivery(NodeId node, DeliveryFn fn);
+
+  /// Sends `payload` from `from` to `to`. Self-sends are delivered on the
+  /// next event with zero network delay (loopback).
+  void send(NodeId from, NodeId to, PayloadPtr payload);
+
+  /// Sends to every node; `include_self` controls loopback delivery.
+  void broadcast(NodeId from, PayloadPtr payload, bool include_self);
+
+  // --- fault injection -----------------------------------------------
+  /// Makes the directed link from->to drop everything (or restores it).
+  void set_link(NodeId from, NodeId to, bool up);
+  /// Splits the cluster: nodes in `group_a` can only talk within the group,
+  /// everyone else only outside it.
+  void partition(const std::vector<NodeId>& group_a);
+  /// Removes all partitions/link failures.
+  void heal();
+  /// Crashed nodes neither send nor receive.
+  void set_crashed(NodeId node, bool crashed);
+  bool is_crashed(NodeId node) const { return crashed_[node]; }
+
+  // --- accounting ------------------------------------------------------
+  const TrafficCounters& counters(NodeId node) const { return counters_[node]; }
+  TrafficCounters total_counters() const;
+  /// Bytes sent per payload name, across all nodes.
+  const std::map<std::string, std::uint64_t>& bytes_by_kind() const {
+    return bytes_by_kind_;
+  }
+  void reset_counters();
+
+  int n_nodes() const { return static_cast<int>(delivery_.size()); }
+  const NetworkConfig& config() const { return cfg_; }
+  /// Batching can be toggled between experiment phases.
+  void set_batching(bool on) { cfg_.batching = on; }
+  /// Adjusts the drop probability mid-run (fault-injection tests).
+  void set_loss(double p) { cfg_.loss_probability = p; }
+  /// Adjusts the duplicate-delivery probability mid-run.
+  void set_duplication(double p) { cfg_.duplicate_probability = p; }
+
+ private:
+  struct Batch {
+    std::vector<Envelope> envelopes;
+    std::size_t bytes = 0;
+    sim::EventId flush_event = sim::kInvalidEvent;
+  };
+
+  bool link_up(NodeId from, NodeId to) const;
+  void enqueue(Envelope env);
+  void flush(NodeId from, NodeId to);
+  /// Pushes `bytes` through `from`'s NIC and schedules arrival of
+  /// `envelopes` at their common destination.
+  void transmit(NodeId from, NodeId to, std::vector<Envelope> envelopes,
+                std::size_t bytes);
+  void account_send(const Envelope& env, std::size_t framed_bytes);
+
+  sim::Simulator& sim_;
+  NetworkConfig cfg_;
+  LatencyModel latency_;
+  sim::Rng rng_;
+  std::vector<DeliveryFn> delivery_;
+  std::vector<sim::Time> nic_free_at_;
+  std::vector<char> crashed_;
+  std::vector<char> link_down_;  // n*n matrix, 1 = down
+  std::map<std::pair<NodeId, NodeId>, Batch> batches_;
+  std::map<std::pair<NodeId, NodeId>, sim::Time> last_arrival_;
+  std::vector<TrafficCounters> counters_;
+  std::map<std::string, std::uint64_t> bytes_by_kind_;
+};
+
+}  // namespace m2::net

@@ -1,0 +1,652 @@
+#include "net/serde.hpp"
+
+#include "core/failure_detector.hpp"
+#include "epaxos/epaxos.hpp"
+#include "genpaxos/genpaxos.hpp"
+#include "m2paxos/messages.hpp"
+#include "multipaxos/multipaxos.hpp"
+
+namespace m2::net {
+
+namespace {
+
+// Sanity caps: a frame claiming more elements than this is malformed (or
+// hostile); decoding fails instead of allocating unbounded memory.
+constexpr std::uint64_t kMaxListLen = 1 << 20;
+
+}  // namespace
+
+void write_command(Writer& w, const core::Command& c) {
+  w.u64(c.id.value);
+  w.u32(c.payload_bytes);
+  w.u8(c.noop ? 1 : 0);
+  w.varint(c.objects.size());
+  for (const core::ObjectId l : c.objects) w.u64(l);
+  if (c.body != nullptr) {
+    w.varint(c.body->size());
+    w.bytes(c.body->data(), c.body->size());
+  } else {
+    w.varint(0);
+  }
+}
+
+std::optional<core::Command> read_command(Reader& r) {
+  const auto id = r.u64();
+  const auto payload_bytes = r.u32();
+  const auto noop = r.u8();
+  const auto n_objects = r.varint();
+  if (!id || !payload_bytes || !noop || !n_objects ||
+      *n_objects > kMaxListLen)
+    return std::nullopt;
+  std::vector<core::ObjectId> objects;
+  objects.reserve(*n_objects);
+  for (std::uint64_t i = 0; i < *n_objects; ++i) {
+    const auto l = r.u64();
+    if (!l) return std::nullopt;
+    objects.push_back(*l);
+  }
+  core::Command c(core::CommandId{*id}, std::move(objects), *payload_bytes);
+  c.noop = *noop != 0;
+  c.payload_bytes = *payload_bytes;  // Command ctor may not preserve it
+  const auto body_len = r.varint();
+  if (!body_len || *body_len > kMaxListLen) return std::nullopt;
+  if (*body_len > 0) {
+    std::vector<std::uint8_t> body(*body_len);
+    for (auto& b : body) {
+      const auto byte = r.u8();
+      if (!byte) return std::nullopt;
+      b = *byte;
+    }
+    const auto saved = c.payload_bytes;
+    c.set_body(std::move(body));
+    c.payload_bytes = saved;
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------
+// Per-protocol encoders
+// ---------------------------------------------------------------------
+
+namespace {
+
+void encode_body(Writer& w, const Payload& p) {
+  switch (p.kind()) {
+    // --- common -----------------------------------------------------
+    case kKindCommon + 1:
+      w.u32(static_cast<const core::Heartbeat&>(p).sender);
+      break;
+
+    // --- Multi-Paxos ---------------------------------------------------
+    case kKindMultiPaxos + 1:
+      write_command(w, static_cast<const mp::ClientPropose&>(p).cmd);
+      break;
+    case kKindMultiPaxos + 2: {
+      const auto& m = static_cast<const mp::Prepare&>(p);
+      w.u64(m.ballot);
+      w.u64(m.from_slot);
+      break;
+    }
+    case kKindMultiPaxos + 3: {
+      const auto& m = static_cast<const mp::Promise&>(p);
+      w.u64(m.ballot);
+      w.u32(m.acceptor);
+      w.u8(m.ack ? 1 : 0);
+      w.varint(m.votes.size());
+      for (const auto& v : m.votes) {
+        w.u64(v.slot);
+        w.u64(v.vballot);
+        write_command(w, v.cmd);
+      }
+      break;
+    }
+    case kKindMultiPaxos + 4: {
+      const auto& m = static_cast<const mp::Accept&>(p);
+      w.u64(m.ballot);
+      w.u64(m.slot);
+      write_command(w, m.cmd);
+      break;
+    }
+    case kKindMultiPaxos + 5: {
+      const auto& m = static_cast<const mp::Accepted&>(p);
+      w.u64(m.ballot);
+      w.u64(m.slot);
+      w.u32(m.acceptor);
+      w.u8(m.ack ? 1 : 0);
+      break;
+    }
+    case kKindMultiPaxos + 6: {
+      const auto& m = static_cast<const mp::Commit&>(p);
+      w.u64(m.slot);
+      write_command(w, m.cmd);
+      break;
+    }
+
+    // --- Generalized Paxos ---------------------------------------------
+    case kKindGenPaxos + 1:
+      write_command(w, static_cast<const gp::FastPropose&>(p).cmd);
+      break;
+    case kKindGenPaxos + 2: {
+      const auto& m = static_cast<const gp::FastAck&>(p);
+      w.u64(m.cmd_id.value);
+      w.u32(m.acceptor);
+      w.u32(m.cstruct_bytes);
+      w.varint(m.preds.size());
+      for (const auto& pred : m.preds) {
+        w.u64(pred.object);
+        w.u64(pred.pred.value);
+      }
+      break;
+    }
+    case kKindGenPaxos + 3:
+      write_command(w, static_cast<const gp::CommitNotify&>(p).cmd);
+      break;
+    case kKindGenPaxos + 4:
+      write_command(w, static_cast<const gp::ResolveReq&>(p).cmd);
+      break;
+    case kKindGenPaxos + 5: {
+      const auto& m = static_cast<const gp::SlowAccept&>(p);
+      w.u64(m.ballot);
+      write_command(w, m.cmd);
+      break;
+    }
+    case kKindGenPaxos + 6: {
+      const auto& m = static_cast<const gp::SlowAck&>(p);
+      w.u64(m.ballot);
+      w.u64(m.cmd_id.value);
+      w.u32(m.acceptor);
+      break;
+    }
+    case kKindGenPaxos + 7: {
+      const auto& m = static_cast<const gp::Sequence&>(p);
+      w.u64(m.index);
+      write_command(w, m.cmd);
+      break;
+    }
+
+    // --- EPaxos ---------------------------------------------------------
+    case kKindEPaxos + 1: {
+      const auto& m = static_cast<const ep::PreAccept&>(p);
+      w.u64(m.inst);
+      write_command(w, m.cmd);
+      w.u64(m.attrs.seq);
+      w.varint(m.attrs.deps.size());
+      for (const ep::InstRef d : m.attrs.deps) w.u64(d);
+      break;
+    }
+    case kKindEPaxos + 2: {
+      const auto& m = static_cast<const ep::PreAcceptReply&>(p);
+      w.u64(m.inst);
+      w.u32(m.acceptor);
+      w.u8(m.changed ? 1 : 0);
+      w.u64(m.attrs.seq);
+      w.varint(m.attrs.deps.size());
+      for (const ep::InstRef d : m.attrs.deps) w.u64(d);
+      break;
+    }
+    case kKindEPaxos + 3: {
+      const auto& m = static_cast<const ep::AcceptMsg&>(p);
+      w.u64(m.inst);
+      write_command(w, m.cmd);
+      w.u64(m.attrs.seq);
+      w.varint(m.attrs.deps.size());
+      for (const ep::InstRef d : m.attrs.deps) w.u64(d);
+      break;
+    }
+    case kKindEPaxos + 4: {
+      const auto& m = static_cast<const ep::AcceptReply&>(p);
+      w.u64(m.inst);
+      w.u32(m.acceptor);
+      break;
+    }
+    case kKindEPaxos + 5: {
+      const auto& m = static_cast<const ep::CommitMsg&>(p);
+      w.u64(m.inst);
+      write_command(w, m.cmd);
+      w.u64(m.attrs.seq);
+      w.varint(m.attrs.deps.size());
+      for (const ep::InstRef d : m.attrs.deps) w.u64(d);
+      break;
+    }
+
+    // --- M²Paxos ---------------------------------------------------------
+    case kKindM2Paxos + 1:
+      write_command(w, static_cast<const m2p::Propose&>(p).cmd);
+      break;
+    case kKindM2Paxos + 2: {
+      const auto& m = static_cast<const m2p::Accept&>(p);
+      w.u64(m.req_id);
+      w.varint(m.slots.size());
+      for (const auto& s : m.slots) {
+        w.u64(s.object);
+        w.u64(s.instance);
+        w.u64(s.epoch);
+        write_command(w, s.cmd);
+      }
+      break;
+    }
+    case kKindM2Paxos + 3: {
+      const auto& m = static_cast<const m2p::AckAccept&>(p);
+      w.u64(m.req_id);
+      w.u32(m.acceptor);
+      w.u8(m.ack ? 1 : 0);
+      w.varint(m.hints.size());
+      for (const auto& h : m.hints) {
+        w.u64(h.object);
+        w.u64(h.epoch);
+        w.u32(h.owner);
+      }
+      break;
+    }
+    case kKindM2Paxos + 4: {
+      const auto& m = static_cast<const m2p::Decide&>(p);
+      w.varint(m.slots.size());
+      for (const auto& s : m.slots) {
+        w.u64(s.object);
+        w.u64(s.instance);
+        w.u64(s.epoch);
+        write_command(w, s.cmd);
+      }
+      break;
+    }
+    case kKindM2Paxos + 5: {
+      const auto& m = static_cast<const m2p::Prepare&>(p);
+      w.u64(m.req_id);
+      w.varint(m.entries.size());
+      for (const auto& e : m.entries) {
+        w.u64(e.object);
+        w.u64(e.from_instance);
+        w.u64(e.epoch);
+      }
+      break;
+    }
+    case kKindM2Paxos + 6: {
+      const auto& m = static_cast<const m2p::AckPrepare&>(p);
+      w.u64(m.req_id);
+      w.u32(m.acceptor);
+      w.u8(m.ack ? 1 : 0);
+      w.varint(m.votes.size());
+      for (const auto& v : m.votes) {
+        w.u64(v.object);
+        w.u64(v.instance);
+        w.u64(v.accepted_epoch);
+        w.u8(v.decided ? 1 : 0);
+        write_command(w, v.cmd);
+      }
+      w.varint(m.delivered_floors.size());
+      for (const auto& [obj, floor] : m.delivered_floors) {
+        w.u64(obj);
+        w.u64(floor);
+      }
+      w.varint(m.hints.size());
+      for (const auto& h : m.hints) {
+        w.u64(h.object);
+        w.u64(h.epoch);
+        w.u32(h.owner);
+      }
+      break;
+    }
+    case kKindM2Paxos + 7: {
+      const auto& m = static_cast<const m2p::SyncRequest&>(p);
+      w.varint(m.entries.size());
+      for (const auto& e : m.entries) {
+        w.u64(e.object);
+        w.u64(e.from_instance);
+      }
+      break;
+    }
+    case kKindM2Paxos + 8: {
+      const auto& m = static_cast<const m2p::SyncReply&>(p);
+      w.varint(m.slots.size());
+      for (const auto& s : m.slots) {
+        w.u64(s.object);
+        w.u64(s.instance);
+        w.u64(s.epoch);
+        write_command(w, s.cmd);
+      }
+      break;
+    }
+
+    default:
+      break;  // unknown kinds encode as empty bodies
+  }
+}
+
+// ---------------------------------------------------------------------
+// Per-protocol decoders
+// ---------------------------------------------------------------------
+
+bool read_attrs(Reader& r, ep::Attrs& attrs) {
+  const auto seq = r.u64();
+  const auto n = r.varint();
+  if (!seq || !n || *n > kMaxListLen) return false;
+  attrs.seq = *seq;
+  attrs.deps.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    const auto d = r.u64();
+    if (!d) return false;
+    attrs.deps.push_back(*d);
+  }
+  return true;
+}
+
+bool read_slots(Reader& r, std::vector<m2p::SlotValue>& slots) {
+  const auto n = r.varint();
+  if (!n || *n > kMaxListLen) return false;
+  slots.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    const auto object = r.u64();
+    const auto instance = r.u64();
+    const auto epoch = r.u64();
+    if (!object || !instance || !epoch) return false;
+    auto cmd = read_command(r);
+    if (!cmd) return false;
+    slots.push_back(m2p::SlotValue{*object, *instance, *epoch, std::move(*cmd)});
+  }
+  return true;
+}
+
+bool read_hints(Reader& r, std::vector<m2p::ViewHint>& hints) {
+  const auto n = r.varint();
+  if (!n || *n > kMaxListLen) return false;
+  hints.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    const auto object = r.u64();
+    const auto epoch = r.u64();
+    const auto owner = r.u32();
+    if (!object || !epoch || !owner) return false;
+    hints.push_back(m2p::ViewHint{*object, *epoch, *owner});
+  }
+  return true;
+}
+
+PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
+  switch (kind) {
+    case kKindCommon + 1: {
+      const auto sender = r.u32();
+      if (!sender) return nullptr;
+      return make_payload<core::Heartbeat>(*sender);
+    }
+
+    // --- Multi-Paxos ---------------------------------------------------
+    case kKindMultiPaxos + 1: {
+      auto cmd = read_command(r);
+      return cmd ? make_payload<mp::ClientPropose>(std::move(*cmd)) : nullptr;
+    }
+    case kKindMultiPaxos + 2: {
+      const auto ballot = r.u64();
+      const auto from = r.u64();
+      if (!ballot || !from) return nullptr;
+      return make_payload<mp::Prepare>(*ballot, *from);
+    }
+    case kKindMultiPaxos + 3: {
+      auto m = std::make_shared<mp::Promise>();
+      const auto ballot = r.u64();
+      const auto acceptor = r.u32();
+      const auto ack = r.u8();
+      const auto n = r.varint();
+      if (!ballot || !acceptor || !ack || !n || *n > kMaxListLen)
+        return nullptr;
+      m->ballot = *ballot;
+      m->acceptor = *acceptor;
+      m->ack = *ack != 0;
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        const auto slot = r.u64();
+        const auto vballot = r.u64();
+        if (!slot || !vballot) return nullptr;
+        auto cmd = read_command(r);
+        if (!cmd) return nullptr;
+        m->votes.push_back(mp::Promise::Vote{*slot, *vballot, std::move(*cmd)});
+      }
+      return m;
+    }
+    case kKindMultiPaxos + 4: {
+      const auto ballot = r.u64();
+      const auto slot = r.u64();
+      if (!ballot || !slot) return nullptr;
+      auto cmd = read_command(r);
+      return cmd ? make_payload<mp::Accept>(*ballot, *slot, std::move(*cmd))
+                 : nullptr;
+    }
+    case kKindMultiPaxos + 5: {
+      auto m = std::make_shared<mp::Accepted>();
+      const auto ballot = r.u64();
+      const auto slot = r.u64();
+      const auto acceptor = r.u32();
+      const auto ack = r.u8();
+      if (!ballot || !slot || !acceptor || !ack) return nullptr;
+      m->ballot = *ballot;
+      m->slot = *slot;
+      m->acceptor = *acceptor;
+      m->ack = *ack != 0;
+      return m;
+    }
+    case kKindMultiPaxos + 6: {
+      const auto slot = r.u64();
+      if (!slot) return nullptr;
+      auto cmd = read_command(r);
+      return cmd ? make_payload<mp::Commit>(*slot, std::move(*cmd)) : nullptr;
+    }
+
+    // --- Generalized Paxos ---------------------------------------------
+    case kKindGenPaxos + 1: {
+      auto cmd = read_command(r);
+      return cmd ? make_payload<gp::FastPropose>(std::move(*cmd)) : nullptr;
+    }
+    case kKindGenPaxos + 2: {
+      auto m = std::make_shared<gp::FastAck>();
+      const auto cmd_id = r.u64();
+      const auto acceptor = r.u32();
+      const auto cstruct = r.u32();
+      const auto n = r.varint();
+      if (!cmd_id || !acceptor || !cstruct || !n || *n > kMaxListLen)
+        return nullptr;
+      m->cmd_id = core::CommandId{*cmd_id};
+      m->acceptor = *acceptor;
+      m->cstruct_bytes = *cstruct;
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        const auto object = r.u64();
+        const auto pred = r.u64();
+        if (!object || !pred) return nullptr;
+        m->preds.push_back(gp::FastAck::Pred{*object, core::CommandId{*pred}});
+      }
+      return m;
+    }
+    case kKindGenPaxos + 3: {
+      auto cmd = read_command(r);
+      return cmd ? make_payload<gp::CommitNotify>(std::move(*cmd)) : nullptr;
+    }
+    case kKindGenPaxos + 4: {
+      auto cmd = read_command(r);
+      return cmd ? make_payload<gp::ResolveReq>(std::move(*cmd)) : nullptr;
+    }
+    case kKindGenPaxos + 5: {
+      const auto ballot = r.u64();
+      if (!ballot) return nullptr;
+      auto cmd = read_command(r);
+      return cmd ? make_payload<gp::SlowAccept>(*ballot, std::move(*cmd))
+                 : nullptr;
+    }
+    case kKindGenPaxos + 6: {
+      auto m = std::make_shared<gp::SlowAck>();
+      const auto ballot = r.u64();
+      const auto cmd_id = r.u64();
+      const auto acceptor = r.u32();
+      if (!ballot || !cmd_id || !acceptor) return nullptr;
+      m->ballot = *ballot;
+      m->cmd_id = core::CommandId{*cmd_id};
+      m->acceptor = *acceptor;
+      return m;
+    }
+    case kKindGenPaxos + 7: {
+      const auto index = r.u64();
+      if (!index) return nullptr;
+      auto cmd = read_command(r);
+      return cmd ? make_payload<gp::Sequence>(*index, std::move(*cmd))
+                 : nullptr;
+    }
+
+    // --- EPaxos ---------------------------------------------------------
+    case kKindEPaxos + 1: {
+      const auto inst = r.u64();
+      if (!inst) return nullptr;
+      auto cmd = read_command(r);
+      ep::Attrs attrs;
+      if (!cmd || !read_attrs(r, attrs)) return nullptr;
+      return make_payload<ep::PreAccept>(*inst, std::move(*cmd),
+                                         std::move(attrs));
+    }
+    case kKindEPaxos + 2: {
+      auto m = std::make_shared<ep::PreAcceptReply>();
+      const auto inst = r.u64();
+      const auto acceptor = r.u32();
+      const auto changed = r.u8();
+      if (!inst || !acceptor || !changed) return nullptr;
+      m->inst = *inst;
+      m->acceptor = *acceptor;
+      m->changed = *changed != 0;
+      if (!read_attrs(r, m->attrs)) return nullptr;
+      return m;
+    }
+    case kKindEPaxos + 3: {
+      const auto inst = r.u64();
+      if (!inst) return nullptr;
+      auto cmd = read_command(r);
+      ep::Attrs attrs;
+      if (!cmd || !read_attrs(r, attrs)) return nullptr;
+      return make_payload<ep::AcceptMsg>(*inst, std::move(*cmd),
+                                         std::move(attrs));
+    }
+    case kKindEPaxos + 4: {
+      auto m = std::make_shared<ep::AcceptReply>();
+      const auto inst = r.u64();
+      const auto acceptor = r.u32();
+      if (!inst || !acceptor) return nullptr;
+      m->inst = *inst;
+      m->acceptor = *acceptor;
+      return m;
+    }
+    case kKindEPaxos + 5: {
+      const auto inst = r.u64();
+      if (!inst) return nullptr;
+      auto cmd = read_command(r);
+      ep::Attrs attrs;
+      if (!cmd || !read_attrs(r, attrs)) return nullptr;
+      return make_payload<ep::CommitMsg>(*inst, std::move(*cmd),
+                                         std::move(attrs));
+    }
+
+    // --- M²Paxos ---------------------------------------------------------
+    case kKindM2Paxos + 1: {
+      auto cmd = read_command(r);
+      return cmd ? make_payload<m2p::Propose>(std::move(*cmd)) : nullptr;
+    }
+    case kKindM2Paxos + 2: {
+      const auto req = r.u64();
+      std::vector<m2p::SlotValue> slots;
+      if (!req || !read_slots(r, slots)) return nullptr;
+      return make_payload<m2p::Accept>(*req, std::move(slots));
+    }
+    case kKindM2Paxos + 3: {
+      auto m = std::make_shared<m2p::AckAccept>();
+      const auto req = r.u64();
+      const auto acceptor = r.u32();
+      const auto ack = r.u8();
+      if (!req || !acceptor || !ack) return nullptr;
+      m->req_id = *req;
+      m->acceptor = *acceptor;
+      m->ack = *ack != 0;
+      if (!read_hints(r, m->hints)) return nullptr;
+      return m;
+    }
+    case kKindM2Paxos + 4: {
+      std::vector<m2p::SlotValue> slots;
+      if (!read_slots(r, slots)) return nullptr;
+      return make_payload<m2p::Decide>(std::move(slots));
+    }
+    case kKindM2Paxos + 5: {
+      const auto req = r.u64();
+      const auto n = r.varint();
+      if (!req || !n || *n > kMaxListLen) return nullptr;
+      std::vector<m2p::Prepare::Entry> entries;
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        const auto object = r.u64();
+        const auto from = r.u64();
+        const auto epoch = r.u64();
+        if (!object || !from || !epoch) return nullptr;
+        entries.push_back(m2p::Prepare::Entry{*object, *from, *epoch});
+      }
+      return make_payload<m2p::Prepare>(*req, std::move(entries));
+    }
+    case kKindM2Paxos + 6: {
+      auto m = std::make_shared<m2p::AckPrepare>();
+      const auto req = r.u64();
+      const auto acceptor = r.u32();
+      const auto ack = r.u8();
+      const auto n = r.varint();
+      if (!req || !acceptor || !ack || !n || *n > kMaxListLen) return nullptr;
+      m->req_id = *req;
+      m->acceptor = *acceptor;
+      m->ack = *ack != 0;
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        const auto object = r.u64();
+        const auto instance = r.u64();
+        const auto epoch = r.u64();
+        const auto decided = r.u8();
+        if (!object || !instance || !epoch || !decided) return nullptr;
+        auto cmd = read_command(r);
+        if (!cmd) return nullptr;
+        m->votes.push_back(m2p::AckPrepare::Vote{
+            *object, *instance, *epoch, *decided != 0, std::move(*cmd)});
+      }
+      const auto nf = r.varint();
+      if (!nf || *nf > kMaxListLen) return nullptr;
+      for (std::uint64_t i = 0; i < *nf; ++i) {
+        const auto object = r.u64();
+        const auto floor = r.u64();
+        if (!object || !floor) return nullptr;
+        m->delivered_floors.emplace_back(*object, *floor);
+      }
+      if (!read_hints(r, m->hints)) return nullptr;
+      return m;
+    }
+    case kKindM2Paxos + 7: {
+      const auto n = r.varint();
+      if (!n || *n > kMaxListLen) return nullptr;
+      std::vector<m2p::SyncRequest::Entry> entries;
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        const auto object = r.u64();
+        const auto from = r.u64();
+        if (!object || !from) return nullptr;
+        entries.push_back(m2p::SyncRequest::Entry{*object, *from});
+      }
+      return make_payload<m2p::SyncRequest>(std::move(entries));
+    }
+    case kKindM2Paxos + 8: {
+      std::vector<m2p::SlotValue> slots;
+      if (!read_slots(r, slots)) return nullptr;
+      return make_payload<m2p::SyncReply>(std::move(slots));
+    }
+
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_payload(const Payload& payload) {
+  Writer w;
+  w.varint(payload.kind());
+  encode_body(w, payload);
+  return w.data();
+}
+
+PayloadPtr decode_payload(const std::uint8_t* data, std::size_t n) {
+  Reader r(data, n);
+  const auto kind = r.varint();
+  if (!kind || *kind > UINT32_MAX) return nullptr;
+  return decode_body(static_cast<std::uint32_t>(*kind), r);
+}
+
+}  // namespace m2::net

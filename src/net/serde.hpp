@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/command.hpp"
+#include "net/codec.hpp"
+#include "net/payload.hpp"
+
+namespace m2::net {
+
+/// Real wire serialization for every protocol message in the repository.
+///
+/// The simulator itself moves payloads by pointer and only *models* sizes
+/// (net::Payload::wire_size), but the library also ships an actual codec so
+/// the protocols can run over a real transport: encode_payload produces a
+/// self-describing frame body (kind varint + fields), decode_payload
+/// reconstructs the message. Malformed input yields nullptr, never UB —
+/// every reader path is bounds-checked (fuzz-style tests in
+/// tests/serde_test.cpp).
+///
+/// Layout stability: kinds are the Payload::kind() values; field order is
+/// fixed per message. FrameHeader (net/codec.hpp) provides the outer
+/// framing and checksum.
+std::vector<std::uint8_t> encode_payload(const Payload& payload);
+
+PayloadPtr decode_payload(const std::uint8_t* data, std::size_t n);
+inline PayloadPtr decode_payload(const std::vector<std::uint8_t>& bytes) {
+  return decode_payload(bytes.data(), bytes.size());
+}
+
+/// Command <-> bytes helpers shared by the per-message codecs.
+void write_command(Writer& w, const core::Command& c);
+std::optional<core::Command> read_command(Reader& r);
+
+}  // namespace m2::net

@@ -1,0 +1,84 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace m2::sim {
+
+namespace {
+// Id layout: generation in the high 32 bits, slot index + 1 below (so an
+// id is never 0 == kInvalidEvent).
+EventId encode(std::uint32_t gen, std::uint32_t slot) {
+  return (static_cast<EventId>(gen) << 32) | (slot + 1);
+}
+}  // namespace
+
+EventId EventQueue::schedule(Time at, std::function<void()> fn) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+
+  heap_.push_back(HeapEntry{at, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++live_;
+  return encode(s.gen, slot);
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  const auto slot = static_cast<std::uint32_t>((id & 0xffffffffu) - 1);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.gen != gen || !s.armed) return;  // stale or already fired
+  s.armed = false;
+  s.fn = nullptr;  // free captured state immediately
+  --live_;
+  // The heap entry stays and is discarded when it surfaces; the slot is
+  // only recycled then (a reuse before that would alias the stale entry).
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.gen;
+  s.armed = false;
+  s.fn = nullptr;
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && !slots_[heap_.front().slot].armed) {
+    const std::uint32_t slot = heap_.front().slot;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+    release_slot(slot);
+  }
+}
+
+Time EventQueue::next_time() {
+  drop_cancelled();
+  return heap_.empty() ? kTimeNever : heap_.front().at;
+}
+
+std::pair<Time, std::function<void()>> EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  const HeapEntry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  heap_.pop_back();
+  std::function<void()> fn = std::move(slots_[top.slot].fn);
+  release_slot(top.slot);
+  --live_;
+  return {top.at, std::move(fn)};
+}
+
+}  // namespace m2::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace m2::sim {
+
+/// Handle to a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Min-heap of timestamped callbacks with stable FIFO ordering for equal
+/// timestamps (insertion order breaks ties), which keeps runs deterministic.
+///
+/// Designed for the simulator's hot path: heap entries are 24-byte PODs
+/// (time, seq, slot index); callbacks live in a slot table with generation
+/// counters, so schedule/cancel/pop are O(log n) with no hashing and
+/// cancellation is an O(1) tombstone. Stale ids (already fired or
+/// cancelled) are detected via the generation and ignored.
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`. Returns a cancellable handle.
+  EventId schedule(Time at, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is
+  /// a no-op.
+  void cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Timestamp of the earliest live event; kTimeNever when empty.
+  /// (Non-const: lazily discards cancelled heap tops.)
+  Time next_time();
+
+  /// Pops and returns the earliest live event. Requires !empty().
+  std::pair<Time, std::function<void()>> pop();
+
+ private:
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t gen = 1;
+    bool armed = false;
+  };
+
+  static bool later(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  void release_slot(std::uint32_t slot);
+  /// Pops cancelled entries off the heap top.
+  void drop_cancelled();
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace m2::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+namespace m2::sim {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// We ship our own generator instead of std::mt19937 so that streams are
+/// reproducible across standard-library implementations; a failing run
+/// shrinks to a 64-bit seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Reinitialises the stream from `seed` via splitmix64 expansion.
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal variate (Box–Muller; one value per call).
+  double normal();
+
+  /// Lognormal variate with the given median and sigma (of the log).
+  double lognormal(double median, double sigma);
+
+  /// Derives an independent child stream; used to give each node its own
+  /// generator so event reordering in one node does not perturb another.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace m2::sim

@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace m2::sim {
+
+EventId Simulator::after(Time delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::at(Time when, std::function<void()> fn) {
+  assert(when >= now_);
+  return queue_.schedule(when, std::move(fn));
+}
+
+std::uint64_t Simulator::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && !queue_.empty()) {
+    auto [t, fn] = queue_.pop();
+    assert(t >= now_);
+    now_ = t;
+    fn();
+    ++n;
+  }
+  executed_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto [t, fn] = queue_.pop();
+    now_ = t;
+    fn();
+    ++n;
+  }
+  now_ = deadline;
+  executed_ += n;
+  return n;
+}
+
+}  // namespace m2::sim

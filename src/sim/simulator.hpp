@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace m2::sim {
+
+/// Discrete-event simulation driver.
+///
+/// Owns the virtual clock and the event queue. All other substrates
+/// (network, node CPUs, timers, clients) schedule work here. Execution is
+/// single-threaded and deterministic for a given seed.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules `fn` to run `delay` from now (delay >= 0).
+  EventId after(Time delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `at` (>= now()).
+  EventId at(Time when, std::function<void()> fn);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue is empty or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+  /// Runs events with timestamp <= deadline; leaves later events queued.
+  /// The clock is advanced to `deadline` even if the queue drains early.
+  std::uint64_t run_until(Time deadline);
+
+  /// True when no events remain.
+  bool idle() const { return queue_.empty(); }
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace m2::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+namespace m2::sim {
+
+/// Simulated time in nanoseconds since the start of the run.
+///
+/// All protocol and network code runs against simulated time, never the
+/// wall clock, so every experiment is deterministic given a seed.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Sentinel for "no deadline" / "never".
+inline constexpr Time kTimeNever = INT64_MAX;
+
+/// Converts a simulated duration to fractional seconds (for reporting).
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / kSecond; }
+
+/// Converts a simulated duration to fractional milliseconds (for reporting).
+constexpr double to_millis(Time t) { return static_cast<double>(t) / kMillisecond; }
+
+/// Converts a simulated duration to fractional microseconds (for reporting).
+constexpr double to_micros(Time t) { return static_cast<double>(t) / kMicrosecond; }
+
+}  // namespace m2::sim

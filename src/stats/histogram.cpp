@@ -1,0 +1,88 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace m2::stats {
+
+namespace {
+constexpr int kSub = 32;
+constexpr int kSubShift = 5;  // log2(kSub)
+}  // namespace
+
+Histogram::Histogram() : buckets_(64 * kSub, 0) {}
+
+std::size_t Histogram::bucket_of(std::int64_t v) {
+  if (v < kSub) return static_cast<std::size_t>(std::max<std::int64_t>(v, 0));
+  const auto u = static_cast<std::uint64_t>(v);
+  const int msb = 63 - std::countl_zero(u);
+  const int shift = msb - kSubShift;
+  const auto sub = static_cast<std::size_t>((u >> shift) & (kSub - 1));
+  return static_cast<std::size_t>(msb - kSubShift + 1) * kSub + sub;
+}
+
+std::int64_t Histogram::bucket_midpoint(std::size_t b) {
+  if (b < kSub) return static_cast<std::int64_t>(b);
+  const std::size_t power = b / kSub;       // >= 1
+  const std::size_t sub = b % kSub;
+  const int shift = static_cast<int>(power) - 1;
+  const std::uint64_t base = (static_cast<std::uint64_t>(kSub) + sub) << shift;
+  const std::uint64_t width = 1ULL << shift;
+  return static_cast<std::int64_t>(base + width / 2);
+}
+
+void Histogram::record(std::int64_t value) {
+  value = std::max<std::int64_t>(value, 0);
+  const std::size_t b = std::min(bucket_of(value), buckets_.size() - 1);
+  ++buckets_[b];
+  ++count_;
+  sum_ += static_cast<double>(value);
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= target && buckets_[b] > 0) return bucket_midpoint(b);
+  }
+  return max_;
+}
+
+}  // namespace m2::stats

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace m2::stats {
+
+/// Log-bucketed latency histogram (HdrHistogram-style): ~2.3 % relative
+/// error per bucket, constant memory, O(1) record.
+///
+/// Values are non-negative integers (nanoseconds in this codebase).
+class Histogram {
+ public:
+  Histogram();
+
+  void record(std::int64_t value);
+  void merge(const Histogram& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Value at quantile q in [0,1]; e.g. 0.5 = median, 0.99 = p99.
+  std::int64_t quantile(double q) const;
+  std::int64_t median() const { return quantile(0.5); }
+
+ private:
+  static std::size_t bucket_of(std::int64_t v);
+  static std::int64_t bucket_midpoint(std::size_t b);
+
+  static constexpr int kSubBuckets = 32;  // per power of two
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace m2::stats

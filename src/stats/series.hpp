@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m2::stats {
+
+/// One measured datapoint of an experiment sweep.
+struct Point {
+  double x = 0;   // sweep variable (node count, % locality, ...)
+  double y = 0;   // measured value (throughput, latency, ...)
+};
+
+/// A named series of points (one line in a figure).
+struct Series {
+  std::string name;
+  std::vector<Point> points;
+
+  void add(double x, double y) { points.push_back(Point{x, y}); }
+};
+
+/// Summary statistics over a plain sample vector (used by benches that
+/// repeat measurements).
+struct Summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  std::size_t n = 0;
+};
+
+Summary summarize(const std::vector<double>& samples);
+
+/// Relative speed-up of a over b (a/b); 0 if b == 0.
+double speedup(double a, double b);
+
+}  // namespace m2::stats

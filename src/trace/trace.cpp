@@ -1,0 +1,74 @@
+#include "trace/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace m2::trace {
+
+namespace {
+const char* kind_name(Event::Kind k) {
+  switch (k) {
+    case Event::Kind::kSend:
+      return "send";
+    case Event::Kind::kBroadcast:
+      return "bcast";
+    case Event::Kind::kReceive:
+      return "recv";
+    case Event::Kind::kCommit:
+      return "commit";
+    case Event::Kind::kDeliver:
+      return "deliver";
+    case Event::Kind::kCrash:
+      return "crash";
+    case Event::Kind::kRecover:
+      return "recover";
+  }
+  return "?";
+}
+}  // namespace
+
+void Event::print(std::ostream& os) const {
+  os << std::setw(12) << at << "ns  n" << node << "  " << std::setw(7)
+     << kind_name(kind);
+  if (peer != kNoNode) os << "  peer=n" << peer;
+  if (what != nullptr && what[0] != '\0') os << "  " << what;
+  if (detail != 0) os << "  #" << std::hex << detail << std::dec;
+  os << "\n";
+}
+
+void Recorder::dump(std::ostream& os, std::size_t last_n) const {
+  const std::size_t n =
+      (last_n == 0 || last_n > events_.size()) ? events_.size() : last_n;
+  os << "--- trace: last " << n << " of " << total_ << " events ---\n";
+  for (std::size_t i = events_.size() - n; i < events_.size(); ++i)
+    events_[i].print(os);
+}
+
+void Recorder::dump_node(std::ostream& os, NodeId node,
+                         std::size_t last_n) const {
+  os << "--- trace (node " << node << ") ---\n";
+  std::size_t shown = 0;
+  for (auto it = events_.rbegin();
+       it != events_.rend() && (last_n == 0 || shown < last_n); ++it) {
+    if (it->node != node) continue;
+    ++shown;
+  }
+  // Print in chronological order.
+  std::size_t to_skip = 0;
+  if (last_n != 0) {
+    std::size_t count = 0;
+    for (const auto& e : events_)
+      if (e.node == node) ++count;
+    to_skip = count > last_n ? count - last_n : 0;
+  }
+  for (const auto& e : events_) {
+    if (e.node != node) continue;
+    if (to_skip > 0) {
+      --to_skip;
+      continue;
+    }
+    e.print(os);
+  }
+}
+
+}  // namespace m2::trace

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "net/payload.hpp"
+#include "sim/time.hpp"
+
+namespace m2::trace {
+
+/// One recorded protocol event.
+struct Event {
+  enum class Kind : std::uint8_t {
+    kSend,
+    kBroadcast,
+    kReceive,
+    kCommit,
+    kDeliver,
+    kCrash,
+    kRecover
+  };
+
+  sim::Time at = 0;
+  NodeId node = kNoNode;
+  Kind kind = Kind::kSend;
+  NodeId peer = kNoNode;       // destination / source when applicable
+  const char* what = "";       // message type or command description
+  std::uint64_t detail = 0;    // command id / wire size
+
+  void print(std::ostream& os) const;
+};
+
+/// Bounded ring of protocol events, cheap enough to keep on during tests:
+/// recording is two integer stores and a pointer copy; formatting happens
+/// only on dump. When an invariant trips, the tail of the ring is the
+/// flight recorder of what the cluster did last.
+class Recorder {
+ public:
+  explicit Recorder(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void record(Event e) {
+    if (!enabled_) return;
+    if (events_.size() == capacity_) events_.pop_front();
+    events_.push_back(e);
+    ++total_;
+  }
+
+  /// Prints the most recent `last_n` events (all retained if 0).
+  void dump(std::ostream& os, std::size_t last_n = 0) const;
+  /// Prints only events of `node`.
+  void dump_node(std::ostream& os, NodeId node, std::size_t last_n = 0) const;
+
+  std::size_t size() const { return events_.size(); }
+  std::uint64_t total_recorded() const { return total_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::deque<Event> events_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace m2::trace

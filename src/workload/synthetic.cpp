@@ -1,0 +1,56 @@
+#include "workload/synthetic.hpp"
+
+#include <cassert>
+
+namespace m2::wl {
+
+SyntheticWorkload::SyntheticWorkload(SyntheticConfig cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      next_seq_(static_cast<std::size_t>(cfg.n_nodes), 1) {
+  assert(cfg_.n_nodes >= 1);
+  assert(cfg_.objects_per_node >= 1);
+  if (cfg_.zipf_theta > 0.0)
+    zipf_.emplace(cfg_.objects_per_node, cfg_.zipf_theta);
+}
+
+core::ObjectId SyntheticWorkload::local_object(NodeId node) {
+  const std::uint64_t index =
+      zipf_ ? zipf_->sample(rng_) : rng_.uniform(cfg_.objects_per_node);
+  return static_cast<core::ObjectId>(node) * cfg_.objects_per_node + index;
+}
+
+core::ObjectId SyntheticWorkload::uniform_object() {
+  return rng_.uniform(total_objects());
+}
+
+NodeId SyntheticWorkload::default_owner(core::ObjectId object) const {
+  return static_cast<NodeId>(object / cfg_.objects_per_node);
+}
+
+core::Command SyntheticWorkload::next(NodeId proposer) {
+  const core::CommandId id =
+      core::CommandId::make(proposer, next_seq_[proposer]++);
+
+  if (cfg_.complex_fraction > 0 && rng_.chance(cfg_.complex_fraction)) {
+    // Complex command: one object likely owned locally plus one uniform
+    // across all partitions (Fig. 7).
+    return core::Command(id, {local_object(proposer), uniform_object()},
+                         cfg_.payload_bytes);
+  }
+
+  if (cfg_.locality >= 1.0 || rng_.chance(cfg_.locality)) {
+    return core::Command(id, {local_object(proposer)}, cfg_.payload_bytes);
+  }
+
+  // Remote command: object from a uniformly chosen other node's partition.
+  NodeId other = proposer;
+  if (cfg_.n_nodes > 1) {
+    other = static_cast<NodeId>(
+        rng_.uniform(static_cast<std::uint64_t>(cfg_.n_nodes - 1)));
+    if (other >= proposer) ++other;
+  }
+  return core::Command(id, {local_object(other)}, cfg_.payload_bytes);
+}
+
+}  // namespace m2::wl

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workload/workload.hpp"
+#include "workload/zipf.hpp"
+
+namespace m2::wl {
+
+/// Synthetic benchmark of the paper (§VI-A).
+///
+/// Each node owns a partition ("local-set") of `objects_per_node` objects.
+/// A simple command touches one object: with probability `locality` an
+/// object of the proposer's own partition, otherwise an object of a
+/// uniformly chosen remote partition. A *complex* command (probability
+/// `complex_fraction`, Fig. 7) touches one local-set object plus one object
+/// uniform across the whole key space — hence potentially conflicting with
+/// commands from multiple nodes.
+struct SyntheticConfig {
+  int n_nodes = 3;
+  std::uint64_t objects_per_node = 1000;
+  double locality = 1.0;
+  double complex_fraction = 0.0;
+  std::uint32_t payload_bytes = 16;  // paper: 16-byte payload
+  std::uint64_t seed = 1;
+  /// Zipfian skew of object selection within a partition (0 = uniform,
+  /// 0.99 = YCSB hot-spot). Skew concentrates conflicts on a few hot
+  /// objects — an extension beyond the paper's uniform workload.
+  double zipf_theta = 0.0;
+};
+
+class SyntheticWorkload final : public Workload {
+ public:
+  explicit SyntheticWorkload(SyntheticConfig cfg);
+
+  core::Command next(NodeId proposer) override;
+  NodeId default_owner(core::ObjectId object) const override;
+
+  std::uint64_t total_objects() const {
+    return cfg_.objects_per_node * static_cast<std::uint64_t>(cfg_.n_nodes);
+  }
+  const SyntheticConfig& config() const { return cfg_; }
+
+ private:
+  core::ObjectId local_object(NodeId node);
+  core::ObjectId uniform_object();
+
+  SyntheticConfig cfg_;
+  sim::Rng rng_;
+  std::vector<std::uint64_t> next_seq_;
+  std::optional<Zipf> zipf_;  // set when cfg_.zipf_theta > 0
+};
+
+}  // namespace m2::wl

@@ -1,0 +1,154 @@
+#include "workload/tpcc.hpp"
+
+#include <cassert>
+
+namespace m2::wl {
+
+namespace {
+// Object-id layout: warehouse * kStride + kind block + index.
+constexpr core::ObjectId kStride = 1'000'000;
+constexpr core::ObjectId kDistrictBase = 100;
+constexpr core::ObjectId kCustomerBase = 1'000;
+constexpr core::ObjectId kStockBase = 10'000;
+}  // namespace
+
+const char* to_string(TpccProfile p) {
+  switch (p) {
+    case TpccProfile::kNewOrder:
+      return "NewOrder";
+    case TpccProfile::kPayment:
+      return "Payment";
+    case TpccProfile::kOrderStatus:
+      return "OrderStatus";
+    case TpccProfile::kDelivery:
+      return "Delivery";
+    case TpccProfile::kStockLevel:
+      return "StockLevel";
+  }
+  return "?";
+}
+
+core::ObjectId TpccWorkload::warehouse_obj(int w) {
+  return static_cast<core::ObjectId>(w) * kStride;
+}
+core::ObjectId TpccWorkload::district_obj(int w, int d) {
+  return static_cast<core::ObjectId>(w) * kStride + kDistrictBase + d;
+}
+core::ObjectId TpccWorkload::customer_obj(int w, int d, int c_group) {
+  return static_cast<core::ObjectId>(w) * kStride + kCustomerBase +
+         static_cast<core::ObjectId>(d) * kCustomerGroups + c_group;
+}
+core::ObjectId TpccWorkload::stock_obj(int w, int bucket) {
+  return static_cast<core::ObjectId>(w) * kStride + kStockBase + bucket;
+}
+int TpccWorkload::warehouse_of(core::ObjectId obj) {
+  return static_cast<int>(obj / kStride);
+}
+
+TpccWorkload::TpccWorkload(TpccConfig cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      next_seq_(static_cast<std::size_t>(cfg.n_nodes), 1) {
+  assert(cfg_.n_nodes >= 1);
+  assert(cfg_.warehouses_per_node >= 1);
+}
+
+NodeId TpccWorkload::default_owner(core::ObjectId object) const {
+  const int w = warehouse_of(object);
+  return static_cast<NodeId>(w / cfg_.warehouses_per_node);
+}
+
+TpccProfile TpccWorkload::pick_profile() {
+  const std::uint64_t r = rng_.uniform(100);
+  if (r < 45) return TpccProfile::kNewOrder;
+  if (r < 88) return TpccProfile::kPayment;
+  if (r < 92) return TpccProfile::kOrderStatus;
+  if (r < 96) return TpccProfile::kDelivery;
+  return TpccProfile::kStockLevel;
+}
+
+int TpccWorkload::pick_home_warehouse(NodeId proposer) {
+  const int local_base = static_cast<int>(proposer) * cfg_.warehouses_per_node;
+  const int local =
+      local_base + static_cast<int>(rng_.uniform(cfg_.warehouses_per_node));
+  if (cfg_.remote_warehouse_prob <= 0 || !rng_.chance(cfg_.remote_warehouse_prob))
+    return local;
+  return static_cast<int>(rng_.uniform(total_warehouses()));
+}
+
+int TpccWorkload::pick_remote_warehouse(int home) {
+  if (total_warehouses() <= 1) return home;
+  int w = static_cast<int>(rng_.uniform(total_warehouses() - 1));
+  if (w >= home) ++w;
+  return w;
+}
+
+core::Command TpccWorkload::next(NodeId proposer) {
+  const core::CommandId id =
+      core::CommandId::make(proposer, next_seq_[proposer]++);
+  const int w = pick_home_warehouse(proposer);
+  last_profile_ = pick_profile();
+  switch (last_profile_) {
+    case TpccProfile::kNewOrder:
+      return new_order(id, w);
+    case TpccProfile::kPayment:
+      return payment(id, w);
+    case TpccProfile::kOrderStatus:
+      return order_status(id, w);
+    case TpccProfile::kDelivery:
+      return delivery(id, w);
+    case TpccProfile::kStockLevel:
+      return stock_level(id, w);
+  }
+  return new_order(id, w);
+}
+
+core::Command TpccWorkload::new_order(core::CommandId id, int w) {
+  const int d = static_cast<int>(rng_.uniform(kDistricts));
+  std::vector<core::ObjectId> ls = {
+      warehouse_obj(w), district_obj(w, d),
+      customer_obj(w, d, static_cast<int>(rng_.uniform(kCustomerGroups)))};
+  const int lines = 5 + static_cast<int>(rng_.uniform(11));  // 5..15
+  for (int i = 0; i < lines; ++i) {
+    // TPC-C: 1 % of order lines source stock from a remote warehouse.
+    const int sw = rng_.chance(0.01) ? pick_remote_warehouse(w) : w;
+    ls.push_back(stock_obj(sw, static_cast<int>(rng_.uniform(kStockBuckets))));
+  }
+  // Parameters: ids + per-line (item, qty, supply warehouse).
+  return core::Command(id, std::move(ls),
+                       static_cast<std::uint32_t>(32 + 12 * lines));
+}
+
+core::Command TpccWorkload::payment(core::CommandId id, int w) {
+  const int d = static_cast<int>(rng_.uniform(kDistricts));
+  // TPC-C: 15 % of payments touch a customer of another warehouse.
+  const int cw = rng_.chance(0.15) ? pick_remote_warehouse(w) : w;
+  const int cd = static_cast<int>(rng_.uniform(kDistricts));
+  std::vector<core::ObjectId> ls = {
+      warehouse_obj(w), district_obj(w, d),
+      customer_obj(cw, cd, static_cast<int>(rng_.uniform(kCustomerGroups)))};
+  return core::Command(id, std::move(ls), 48);
+}
+
+core::Command TpccWorkload::order_status(core::CommandId id, int w) {
+  const int d = static_cast<int>(rng_.uniform(kDistricts));
+  std::vector<core::ObjectId> ls = {
+      customer_obj(w, d, static_cast<int>(rng_.uniform(kCustomerGroups)))};
+  return core::Command(id, std::move(ls), 32);
+}
+
+core::Command TpccWorkload::delivery(core::CommandId id, int w) {
+  std::vector<core::ObjectId> ls = {warehouse_obj(w)};
+  for (int d = 0; d < kDistricts; ++d) ls.push_back(district_obj(w, d));
+  return core::Command(id, std::move(ls), 40);
+}
+
+core::Command TpccWorkload::stock_level(core::CommandId id, int w) {
+  const int d = static_cast<int>(rng_.uniform(kDistricts));
+  std::vector<core::ObjectId> ls = {
+      district_obj(w, d),
+      stock_obj(w, static_cast<int>(rng_.uniform(kStockBuckets)))};
+  return core::Command(id, std::move(ls), 36);
+}
+
+}  // namespace m2::wl

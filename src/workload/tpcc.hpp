@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace m2::wl {
+
+/// TPC-C transaction profiles, with the standard mix percentages.
+enum class TpccProfile : std::uint8_t {
+  kNewOrder,     // 45 %
+  kPayment,      // 43 %
+  kOrderStatus,  // 4 %
+  kDelivery,     // 4 %
+  kStockLevel    // 4 %
+};
+
+const char* to_string(TpccProfile p);
+
+/// TPC-C command generator (paper §VI-B).
+///
+/// As in the paper, commands carry the *parameters* of a TPC-C transaction
+/// (warehouse id, district id, customer, item list); execution is omitted —
+/// the consensus layer only orders them. Warehouses are partitioned
+/// 10-per-node; each command picks its home warehouse locally with
+/// probability 1 - remote_warehouse_prob (Fig. 8a: 0 %, Fig. 8b: 15 % of
+/// payments follow the TPC-C remote-customer rule; the `remote_warehouse
+/// _prob` knob additionally redirects the home warehouse itself).
+///
+/// Object granularity: warehouse row, district rows, customer groups
+/// (32 per district), and stock buckets (128 per warehouse). A NewOrder
+/// touches warehouse+district+customer+stock buckets (~10 order lines, 1 %
+/// of lines on a remote warehouse per the spec); a Payment touches
+/// warehouse+district+customer (15 % remote customer).
+struct TpccConfig {
+  int n_nodes = 3;
+  int warehouses_per_node = 10;  // paper: 10 * N warehouses total
+  double remote_warehouse_prob = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class TpccWorkload final : public Workload {
+ public:
+  explicit TpccWorkload(TpccConfig cfg);
+
+  core::Command next(NodeId proposer) override;
+  NodeId default_owner(core::ObjectId object) const override;
+
+  int total_warehouses() const { return cfg_.n_nodes * cfg_.warehouses_per_node; }
+  const TpccConfig& config() const { return cfg_; }
+
+  /// Profile of the most recently generated command (for tests/benches).
+  TpccProfile last_profile() const { return last_profile_; }
+
+  // Object-id encoding helpers (public for tests).
+  static core::ObjectId warehouse_obj(int w);
+  static core::ObjectId district_obj(int w, int d);
+  static core::ObjectId customer_obj(int w, int d, int c_group);
+  static core::ObjectId stock_obj(int w, int bucket);
+  static int warehouse_of(core::ObjectId obj);
+
+  static constexpr int kDistricts = 10;
+  static constexpr int kCustomerGroups = 32;  // per district
+  static constexpr int kStockBuckets = 128;   // per warehouse
+
+ private:
+  TpccProfile pick_profile();
+  int pick_home_warehouse(NodeId proposer);
+  int pick_remote_warehouse(int home);
+
+  core::Command new_order(core::CommandId id, int w);
+  core::Command payment(core::CommandId id, int w);
+  core::Command order_status(core::CommandId id, int w);
+  core::Command delivery(core::CommandId id, int w);
+  core::Command stock_level(core::CommandId id, int w);
+
+  TpccConfig cfg_;
+  sim::Rng rng_;
+  std::vector<std::uint64_t> next_seq_;
+  TpccProfile last_profile_ = TpccProfile::kNewOrder;
+};
+
+}  // namespace m2::wl

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/command.hpp"
+
+namespace m2::wl {
+
+/// A command generator driving one experiment.
+///
+/// Implementations are deterministic given their seed. `next(n)` builds the
+/// command a client at node `n` submits; `default_owner(l)` is the static
+/// partition map used to pre-assign M²Paxos ownership (the paper evaluates
+/// the steady state where ownership is already established; cold-start
+/// acquisition is exercised separately by tests and the ablation benches).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual core::Command next(NodeId proposer) = 0;
+  virtual NodeId default_owner(core::ObjectId object) const = 0;
+};
+
+}  // namespace m2::wl

@@ -1,0 +1,37 @@
+#include "workload/zipf.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace m2::wl {
+
+double Zipf::zeta(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+Zipf::Zipf(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n >= 1);
+  assert(theta >= 0.0 && theta < 1.0);
+  alpha_ = 1.0 / (1.0 - theta);
+  zetan_ = zeta(n, theta);
+  const double zeta2 = zeta(2 < n ? 2 : n, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta);
+}
+
+std::uint64_t Zipf::sample(sim::Rng& rng) const {
+  if (n_ == 1) return 0;
+  const double u = rng.uniform01();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const auto v = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace m2::wl

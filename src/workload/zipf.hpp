@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace m2::wl {
+
+/// Zipfian sampler over [0, n) (YCSB-style, Gray et al.'s rejection-free
+/// inverse method with precomputed zeta constants).
+///
+/// theta in [0, 1): 0 = uniform-ish, 0.99 = the YCSB default hot-spot
+/// distribution. Used by the skewed synthetic workload to concentrate
+/// load on a few hot objects — the adversarial case for per-object
+/// ownership protocols.
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double theta);
+
+  std::uint64_t sample(sim::Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+}  // namespace m2::wl

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "net/codec.hpp"
+
+namespace m2::net {
+namespace {
+
+TEST(Codec, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Codec, VarintRoundTrip) {
+  const std::uint64_t values[] = {0,    1,        127,        128,
+                                  300,  16383,    16384,      UINT32_MAX,
+                                  1ULL << 40, UINT64_MAX};
+  for (std::uint64_t v : values) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.data());
+    EXPECT_EQ(r.varint(), v) << v;
+  }
+}
+
+TEST(Codec, VarintSizes) {
+  Writer w;
+  w.varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.varint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Codec, StringRoundTrip) {
+  Writer w;
+  w.str("hello consensus");
+  w.str("");
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "hello consensus");
+  EXPECT_EQ(r.str(), "");
+}
+
+TEST(Codec, UnderflowReturnsNullopt) {
+  Writer w;
+  w.u8(1);
+  Reader r(w.data());
+  EXPECT_TRUE(r.u8().has_value());
+  EXPECT_FALSE(r.u8().has_value());
+  EXPECT_FALSE(r.u32().has_value());
+  EXPECT_FALSE(r.u64().has_value());
+  EXPECT_FALSE(r.varint().has_value());
+  EXPECT_FALSE(r.str().has_value());
+}
+
+TEST(Codec, TruncatedVarintRejected) {
+  const std::uint8_t bytes[] = {0x80, 0x80};  // continuation with no end
+  Reader r(bytes, sizeof(bytes));
+  EXPECT_FALSE(r.varint().has_value());
+}
+
+TEST(Codec, OverlongVarintRejected) {
+  // 11 continuation bytes exceeds the 64-bit range.
+  std::vector<std::uint8_t> bytes(11, 0x80);
+  bytes.push_back(0x01);
+  Reader r(bytes.data(), bytes.size());
+  EXPECT_FALSE(r.varint().has_value());
+}
+
+TEST(Codec, StringLengthBeyondBufferRejected) {
+  Writer w;
+  w.varint(1000);  // claims 1000 bytes follow
+  w.u8('x');
+  Reader r(w.data());
+  EXPECT_FALSE(r.str().has_value());
+}
+
+TEST(Codec, Crc32cKnownVector) {
+  // Standard CRC-32C test vector: "123456789" -> 0xE3069283.
+  const char data[] = "123456789";
+  EXPECT_EQ(crc32c(data, 9), 0xE3069283u);
+}
+
+TEST(Codec, Crc32cDetectsCorruption) {
+  std::vector<std::uint8_t> data(64, 0x5a);
+  const std::uint32_t good = crc32c(data.data(), data.size());
+  data[10] ^= 1;
+  EXPECT_NE(crc32c(data.data(), data.size()), good);
+}
+
+TEST(FrameHeader, RoundTrip) {
+  FrameHeader h;
+  h.sender = 7;
+  h.message_count = 42;
+  h.body_bytes = 123456;
+  h.checksum = 0xcafe;
+  const auto bytes = h.encode();
+  const auto decoded = FrameHeader::decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sender, 7u);
+  EXPECT_EQ(decoded->message_count, 42u);
+  EXPECT_EQ(decoded->body_bytes, 123456u);
+  EXPECT_EQ(decoded->checksum, 0xcafeu);
+}
+
+TEST(FrameHeader, RejectsBadMagic) {
+  FrameHeader h;
+  auto bytes = h.encode();
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(FrameHeader::decode(bytes.data(), bytes.size()).has_value());
+}
+
+TEST(FrameHeader, RejectsTruncated) {
+  FrameHeader h;
+  const auto bytes = h.encode();
+  EXPECT_FALSE(FrameHeader::decode(bytes.data(), bytes.size() - 1).has_value());
+}
+
+}  // namespace
+}  // namespace m2::net

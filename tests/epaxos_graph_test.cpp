@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "epaxos/graph.hpp"
+
+namespace m2::ep {
+namespace {
+
+/// Synthetic graph fixture: instances with deps/seq/status set by hand.
+struct FakeGraph {
+  struct Node {
+    std::vector<InstRef> deps;
+    std::uint64_t seq = 0;
+    bool committed = true;
+    bool executed = false;
+  };
+  std::map<InstRef, Node> nodes;
+
+  ExecGraph view() {
+    ExecGraph g;
+    static const std::vector<InstRef> kEmpty;
+    g.deps_of = [this](InstRef r) -> const std::vector<InstRef>& {
+      auto it = nodes.find(r);
+      return it == nodes.end() ? kEmpty : it->second.deps;
+    };
+    g.is_committed = [this](InstRef r) {
+      auto it = nodes.find(r);
+      return it != nodes.end() && it->second.committed;
+    };
+    g.is_executed = [this](InstRef r) {
+      auto it = nodes.find(r);
+      return it != nodes.end() && it->second.executed;
+    };
+    g.seq_of = [this](InstRef r) {
+      auto it = nodes.find(r);
+      return it == nodes.end() ? 0 : it->second.seq;
+    };
+    return g;
+  }
+};
+
+TEST(InstRef, EncodesReplicaAndSlot) {
+  const InstRef r = make_inst(17, 123456);
+  EXPECT_EQ(inst_replica(r), 17u);
+  EXPECT_EQ(inst_slot(r), 123456u);
+}
+
+TEST(ExecGraph, SingleInstanceExecutes) {
+  FakeGraph fg;
+  const InstRef a = make_inst(0, 1);
+  fg.nodes[a] = {};
+  const auto plan = plan_execution(fg.view(), a);
+  EXPECT_FALSE(plan.blocked);
+  EXPECT_EQ(plan.to_execute, (std::vector<InstRef>{a}));
+}
+
+TEST(ExecGraph, DependenciesExecuteFirst) {
+  FakeGraph fg;
+  const InstRef a = make_inst(0, 1), b = make_inst(1, 1), c = make_inst(2, 1);
+  fg.nodes[a] = {{b}, 3};
+  fg.nodes[b] = {{c}, 2};
+  fg.nodes[c] = {{}, 1};
+  const auto plan = plan_execution(fg.view(), a);
+  EXPECT_FALSE(plan.blocked);
+  EXPECT_EQ(plan.to_execute, (std::vector<InstRef>{c, b, a}));
+}
+
+TEST(ExecGraph, CycleOrderedBySeq) {
+  FakeGraph fg;
+  const InstRef a = make_inst(0, 1), b = make_inst(1, 1);
+  fg.nodes[a] = {{b}, 5};
+  fg.nodes[b] = {{a}, 2};
+  const auto plan = plan_execution(fg.view(), a);
+  EXPECT_FALSE(plan.blocked);
+  // Both in one SCC, ordered by seq (b has the lower seq).
+  EXPECT_EQ(plan.to_execute, (std::vector<InstRef>{b, a}));
+}
+
+TEST(ExecGraph, CycleSeqTieBrokenByInstanceId) {
+  FakeGraph fg;
+  const InstRef a = make_inst(0, 1), b = make_inst(1, 1);
+  fg.nodes[a] = {{b}, 5};
+  fg.nodes[b] = {{a}, 5};
+  const auto plan = plan_execution(fg.view(), b);
+  ASSERT_EQ(plan.to_execute.size(), 2u);
+  EXPECT_EQ(plan.to_execute[0], std::min(a, b));
+}
+
+TEST(ExecGraph, BlockedOnUncommittedDep) {
+  FakeGraph fg;
+  const InstRef a = make_inst(0, 1), b = make_inst(1, 1);
+  fg.nodes[a] = {{b}, 2};
+  fg.nodes[b] = {{}, 1, /*committed=*/false};
+  const auto plan = plan_execution(fg.view(), a);
+  EXPECT_TRUE(plan.blocked);
+  EXPECT_EQ(plan.blocked_on, b);
+  EXPECT_TRUE(plan.to_execute.empty());
+}
+
+TEST(ExecGraph, ExecutedDepsAreSkipped) {
+  FakeGraph fg;
+  const InstRef a = make_inst(0, 2), b = make_inst(0, 1);
+  fg.nodes[a] = {{b}, 2};
+  fg.nodes[b] = {{}, 1, true, /*executed=*/true};
+  const auto plan = plan_execution(fg.view(), a);
+  EXPECT_FALSE(plan.blocked);
+  EXPECT_EQ(plan.to_execute, (std::vector<InstRef>{a}));
+}
+
+TEST(ExecGraph, AlreadyExecutedRootIsEmptyPlan) {
+  FakeGraph fg;
+  const InstRef a = make_inst(0, 1);
+  fg.nodes[a] = {{}, 1, true, true};
+  const auto plan = plan_execution(fg.view(), a);
+  EXPECT_FALSE(plan.blocked);
+  EXPECT_TRUE(plan.to_execute.empty());
+}
+
+TEST(ExecGraph, LongChainIterative) {
+  // A 50k-deep chain must not overflow the stack (iterative Tarjan).
+  FakeGraph fg;
+  const int depth = 50000;
+  for (int i = 0; i < depth; ++i) {
+    FakeGraph::Node n;
+    if (i > 0) n.deps.push_back(make_inst(0, static_cast<std::uint64_t>(i)));
+    n.seq = static_cast<std::uint64_t>(i + 1);
+    fg.nodes[make_inst(0, static_cast<std::uint64_t>(i + 1))] = n;
+  }
+  const auto plan =
+      plan_execution(fg.view(), make_inst(0, static_cast<std::uint64_t>(depth)));
+  EXPECT_FALSE(plan.blocked);
+  ASSERT_EQ(plan.to_execute.size(), static_cast<std::size_t>(depth));
+  EXPECT_EQ(plan.to_execute.front(), make_inst(0, 1));
+  EXPECT_EQ(plan.to_execute.back(), make_inst(0, static_cast<std::uint64_t>(depth)));
+}
+
+TEST(ExecGraph, DiamondTopologyRespectsOrder) {
+  //   a depends on b and c; both depend on d.
+  FakeGraph fg;
+  const InstRef a = make_inst(0, 1), b = make_inst(1, 1), c = make_inst(2, 1),
+               d = make_inst(3, 1);
+  fg.nodes[a] = {{b, c}, 4};
+  fg.nodes[b] = {{d}, 2};
+  fg.nodes[c] = {{d}, 3};
+  fg.nodes[d] = {{}, 1};
+  const auto plan = plan_execution(fg.view(), a);
+  ASSERT_EQ(plan.to_execute.size(), 4u);
+  auto pos = [&](InstRef r) {
+    return std::find(plan.to_execute.begin(), plan.to_execute.end(), r) -
+           plan.to_execute.begin();
+  };
+  EXPECT_LT(pos(d), pos(b));
+  EXPECT_LT(pos(d), pos(c));
+  EXPECT_LT(pos(b), pos(a));
+  EXPECT_LT(pos(c), pos(a));
+}
+
+}  // namespace
+}  // namespace m2::ep

@@ -1,0 +1,125 @@
+// Differential test: the slot-based EventQueue against a trivially correct
+// reference (multimap keyed by (time, seq)) under randomized interleavings
+// of schedule / cancel / pop, including adversarial cancels of fired and
+// bogus ids.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace m2::sim {
+namespace {
+
+class ReferenceQueue {
+ public:
+  EventId schedule(Time at) {
+    const EventId id = next_id_++;
+    entries_.emplace(std::make_pair(at, id), id);
+    by_id_.emplace(id, at);
+    return id;
+  }
+  bool cancel(EventId id) {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) return false;
+    entries_.erase({it->second, id});
+    by_id_.erase(it);
+    return true;
+  }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  Time next_time() const {
+    return entries_.empty() ? kTimeNever : entries_.begin()->first.first;
+  }
+  EventId pop() {
+    const EventId id = entries_.begin()->second;
+    by_id_.erase(id);
+    entries_.erase(entries_.begin());
+    return id;
+  }
+
+ private:
+  // Seq == EventId here: both queues assign ids in schedule order, so the
+  // (time, id) tie-break matches EventQueue's (time, seq) FIFO order.
+  std::map<std::pair<Time, EventId>, EventId> entries_;
+  std::map<EventId, Time> by_id_;
+  EventId next_id_ = 1;
+};
+
+struct Param {
+  std::uint64_t seed;
+  int ops;
+};
+
+class EventQueueDifferential : public ::testing::TestWithParam<Param> {};
+
+TEST_P(EventQueueDifferential, MatchesReference) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  EventQueue q;
+  ReferenceQueue ref;
+  // Map from reference id -> (queue id, payload marker).
+  std::map<EventId, std::pair<EventId, std::uint64_t>> live;
+  std::vector<EventId> fired_ids;  // for cancel-after-fire probes
+  std::uint64_t fired_marker = 0;
+
+  for (int op = 0; op < p.ops; ++op) {
+    const auto roll = rng.uniform(10);
+    if (roll < 5) {
+      // schedule
+      const Time at = static_cast<Time>(rng.uniform(1000));
+      const std::uint64_t marker = rng.next();
+      const EventId rid = ref.schedule(at);
+      const EventId qid =
+          q.schedule(at, [marker, &fired_marker] { fired_marker = marker; });
+      live[rid] = {qid, marker};
+    } else if (roll < 7 && !live.empty()) {
+      // cancel a live event
+      auto it = live.begin();
+      std::advance(it, rng.uniform(live.size()));
+      EXPECT_TRUE(ref.cancel(it->first));
+      q.cancel(it->second.first);
+      live.erase(it);
+    } else if (roll == 7) {
+      // adversarial cancels: bogus and already-fired ids must be no-ops
+      q.cancel(kInvalidEvent);
+      q.cancel(0xdeadbeefULL << 32);
+      if (!fired_ids.empty())
+        q.cancel(fired_ids[rng.uniform(fired_ids.size())]);
+    } else if (!ref.empty()) {
+      // pop and compare
+      ASSERT_FALSE(q.empty());
+      EXPECT_EQ(q.next_time(), ref.next_time());
+      const EventId rid = ref.pop();
+      auto [t, fn] = q.pop();
+      fn();
+      ASSERT_TRUE(live.count(rid));
+      EXPECT_EQ(fired_marker, live[rid].second) << "pop order diverged";
+      fired_ids.push_back(live[rid].first);
+      live.erase(rid);
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    ASSERT_EQ(q.empty(), ref.empty());
+  }
+
+  // Drain both; order must match exactly.
+  while (!ref.empty()) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.next_time(), ref.next_time());
+    const EventId rid = ref.pop();
+    auto [t, fn] = q.pop();
+    fn();
+    EXPECT_EQ(fired_marker, live[rid].second);
+    live.erase(rid);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EventQueueDifferential,
+                         ::testing::Values(Param{1, 2000}, Param{2, 2000},
+                                           Param{3, 5000}, Param{4, 5000},
+                                           Param{5, 10000}));
+
+}  // namespace
+}  // namespace m2::sim

@@ -1,0 +1,170 @@
+// Application layer: replicated key-value store over the consensus
+// protocols, with operations actually serialized into command bodies.
+#include <gtest/gtest.h>
+
+#include "app/kv.hpp"
+#include "harness/cluster.hpp"
+#include "test_util.hpp"
+#include "workload/synthetic.hpp"
+
+namespace m2::app {
+namespace {
+
+TEST(KvOp, EncodeDecodeRoundTrip) {
+  KvOp op{KvOp::Kind::kPut, 42, "hello"};
+  const auto bytes = op.encode();
+  const auto decoded = KvOp::decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, KvOp::Kind::kPut);
+  EXPECT_EQ(decoded->key, 42u);
+  EXPECT_EQ(decoded->value, "hello");
+}
+
+TEST(KvOp, DecodeRejectsGarbage) {
+  const std::uint8_t junk[] = {0xff, 0x01, 0x02};
+  EXPECT_FALSE(KvOp::decode(junk, sizeof(junk)).has_value());
+  const auto good = KvOp{KvOp::Kind::kDelete, 1, ""}.encode();
+  EXPECT_FALSE(KvOp::decode(good.data(), good.size() - 1).has_value());
+}
+
+TEST(KvOp, ToCommandCarriesBodyAndKey) {
+  KvOp op{KvOp::Kind::kPut, 7, "v"};
+  const auto c = op.to_command(core::CommandId::make(0, 1));
+  EXPECT_EQ(c.objects, (std::vector<core::ObjectId>{7}));
+  ASSERT_NE(c.body, nullptr);
+  EXPECT_EQ(c.payload_bytes, c.body->size());
+}
+
+TEST(KvMultiPut, RoundTripAndObjects) {
+  KvMultiPut multi;
+  multi.puts.push_back({KvOp::Kind::kPut, 1, "a"});
+  multi.puts.push_back({KvOp::Kind::kPut, 9, "b"});
+  const auto bytes = multi.encode();
+  const auto decoded = KvMultiPut::decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->puts.size(), 2u);
+  EXPECT_EQ(decoded->puts[1].value, "b");
+  const auto c = multi.to_command(core::CommandId::make(1, 1));
+  EXPECT_EQ(c.objects, (std::vector<core::ObjectId>{1, 9}));
+}
+
+TEST(KvStore, AppliesOperations) {
+  KvStore store;
+  store.apply(KvOp{KvOp::Kind::kPut, 1, "x"}.to_command(core::CommandId::make(0, 1)));
+  store.apply(
+      KvOp{KvOp::Kind::kIncrement, 2, "5"}.to_command(core::CommandId::make(0, 2)));
+  store.apply(
+      KvOp{KvOp::Kind::kIncrement, 2, "-2"}.to_command(core::CommandId::make(0, 3)));
+  EXPECT_EQ(store.get(1), "x");
+  EXPECT_EQ(store.get(2), "3");
+  store.apply(
+      KvOp{KvOp::Kind::kDelete, 1, ""}.to_command(core::CommandId::make(0, 4)));
+  EXPECT_FALSE(store.get(1).has_value());
+}
+
+TEST(KvStore, MalformedBodiesAreCountedNotFatal) {
+  KvStore store;
+  core::Command c(core::CommandId::make(0, 1), {1});
+  c.set_body({0xde, 0xad, 0xbe, 0xef});
+  store.apply(c);
+  EXPECT_EQ(store.malformed_bodies(), 1u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KvStore, DigestIsOrderIndependentAndStateSensitive) {
+  KvStore a, b;
+  a.apply(KvOp{KvOp::Kind::kPut, 1, "x"}.to_command(core::CommandId::make(0, 1)));
+  a.apply(KvOp{KvOp::Kind::kPut, 2, "y"}.to_command(core::CommandId::make(0, 2)));
+  b.apply(KvOp{KvOp::Kind::kPut, 2, "y"}.to_command(core::CommandId::make(1, 1)));
+  b.apply(KvOp{KvOp::Kind::kPut, 1, "x"}.to_command(core::CommandId::make(1, 2)));
+  EXPECT_EQ(a.digest(), b.digest());
+  b.apply(KvOp{KvOp::Kind::kPut, 1, "z"}.to_command(core::CommandId::make(1, 3)));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(KvStore, SnapshotRestoreRoundTrip) {
+  KvStore a;
+  a.apply(KvOp{KvOp::Kind::kPut, 1, "x"}.to_command(core::CommandId::make(0, 1)));
+  a.apply(KvOp{KvOp::Kind::kPut, 2, "yy"}.to_command(core::CommandId::make(0, 2)));
+  const auto snap = a.snapshot();
+  KvStore b;
+  ASSERT_TRUE(b.restore(snap));
+  EXPECT_EQ(b.digest(), a.digest());
+  EXPECT_EQ(b.get(2), "yy");
+}
+
+TEST(KvStore, SnapshotIsCanonical) {
+  // Same state reached by different op orders -> identical bytes.
+  KvStore a, b;
+  a.apply(KvOp{KvOp::Kind::kPut, 5, "v"}.to_command(core::CommandId::make(0, 1)));
+  a.apply(KvOp{KvOp::Kind::kPut, 1, "w"}.to_command(core::CommandId::make(0, 2)));
+  b.apply(KvOp{KvOp::Kind::kPut, 1, "w"}.to_command(core::CommandId::make(1, 1)));
+  b.apply(KvOp{KvOp::Kind::kPut, 5, "v"}.to_command(core::CommandId::make(1, 2)));
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST(KvStore, RestoreRejectsMalformed) {
+  KvStore a;
+  a.apply(KvOp{KvOp::Kind::kPut, 1, "x"}.to_command(core::CommandId::make(0, 1)));
+  auto snap = a.snapshot();
+  snap.pop_back();  // truncate
+  KvStore b;
+  EXPECT_FALSE(b.restore(snap));
+  EXPECT_EQ(b.size(), 0u);
+}
+
+/// Replicated end-to-end over every protocol: same digest everywhere.
+class ReplicatedKv : public ::testing::TestWithParam<core::Protocol> {};
+
+TEST_P(ReplicatedKv, ReplicasConvergeToOneState) {
+  constexpr int kNodes = 3;
+  wl::SyntheticWorkload workload({kNodes, 100, 1.0, 0.0, 16, 5});
+  auto cfg = test::test_config(GetParam(), kNodes, 5);
+  harness::Cluster cluster(cfg, workload);
+  cluster.set_measuring(true);
+
+  std::vector<KvStore> stores(kNodes);
+
+  sim::Rng rng(77);
+  std::uint64_t seq = 1;
+  for (int round = 0; round < 30; ++round) {
+    for (NodeId n = 0; n < kNodes; ++n) {
+      if (rng.chance(0.2)) {
+        KvMultiPut multi;  // cross-partition multi-key write
+        multi.puts.push_back(
+            {KvOp::Kind::kPut, rng.uniform(30), std::to_string(round)});
+        multi.puts.push_back(
+            {KvOp::Kind::kPut, rng.uniform(30), std::to_string(n)});
+        cluster.propose(n, multi.to_command(core::CommandId::make(n, seq++)));
+      } else {
+        KvOp op{rng.chance(0.8) ? KvOp::Kind::kPut : KvOp::Kind::kIncrement,
+                rng.uniform(30),
+                rng.chance(0.8) ? "v" + std::to_string(round) : "1"};
+        cluster.propose(n, op.to_command(core::CommandId::make(n, seq++)));
+      }
+    }
+  }
+  cluster.run_idle();
+
+  for (int n = 0; n < kNodes; ++n) {
+    RsmApplier applier(stores[static_cast<std::size_t>(n)]);
+    for (const auto& c : cluster.cstructs()[static_cast<std::size_t>(n)].sequence())
+      applier.on_deliver(c);
+  }
+  for (int n = 1; n < kNodes; ++n)
+    EXPECT_EQ(stores[static_cast<std::size_t>(n)].digest(), stores[0].digest())
+        << "replica " << n << " diverged";
+  EXPECT_EQ(stores[0].malformed_bodies(), 0u);
+  EXPECT_GT(stores[0].size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ReplicatedKv,
+    ::testing::Values(core::Protocol::kMultiPaxos, core::Protocol::kGenPaxos,
+                      core::Protocol::kEPaxos, core::Protocol::kM2Paxos),
+    [](const ::testing::TestParamInfo<core::Protocol>& info) {
+      return core::to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace m2::app

@@ -1,0 +1,81 @@
+// Explicit-state model checking of the M²Paxos abstraction — the C++
+// analogue of the TLA+/TLC verification in the paper's appendix. The
+// default model mirrors the appendix configuration shape (3 acceptors, 2
+// objects, 2 commands — one accessing both objects — majority quorums),
+// scaled to 2 ballots x 2 instances so exhaustive exploration fits in a
+// unit test.
+#include <gtest/gtest.h>
+
+#include "model/checker.hpp"
+#include "model/gfpaxos_model.hpp"
+
+namespace m2::model {
+namespace {
+
+TEST(ModelChecker, GfPaxosDefaultModelIsSafe) {
+  GfPaxosModel model(GfConfig{});
+  const auto result = check(model);
+  EXPECT_TRUE(result.ok) << result.violation << "\nstate: "
+                         << (result.trace.empty()
+                                 ? ""
+                                 : model.describe(result.trace.back()));
+  EXPECT_TRUE(result.complete);
+  // Exhaustive exploration of a non-trivial space.
+  EXPECT_GT(result.states_explored, 10'000u);
+  RecordProperty("states", static_cast<int>(result.states_explored));
+}
+
+TEST(ModelChecker, ThreeCommandsTwoObjectsBoundedExploration) {
+  // The 3-command space is large even with the state constraints; explore
+  // a bounded prefix (BFS: all behaviours up to the reached depth).
+  GfConfig cfg;
+  cfg.access_sets = {{0, 1}, {0}, {1}};
+  GfPaxosModel model(cfg);
+  const auto result = check(model, /*max_states=*/1'500'000);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_GT(result.states_explored, 1'000'000u);
+}
+
+TEST(ModelChecker, SingleObjectIsPlainMultiPaxosAndSafe) {
+  GfConfig cfg;
+  cfg.n_objects = 1;
+  cfg.n_ballots = 3;
+  cfg.access_sets = {{0}, {0}};
+  GfPaxosModel model(cfg);
+  const auto result = check(model);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(ModelChecker, BrokenQuorumIsCaught) {
+  // Quorums of size 1 do not intersect: Paxos safety must break, and the
+  // checker must find a shortest counterexample. This validates that the
+  // checker actually checks.
+  GfConfig cfg;
+  cfg.quorum = 1;
+  GfPaxosModel model(cfg);
+  const auto result = check(model);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("two values"), std::string::npos)
+      << result.violation;
+  EXPECT_FALSE(result.trace.empty());
+  // The trace ends in the violating state and starts at the initial state.
+  EXPECT_EQ(result.trace.front(), model.initial());
+}
+
+TEST(ModelChecker, StateCapReportsIncomplete) {
+  GfPaxosModel model(GfConfig{});
+  const auto result = check(model, /*max_states=*/100);
+  EXPECT_TRUE(result.ok);        // nothing wrong in what was explored
+  EXPECT_FALSE(result.complete); // but the exploration was truncated
+}
+
+TEST(ModelChecker, DescribeRendersStates) {
+  GfPaxosModel model(GfConfig{});
+  const auto text = model.describe(model.initial());
+  EXPECT_NE(text.find("obj0"), std::string::npos);
+  EXPECT_NE(text.find("proposed{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m2::model

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "m2paxos/ownership.hpp"
+#include "test_util.hpp"
+
+namespace m2::m2p {
+namespace {
+
+using test::cmd;
+
+TEST(OwnershipTable, UnknownObjectHasNoOwner) {
+  OwnershipTable t;
+  EXPECT_EQ(t.find(7), nullptr);
+  EXPECT_FALSE(t.owns_all(0, cmd(0, 1, {7})));
+  EXPECT_EQ(t.unique_owner(cmd(0, 1, {7})), kNoNode);
+}
+
+TEST(OwnershipTable, DefaultOwnerAppliesLazily) {
+  OwnershipTable t;
+  t.set_default_owner([](ObjectId l) { return static_cast<NodeId>(l % 3); });
+  EXPECT_TRUE(t.owns_all(1, cmd(1, 1, {1, 4, 7})));
+  EXPECT_FALSE(t.owns_all(1, cmd(1, 2, {1, 2})));
+  EXPECT_EQ(t.unique_owner(cmd(0, 3, {3, 6})), 0u);
+  EXPECT_EQ(t.unique_owner(cmd(0, 4, {3, 4})), kNoNode);  // owners differ
+}
+
+TEST(OwnershipTable, OwnershipInvalidWhenPromiseAdvances) {
+  OwnershipTable t;
+  ObjectState& st = t.obj(5);
+  st.owner = 2;
+  st.owned_epoch = 3;
+  st.promised = 3;
+  EXPECT_TRUE(t.owns_all(2, cmd(2, 1, {5})));
+  st.promised = 4;  // a thief prepared epoch 4
+  EXPECT_FALSE(t.owns_all(2, cmd(2, 2, {5})));
+  // unique_owner still reports node 2 until an accept changes it — that is
+  // what routes forwarded commands while an acquisition is in flight.
+  EXPECT_EQ(t.unique_owner(cmd(0, 1, {5})), 2u);
+}
+
+TEST(OwnershipTable, FirstUndecidedSkipsDecidedPrefix) {
+  OwnershipTable t;
+  EXPECT_EQ(t.first_undecided(9), 1u);
+  t.set_decided(9, 1, cmd(0, 1, {9}));
+  t.set_decided(9, 2, cmd(0, 2, {9}));
+  EXPECT_EQ(t.first_undecided(9), 3u);
+}
+
+TEST(OwnershipTable, FirstUndecidedFindsGap) {
+  OwnershipTable t;
+  t.set_decided(9, 1, cmd(0, 1, {9}));
+  t.set_decided(9, 3, cmd(0, 3, {9}));  // hole at 2
+  EXPECT_EQ(t.first_undecided(9), 2u);
+}
+
+TEST(OwnershipTable, FirstUndecidedStartsAtFrontier) {
+  OwnershipTable t;
+  ObjectState& st = t.obj(9);
+  st.last_appended = 10;  // delivered prefix; slots below are pruned
+  EXPECT_EQ(t.first_undecided(9), 11u);
+}
+
+TEST(OwnershipTable, SetDecidedIsIdempotent) {
+  OwnershipTable t;
+  EXPECT_TRUE(t.set_decided(1, 1, cmd(0, 1, {1})));
+  EXPECT_FALSE(t.set_decided(1, 1, cmd(0, 1, {1})));
+  EXPECT_TRUE(t.is_decided_on(cmd(0, 1, {1}), 1));
+}
+
+TEST(OwnershipTable, DecidedEverywhereNeedsAllObjects) {
+  OwnershipTable t;
+  const auto c = cmd(0, 1, {1, 2});
+  t.set_decided(1, 1, c);
+  EXPECT_TRUE(t.is_decided_on(c, 1));
+  EXPECT_FALSE(t.is_decided_on(c, 2));
+  EXPECT_FALSE(t.is_decided_everywhere(c));
+  t.set_decided(2, 5, c);  // positions may differ per object
+  EXPECT_TRUE(t.is_decided_everywhere(c));
+}
+
+}  // namespace
+}  // namespace m2::m2p

@@ -1,0 +1,130 @@
+// Cross-protocol property tests: for every protocol, random workloads must
+// satisfy the Generalized Consensus specification (§III of the paper):
+//   Non-triviality — only proposed commands are delivered;
+//   Stability      — delivery is append-only (enforced by CStruct);
+//   Consistency    — conflicting commands are delivered in one order;
+//   Liveness       — every proposed command is eventually delivered
+//                    everywhere (crash-free runs).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "harness/cluster.hpp"
+#include "test_util.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/tpcc.hpp"
+
+namespace m2 {
+namespace {
+
+struct PropertyParam {
+  core::Protocol protocol;
+  int n_nodes;
+  std::uint64_t seed;
+  int objects;       // size of the hot object set
+  double multi_obj;  // probability of a 2-3 object command
+};
+
+std::string param_name(const ::testing::TestParamInfo<PropertyParam>& info) {
+  const auto& p = info.param;
+  return core::to_string(p.protocol) + "_n" + std::to_string(p.n_nodes) +
+         "_s" + std::to_string(p.seed) + "_o" + std::to_string(p.objects);
+}
+
+class ConsensusProperties : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(ConsensusProperties, GeneralizedConsensusInvariants) {
+  const auto p = GetParam();
+  wl::SyntheticWorkload workload(
+      {p.n_nodes, 100, 1.0, 0.0, 16, p.seed});  // unused generator shell
+  auto cfg = test::test_config(p.protocol, p.n_nodes, p.seed);
+  harness::Cluster cluster(cfg, workload);
+  cluster.set_measuring(true);
+
+  sim::Rng rng(p.seed * 1000003 + 17);
+  std::unordered_set<std::uint64_t> proposed;
+  const int per_node = 10;
+  for (int i = 1; i <= per_node; ++i) {
+    for (NodeId n = 0; n < static_cast<NodeId>(p.n_nodes); ++n) {
+      std::vector<core::ObjectId> ls{rng.uniform(p.objects)};
+      while (rng.chance(p.multi_obj) && ls.size() < 3)
+        ls.push_back(rng.uniform(p.objects));
+      core::Command c(core::CommandId::make(n, static_cast<std::uint64_t>(i)),
+                      ls);
+      proposed.insert(c.id.value);
+      cluster.propose(n, c);
+      // Random pacing: bursts and gaps.
+      if (rng.chance(0.5)) cluster.run_for(rng.uniform(300) * sim::kMicrosecond);
+    }
+  }
+  cluster.run_idle();
+
+  const auto expected =
+      static_cast<std::uint64_t>(per_node) * static_cast<std::uint64_t>(p.n_nodes);
+
+  // Liveness: everything delivered everywhere.
+  for (int n = 0; n < p.n_nodes; ++n)
+    EXPECT_EQ(cluster.delivered_at(static_cast<NodeId>(n)), expected)
+        << "node " << n;
+
+  // Consistency.
+  const auto consistency = cluster.audit_consistency();
+  EXPECT_TRUE(consistency.ok) << consistency.violation;
+
+  // Non-triviality.
+  const auto nontrivial =
+      core::check_nontriviality(cluster.cstructs(), proposed);
+  EXPECT_TRUE(nontrivial.ok) << nontrivial.violation;
+
+  // Every proposal was committed exactly once.
+  EXPECT_EQ(cluster.committed_count(), expected);
+}
+
+std::vector<PropertyParam> make_params() {
+  std::vector<PropertyParam> out;
+  const core::Protocol protocols[] = {
+      core::Protocol::kMultiPaxos, core::Protocol::kGenPaxos,
+      core::Protocol::kEPaxos, core::Protocol::kM2Paxos};
+  for (const auto protocol : protocols) {
+    for (const int n : {3, 5}) {
+      for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        // Hot and contended (2 objects) and moderately spread (10 objects).
+        out.push_back({protocol, n, seed, 2, 0.3});
+        out.push_back({protocol, n, seed, 10, 0.5});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ConsensusProperties,
+                         ::testing::ValuesIn(make_params()), param_name);
+
+// TPC-C smoke property: the full TPC-C generator against every protocol.
+class TpccProperties
+    : public ::testing::TestWithParam<core::Protocol> {};
+
+TEST_P(TpccProperties, TpccWorkloadConvergesConsistently) {
+  wl::TpccWorkload workload({3, 2, 0.15, 11});
+  auto cfg = test::test_config(GetParam(), 3, 11);
+  harness::Cluster cluster(cfg, workload);
+  cluster.set_measuring(true);
+  for (int i = 0; i < 20; ++i)
+    for (NodeId n = 0; n < 3; ++n) cluster.propose(n, workload.next(n));
+  cluster.run_idle();
+  for (int n = 0; n < 3; ++n)
+    EXPECT_EQ(cluster.delivered_at(static_cast<NodeId>(n)), 60u);
+  const auto report = cluster.audit_consistency();
+  EXPECT_TRUE(report.ok) << report.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, TpccProperties,
+    ::testing::Values(core::Protocol::kMultiPaxos, core::Protocol::kGenPaxos,
+                      core::Protocol::kEPaxos, core::Protocol::kM2Paxos),
+    [](const ::testing::TestParamInfo<core::Protocol>& info) {
+      return core::to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace m2

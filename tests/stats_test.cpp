@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hpp"
+#include "stats/series.hpp"
+
+namespace m2::stats {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.median(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, SmallValuesExact) {
+  Histogram h;
+  for (int v : {1, 2, 3, 4, 5}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 5);
+  EXPECT_EQ(h.median(), 3);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, QuantilesWithinRelativeError) {
+  Histogram h;
+  for (int i = 1; i <= 100000; ++i) h.record(i);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 50000.0, 50000 * 0.04);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.99)), 99000.0, 99000 * 0.04);
+  EXPECT_NEAR(h.mean(), 50000.5, 1.0);
+}
+
+TEST(Histogram, LargeValuesBucketed) {
+  Histogram h;
+  const std::int64_t big = 123'456'789'000;  // ~123 s in ns
+  h.record(big);
+  EXPECT_EQ(h.max(), big);
+  EXPECT_NEAR(static_cast<double>(h.median()), static_cast<double>(big),
+              static_cast<double>(big) * 0.04);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.median(), 0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.mean(), 505.0, 1.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Summary, ComputesMoments) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+  EXPECT_EQ(s.n, 5u);
+}
+
+TEST(Summary, EmptyIsZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Speedup, HandlesZeroDenominator) {
+  EXPECT_DOUBLE_EQ(speedup(10, 2), 5.0);
+  EXPECT_DOUBLE_EQ(speedup(10, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace m2::stats

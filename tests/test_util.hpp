@@ -1,0 +1,28 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/command.hpp"
+#include "core/cstruct.hpp"
+#include "harness/cluster.hpp"
+
+namespace m2::test {
+
+/// Builds a command `proposer:seq` over the given objects.
+core::Command cmd(NodeId proposer, std::uint64_t seq,
+                  std::vector<core::ObjectId> objects,
+                  std::uint32_t payload = 16);
+
+/// An ExperimentConfig tuned for unit tests: small, deterministic, fast
+/// timers, auditing on.
+harness::ExperimentConfig test_config(core::Protocol protocol, int n_nodes,
+                                      std::uint64_t seed = 1);
+
+/// Collects each node's audited C-struct from the cluster.
+std::vector<core::CStruct> collect_cstructs(const harness::Cluster& cluster);
+
+/// True iff every node delivered exactly `expected` non-noop commands.
+bool all_delivered(const harness::Cluster& cluster, std::uint64_t expected);
+
+}  // namespace m2::test

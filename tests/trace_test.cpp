@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/cluster.hpp"
+#include "test_util.hpp"
+#include "trace/trace.hpp"
+#include "workload/synthetic.hpp"
+
+namespace m2::trace {
+namespace {
+
+TEST(Recorder, DisabledByDefaultAndCheap) {
+  Recorder r;
+  EXPECT_FALSE(r.enabled());
+  r.record({1, 0, Event::Kind::kSend, 1, "X", 0});
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(Recorder, RingBounded) {
+  Recorder r(4);
+  r.set_enabled(true);
+  for (int i = 0; i < 10; ++i)
+    r.record({i, 0, Event::Kind::kSend, 1, "X", static_cast<std::uint64_t>(i)});
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.total_recorded(), 10u);
+  std::ostringstream os;
+  r.dump(os);
+  // Only the newest four survive.
+  EXPECT_EQ(os.str().find("#2"), std::string::npos);
+  EXPECT_NE(os.str().find("#9"), std::string::npos);
+}
+
+TEST(Recorder, DumpLastN) {
+  Recorder r;
+  r.set_enabled(true);
+  for (int i = 0; i < 10; ++i)
+    r.record({i, static_cast<NodeId>(i % 2), Event::Kind::kDeliver, kNoNode,
+              "", static_cast<std::uint64_t>(i + 1)});
+  std::ostringstream os;
+  r.dump(os, 3);
+  EXPECT_NE(os.str().find("last 3 of 10"), std::string::npos);
+}
+
+TEST(Recorder, NodeFilter) {
+  Recorder r;
+  r.set_enabled(true);
+  r.record({1, 0, Event::Kind::kSend, 1, "A", 1});
+  r.record({2, 1, Event::Kind::kSend, 0, "B", 2});
+  std::ostringstream os;
+  r.dump_node(os, 1);
+  EXPECT_NE(os.str().find("B"), std::string::npos);
+  EXPECT_EQ(os.str().find(" A"), std::string::npos);
+}
+
+TEST(ClusterTrace, RecordsProtocolActivity) {
+  wl::SyntheticWorkload workload({3, 100, 1.0, 0.0, 16, 1});
+  auto cfg = test::test_config(core::Protocol::kM2Paxos, 3, 1);
+  harness::Cluster cluster(cfg, workload);
+  cluster.set_measuring(true);
+  cluster.recorder().set_enabled(true);
+  cluster.propose(0, test::cmd(0, 1, {0}));
+  cluster.run_idle();
+
+  EXPECT_GT(cluster.recorder().total_recorded(), 0u);
+  std::ostringstream os;
+  cluster.recorder().dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("M2.Accept"), std::string::npos);
+  EXPECT_NE(out.find("deliver"), std::string::npos);
+}
+
+TEST(ClusterTrace, CrashAndRecoveryAppear) {
+  wl::SyntheticWorkload workload({3, 100, 1.0, 0.0, 16, 1});
+  auto cfg = test::test_config(core::Protocol::kM2Paxos, 3, 1);
+  harness::Cluster cluster(cfg, workload);
+  cluster.recorder().set_enabled(true);
+  cluster.crash(2);
+  cluster.recover(2);
+  std::ostringstream os;
+  cluster.recorder().dump(os);
+  EXPECT_NE(os.str().find("crash"), std::string::npos);
+  EXPECT_NE(os.str().find("recover"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m2::trace

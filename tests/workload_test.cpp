@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/synthetic.hpp"
+#include "workload/tpcc.hpp"
+
+namespace m2::wl {
+namespace {
+
+TEST(Synthetic, FullLocalityStaysInOwnPartition) {
+  SyntheticWorkload w({5, 1000, 1.0, 0.0, 16, 1});
+  for (int i = 0; i < 1000; ++i) {
+    const auto c = w.next(2);
+    ASSERT_EQ(c.objects.size(), 1u);
+    EXPECT_EQ(w.default_owner(c.objects[0]), 2u);
+  }
+}
+
+TEST(Synthetic, ZeroLocalityAlwaysRemote) {
+  SyntheticWorkload w({5, 1000, 0.0, 0.0, 16, 2});
+  for (int i = 0; i < 1000; ++i) {
+    const auto c = w.next(2);
+    EXPECT_NE(w.default_owner(c.objects[0]), 2u);
+  }
+}
+
+TEST(Synthetic, LocalityFractionApproximatelyRespected) {
+  SyntheticWorkload w({5, 1000, 0.7, 0.0, 16, 3});
+  int local = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (w.default_owner(w.next(1).objects[0]) == 1) ++local;
+  EXPECT_NEAR(static_cast<double>(local) / n, 0.7, 0.02);
+}
+
+TEST(Synthetic, ComplexCommandsTouchTwoObjects) {
+  SyntheticWorkload w({5, 1000, 1.0, 1.0, 16, 4});
+  int two = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto c = w.next(0);
+    // First object local-set, second uniform; they can rarely coincide.
+    if (c.objects.size() == 2) ++two;
+    EXPECT_LE(c.objects.size(), 2u);
+  }
+  EXPECT_GT(two, 950);
+}
+
+TEST(Synthetic, CommandIdsUniquePerProposer) {
+  SyntheticWorkload w({3, 10, 1.0, 0.0, 16, 5});
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ids.insert(w.next(0).id.value).second);
+    EXPECT_TRUE(ids.insert(w.next(1).id.value).second);
+  }
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticWorkload a({3, 100, 0.5, 0.2, 16, 9});
+  SyntheticWorkload b({3, 100, 0.5, 0.2, 16, 9});
+  for (int i = 0; i < 200; ++i) {
+    const auto ca = a.next(i % 3);
+    const auto cb = b.next(i % 3);
+    EXPECT_EQ(ca.id.value, cb.id.value);
+    EXPECT_EQ(ca.objects, cb.objects);
+  }
+}
+
+// ---------------------------------------------------------------------
+// TPC-C
+// ---------------------------------------------------------------------
+
+TEST(Tpcc, ProfileMixMatchesSpec) {
+  TpccWorkload w({5, 10, 0.0, 1});
+  std::map<TpccProfile, int> mix;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    w.next(static_cast<NodeId>(i % 5));
+    ++mix[w.last_profile()];
+  }
+  EXPECT_NEAR(mix[TpccProfile::kNewOrder] / double(n), 0.45, 0.01);
+  EXPECT_NEAR(mix[TpccProfile::kPayment] / double(n), 0.43, 0.01);
+  EXPECT_NEAR(mix[TpccProfile::kOrderStatus] / double(n), 0.04, 0.005);
+  EXPECT_NEAR(mix[TpccProfile::kDelivery] / double(n), 0.04, 0.005);
+  EXPECT_NEAR(mix[TpccProfile::kStockLevel] / double(n), 0.04, 0.005);
+}
+
+TEST(Tpcc, WarehousesPartitionedAcrossNodes) {
+  TpccWorkload w({3, 10, 0.0, 2});
+  EXPECT_EQ(w.total_warehouses(), 30);
+  EXPECT_EQ(w.default_owner(TpccWorkload::warehouse_obj(0)), 0u);
+  EXPECT_EQ(w.default_owner(TpccWorkload::warehouse_obj(9)), 0u);
+  EXPECT_EQ(w.default_owner(TpccWorkload::warehouse_obj(10)), 1u);
+  EXPECT_EQ(w.default_owner(TpccWorkload::warehouse_obj(29)), 2u);
+  EXPECT_EQ(w.default_owner(TpccWorkload::district_obj(15, 3)), 1u);
+  EXPECT_EQ(w.default_owner(TpccWorkload::stock_obj(25, 100)), 2u);
+}
+
+TEST(Tpcc, ZeroRemoteKeepsHomeWarehouseLocalMostly) {
+  // With remote_warehouse_prob = 0, the *home* warehouse is always local;
+  // only the 15 % remote-customer payments and 1 % remote stock lines may
+  // additionally touch other partitions. So every command includes at
+  // least one object of the proposer's partition.
+  TpccWorkload w({3, 10, 0.0, 3});
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto c = w.next(1);
+    bool touches_home = false;
+    for (const auto obj : c.objects)
+      if (w.default_owner(obj) == 1u) touches_home = true;
+    EXPECT_TRUE(touches_home);
+  }
+}
+
+TEST(Tpcc, PaymentsTouchRemoteCustomers15Percent) {
+  TpccWorkload w({5, 10, 0.0, 4});
+  int payments = 0, remote = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const auto c = w.next(2);
+    if (w.last_profile() != TpccProfile::kPayment) continue;
+    ++payments;
+    for (const auto obj : c.objects)
+      if (w.default_owner(obj) != 2u) {
+        ++remote;
+        break;
+      }
+  }
+  ASSERT_GT(payments, 1000);
+  // 15 % of payments pick a uniformly random *other* warehouse; with 50
+  // warehouses, 9 of the 49 candidates still belong to the proposer's own
+  // partition, so cross-partition payments are 0.15 * 40/49.
+  EXPECT_NEAR(static_cast<double>(remote) / payments, 0.15 * 40.0 / 49.0,
+              0.02);
+}
+
+TEST(Tpcc, RemoteWarehouseKnobRedirectsHome) {
+  TpccWorkload w({5, 10, 1.0, 5});
+  int remote_home = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto c = w.next(2);
+    const int wh = TpccWorkload::warehouse_of(c.objects.front());
+    if (w.default_owner(TpccWorkload::warehouse_obj(wh)) != 2u) ++remote_home;
+  }
+  // Uniform across 50 warehouses: ~80 % land outside node 2's 10.
+  EXPECT_NEAR(static_cast<double>(remote_home) / n, 0.8, 0.05);
+}
+
+TEST(Tpcc, NewOrderTouchesWarehouseDistrictCustomerStock) {
+  TpccWorkload w({1, 1, 0.0, 6});
+  for (int i = 0; i < 200; ++i) {
+    const auto c = w.next(0);
+    if (w.last_profile() != TpccProfile::kNewOrder) continue;
+    // >= warehouse + district + customer + >=5 stock buckets (dedup may
+    // merge stock buckets).
+    EXPECT_GE(c.objects.size(), 6u);
+    EXPECT_GT(c.payload_bytes, 80u);  // multi-parameter command
+  }
+}
+
+TEST(Tpcc, CommandsCarryBiggerPayloadsThanSynthetic) {
+  TpccWorkload tpcc({3, 10, 0.0, 7});
+  SyntheticWorkload synth({3, 1000, 1.0, 0.0, 16, 7});
+  double tpcc_bytes = 0, synth_bytes = 0;
+  for (int i = 0; i < 1000; ++i) {
+    tpcc_bytes += static_cast<double>(tpcc.next(0).wire_size());
+    synth_bytes += static_cast<double>(synth.next(0).wire_size());
+  }
+  EXPECT_GT(tpcc_bytes, 2 * synth_bytes);
+}
+
+}  // namespace
+}  // namespace m2::wl

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/synthetic.hpp"
+#include "workload/zipf.hpp"
+
+namespace m2::wl {
+namespace {
+
+TEST(Zipf, InBounds) {
+  Zipf z(100, 0.99);
+  sim::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) EXPECT_LT(z.sample(rng), 100u);
+}
+
+TEST(Zipf, SingleElement) {
+  Zipf z(1, 0.5);
+  sim::Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, HotKeyDominatesAtHighTheta) {
+  Zipf z(1000, 0.99);
+  sim::Rng rng(3);
+  std::map<std::uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  // Rank-0 frequency for theta=0.99 over 1000 keys is ~1/zeta ~ 13%.
+  EXPECT_GT(counts[0], n / 12);
+  // And the top key beats key 500 by a wide margin.
+  EXPECT_GT(counts[0], 50 * (counts[500] + 1));
+}
+
+TEST(Zipf, LowThetaIsNearUniform) {
+  Zipf z(100, 0.01);
+  sim::Rng rng(4);
+  std::map<std::uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  // No key should exceed ~3x the uniform share.
+  for (const auto& [k, c] : counts) EXPECT_LT(c, 3 * n / 100) << "key " << k;
+}
+
+TEST(Zipf, RankFrequenciesDecrease) {
+  Zipf z(50, 0.9);
+  sim::Rng rng(5);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 300000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[25]);
+}
+
+TEST(SyntheticSkew, SkewedWorkloadStaysInPartition) {
+  SyntheticConfig cfg{5, 100, 1.0, 0.0, 16, 6};
+  cfg.zipf_theta = 0.99;
+  SyntheticWorkload w(cfg);
+  std::map<core::ObjectId, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    const auto c = w.next(2);
+    EXPECT_EQ(w.default_owner(c.objects[0]), 2u);
+    ++counts[c.objects[0]];
+  }
+  // The partition's rank-0 object (id 200) is the hot key.
+  EXPECT_GT(counts[200], 1500);
+}
+
+}  // namespace
+}  // namespace m2::wl
