@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bytes.dir/ablation_bytes.cpp.o"
+  "CMakeFiles/ablation_bytes.dir/ablation_bytes.cpp.o.d"
+  "ablation_bytes"
+  "ablation_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cores.dir/fig4_cores.cpp.o"
+  "CMakeFiles/fig4_cores.dir/fig4_cores.cpp.o.d"
+  "fig4_cores"
+  "fig4_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_complex.dir/fig7_complex.cpp.o"
+  "CMakeFiles/fig7_complex.dir/fig7_complex.cpp.o.d"
+  "fig7_complex"
+  "fig7_complex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tpcc.dir/fig8_tpcc.cpp.o"
+  "CMakeFiles/fig8_tpcc.dir/fig8_tpcc.cpp.o.d"
+  "fig8_tpcc"
+  "fig8_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

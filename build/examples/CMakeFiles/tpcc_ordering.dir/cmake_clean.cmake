@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_ordering.dir/tpcc_ordering.cpp.o"
+  "CMakeFiles/tpcc_ordering.dir/tpcc_ordering.cpp.o.d"
+  "tpcc_ordering"
+  "tpcc_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/kv.cpp" "src/CMakeFiles/m2.dir/app/kv.cpp.o" "gcc" "src/CMakeFiles/m2.dir/app/kv.cpp.o.d"
+  "/root/repo/src/core/command.cpp" "src/CMakeFiles/m2.dir/core/command.cpp.o" "gcc" "src/CMakeFiles/m2.dir/core/command.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/m2.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/m2.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/cstruct.cpp" "src/CMakeFiles/m2.dir/core/cstruct.cpp.o" "gcc" "src/CMakeFiles/m2.dir/core/cstruct.cpp.o.d"
+  "/root/repo/src/core/failure_detector.cpp" "src/CMakeFiles/m2.dir/core/failure_detector.cpp.o" "gcc" "src/CMakeFiles/m2.dir/core/failure_detector.cpp.o.d"
+  "/root/repo/src/core/replica.cpp" "src/CMakeFiles/m2.dir/core/replica.cpp.o" "gcc" "src/CMakeFiles/m2.dir/core/replica.cpp.o.d"
+  "/root/repo/src/epaxos/epaxos.cpp" "src/CMakeFiles/m2.dir/epaxos/epaxos.cpp.o" "gcc" "src/CMakeFiles/m2.dir/epaxos/epaxos.cpp.o.d"
+  "/root/repo/src/epaxos/graph.cpp" "src/CMakeFiles/m2.dir/epaxos/graph.cpp.o" "gcc" "src/CMakeFiles/m2.dir/epaxos/graph.cpp.o.d"
+  "/root/repo/src/genpaxos/genpaxos.cpp" "src/CMakeFiles/m2.dir/genpaxos/genpaxos.cpp.o" "gcc" "src/CMakeFiles/m2.dir/genpaxos/genpaxos.cpp.o.d"
+  "/root/repo/src/harness/client.cpp" "src/CMakeFiles/m2.dir/harness/client.cpp.o" "gcc" "src/CMakeFiles/m2.dir/harness/client.cpp.o.d"
+  "/root/repo/src/harness/cluster.cpp" "src/CMakeFiles/m2.dir/harness/cluster.cpp.o" "gcc" "src/CMakeFiles/m2.dir/harness/cluster.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/m2.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/m2.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "src/CMakeFiles/m2.dir/harness/table.cpp.o" "gcc" "src/CMakeFiles/m2.dir/harness/table.cpp.o.d"
+  "/root/repo/src/m2paxos/m2paxos.cpp" "src/CMakeFiles/m2.dir/m2paxos/m2paxos.cpp.o" "gcc" "src/CMakeFiles/m2.dir/m2paxos/m2paxos.cpp.o.d"
+  "/root/repo/src/m2paxos/ownership.cpp" "src/CMakeFiles/m2.dir/m2paxos/ownership.cpp.o" "gcc" "src/CMakeFiles/m2.dir/m2paxos/ownership.cpp.o.d"
+  "/root/repo/src/model/gfpaxos_model.cpp" "src/CMakeFiles/m2.dir/model/gfpaxos_model.cpp.o" "gcc" "src/CMakeFiles/m2.dir/model/gfpaxos_model.cpp.o.d"
+  "/root/repo/src/multipaxos/multipaxos.cpp" "src/CMakeFiles/m2.dir/multipaxos/multipaxos.cpp.o" "gcc" "src/CMakeFiles/m2.dir/multipaxos/multipaxos.cpp.o.d"
+  "/root/repo/src/net/codec.cpp" "src/CMakeFiles/m2.dir/net/codec.cpp.o" "gcc" "src/CMakeFiles/m2.dir/net/codec.cpp.o.d"
+  "/root/repo/src/net/latency.cpp" "src/CMakeFiles/m2.dir/net/latency.cpp.o" "gcc" "src/CMakeFiles/m2.dir/net/latency.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/m2.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/m2.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/serde.cpp" "src/CMakeFiles/m2.dir/net/serde.cpp.o" "gcc" "src/CMakeFiles/m2.dir/net/serde.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/CMakeFiles/m2.dir/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/m2.dir/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/m2.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/m2.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/m2.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/m2.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/m2.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/m2.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/m2.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/m2.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/series.cpp" "src/CMakeFiles/m2.dir/stats/series.cpp.o" "gcc" "src/CMakeFiles/m2.dir/stats/series.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/m2.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/m2.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/m2.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/m2.dir/workload/synthetic.cpp.o.d"
+  "/root/repo/src/workload/tpcc.cpp" "src/CMakeFiles/m2.dir/workload/tpcc.cpp.o" "gcc" "src/CMakeFiles/m2.dir/workload/tpcc.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/CMakeFiles/m2.dir/workload/zipf.cpp.o" "gcc" "src/CMakeFiles/m2.dir/workload/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

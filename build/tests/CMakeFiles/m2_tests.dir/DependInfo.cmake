@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codec_test.cpp" "tests/CMakeFiles/m2_tests.dir/codec_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/codec_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/m2_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/epaxos_graph_test.cpp" "tests/CMakeFiles/m2_tests.dir/epaxos_graph_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/epaxos_graph_test.cpp.o.d"
+  "/root/repo/tests/epaxos_test.cpp" "tests/CMakeFiles/m2_tests.dir/epaxos_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/epaxos_test.cpp.o.d"
+  "/root/repo/tests/epaxos_unit_test.cpp" "tests/CMakeFiles/m2_tests.dir/epaxos_unit_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/epaxos_unit_test.cpp.o.d"
+  "/root/repo/tests/event_queue_property_test.cpp" "tests/CMakeFiles/m2_tests.dir/event_queue_property_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/event_queue_property_test.cpp.o.d"
+  "/root/repo/tests/failure_detector_test.cpp" "tests/CMakeFiles/m2_tests.dir/failure_detector_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/failure_detector_test.cpp.o.d"
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/m2_tests.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/fault_test.cpp.o.d"
+  "/root/repo/tests/genpaxos_test.cpp" "tests/CMakeFiles/m2_tests.dir/genpaxos_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/genpaxos_test.cpp.o.d"
+  "/root/repo/tests/genpaxos_unit_test.cpp" "tests/CMakeFiles/m2_tests.dir/genpaxos_unit_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/genpaxos_unit_test.cpp.o.d"
+  "/root/repo/tests/harness_test.cpp" "tests/CMakeFiles/m2_tests.dir/harness_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/harness_test.cpp.o.d"
+  "/root/repo/tests/kv_test.cpp" "tests/CMakeFiles/m2_tests.dir/kv_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/kv_test.cpp.o.d"
+  "/root/repo/tests/m2paxos_test.cpp" "tests/CMakeFiles/m2_tests.dir/m2paxos_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/m2paxos_test.cpp.o.d"
+  "/root/repo/tests/m2paxos_unit_test.cpp" "tests/CMakeFiles/m2_tests.dir/m2paxos_unit_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/m2paxos_unit_test.cpp.o.d"
+  "/root/repo/tests/marathon_test.cpp" "tests/CMakeFiles/m2_tests.dir/marathon_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/marathon_test.cpp.o.d"
+  "/root/repo/tests/messages_test.cpp" "tests/CMakeFiles/m2_tests.dir/messages_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/messages_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/m2_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/multipaxos_test.cpp" "tests/CMakeFiles/m2_tests.dir/multipaxos_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/multipaxos_test.cpp.o.d"
+  "/root/repo/tests/multipaxos_unit_test.cpp" "tests/CMakeFiles/m2_tests.dir/multipaxos_unit_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/multipaxos_unit_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/m2_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/ownership_test.cpp" "tests/CMakeFiles/m2_tests.dir/ownership_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/ownership_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/m2_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/serde_test.cpp" "tests/CMakeFiles/m2_tests.dir/serde_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/serde_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/m2_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/m2_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/sync_test.cpp" "tests/CMakeFiles/m2_tests.dir/sync_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/sync_test.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/m2_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/m2_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/m2_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/workload_test.cpp.o.d"
+  "/root/repo/tests/zipf_test.cpp" "tests/CMakeFiles/m2_tests.dir/zipf_test.cpp.o" "gcc" "tests/CMakeFiles/m2_tests.dir/zipf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2bench.dir/m2bench.cpp.o"
+  "CMakeFiles/m2bench.dir/m2bench.cpp.o.d"
+  "m2bench"
+  "m2bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
