@@ -8,10 +8,12 @@
 // Scale note: set M2_BENCH_QUICK=1 in the environment to shrink windows
 // and node counts for smoke runs.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.hpp"
@@ -20,6 +22,68 @@
 #include "workload/tpcc.hpp"
 
 namespace m2::bench {
+
+/// Wall-clock self-timing for the benches: measures real elapsed seconds
+/// (simulated time is free; what the perf trajectory tracks is how fast the
+/// simulator itself runs on the host).
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Minimal JSON emitter for bench result files (BENCH_*.json). Flat or
+/// one-level-nested objects of numbers/strings are all the benches need;
+/// nothing here escapes exotic strings, so keep keys and values simple.
+class JsonWriter {
+ public:
+  void number(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void integer(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void string(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+  }
+  void object(const std::string& key, const JsonWriter& nested) {
+    fields_.emplace_back(key, nested.str());
+  }
+
+  std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+  /// Writes the document to `path`; returns false (and warns) on failure.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string doc = str() + "\n";
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 inline bool quick_mode() {
   const char* env = std::getenv("M2_BENCH_QUICK");

@@ -1,11 +1,10 @@
 #pragma once
 
-#include <functional>
-
 #include "core/command.hpp"
 #include "core/config.hpp"
 #include "net/payload.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
@@ -34,7 +33,7 @@ class Context {
   virtual void broadcast(net::PayloadPtr payload, bool include_self) = 0;
 
   /// One-shot timer; returns a handle usable with cancel_timer.
-  virtual sim::EventId set_timer(sim::Time delay, std::function<void()> fn) = 0;
+  virtual sim::EventId set_timer(sim::Time delay, sim::InlineFn fn) = 0;
   virtual void cancel_timer(sim::EventId id) = 0;
 
   /// Reports that this node appended `c` to its C-struct (C-DECIDE). The

@@ -181,11 +181,14 @@ void EPaxosReplica::handle_preaccept_reply(const PreAcceptReply& msg) {
   if (static_cast<int>(st.preaccept_repliers.size()) < needed) return;
 
   if (st.all_unchanged) {
-    // Fast path: commit after two communication delays.
+    // Fast path: commit after two communication delays. Copy the command
+    // and attributes out first: commit() may execute the instance and
+    // prune it from instances_, invalidating st.
+    const core::Command cmd = st.cmd;
+    const Attrs attrs = st.attrs;
     ++counters_.fast_commits;
-    commit(msg.inst, st.cmd, st.attrs);
-    ctx_.broadcast(net::make_payload<CommitMsg>(msg.inst, st.cmd, st.attrs),
-                   false);
+    commit(msg.inst, cmd, attrs);
+    ctx_.broadcast(net::make_payload<CommitMsg>(msg.inst, cmd, attrs), false);
   } else {
     // Slow path: Paxos-Accept with the merged attributes.
     std::sort(st.merged.deps.begin(), st.merged.deps.end());
@@ -227,10 +230,13 @@ void EPaxosReplica::handle_accept_reply(const AcceptReply& msg) {
   if (static_cast<int>(st.accept_repliers.size()) < cfg_.classic_quorum() - 1)
     return;
 
+  // Copy out before commit(): it may execute and prune this instance,
+  // invalidating st (same hazard as the fast path above).
+  const core::Command cmd = st.cmd;
+  const Attrs attrs = st.attrs;
   ++counters_.slow_commits;
-  commit(msg.inst, st.cmd, st.attrs);
-  ctx_.broadcast(net::make_payload<CommitMsg>(msg.inst, st.cmd, st.attrs),
-                 false);
+  commit(msg.inst, cmd, attrs);
+  ctx_.broadcast(net::make_payload<CommitMsg>(msg.inst, cmd, attrs), false);
 }
 
 // --------------------------------------------------------------------

@@ -54,7 +54,7 @@ class NodeContext final : public core::Context {
     cluster_.network_->broadcast(id_, std::move(payload), include_self);
   }
 
-  sim::EventId set_timer(sim::Time delay, std::function<void()> fn) override {
+  sim::EventId set_timer(sim::Time delay, sim::InlineFn fn) override {
     return cluster_.sim_.after(delay, std::move(fn));
   }
   void cancel_timer(sim::EventId id) override { cluster_.sim_.cancel(id); }

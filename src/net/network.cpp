@@ -5,6 +5,11 @@
 
 namespace m2::net {
 
+namespace {
+/// Sentinel returned by transmit_time when the transmission is dropped.
+constexpr sim::Time kDropped = -1;
+}  // namespace
+
 Network::Network(sim::Simulator& sim, NetworkConfig cfg, int n_nodes)
     : sim_(sim),
       cfg_(cfg),
@@ -14,6 +19,8 @@ Network::Network(sim::Simulator& sim, NetworkConfig cfg, int n_nodes)
       nic_free_at_(static_cast<std::size_t>(n_nodes), 0),
       crashed_(static_cast<std::size_t>(n_nodes), 0),
       link_down_(static_cast<std::size_t>(n_nodes) * n_nodes, 0),
+      batches_(static_cast<std::size_t>(n_nodes) * n_nodes),
+      last_arrival_(static_cast<std::size_t>(n_nodes) * n_nodes, 0),
       counters_(static_cast<std::size_t>(n_nodes)) {
   assert(n_nodes > 0);
 }
@@ -23,12 +30,11 @@ void Network::set_delivery(NodeId node, DeliveryFn fn) {
 }
 
 bool Network::link_up(NodeId from, NodeId to) const {
-  return link_down_[static_cast<std::size_t>(from) * delivery_.size() + to] == 0;
+  return link_down_[link_index(from, to)] == 0;
 }
 
 void Network::set_link(NodeId from, NodeId to, bool up) {
-  link_down_[static_cast<std::size_t>(from) * delivery_.size() + to] =
-      up ? 0 : 1;
+  link_down_[link_index(from, to)] = up ? 0 : 1;
 }
 
 void Network::partition(const std::vector<NodeId>& group_a) {
@@ -48,6 +54,17 @@ void Network::set_crashed(NodeId node, bool crashed) {
   crashed_[node] = crashed ? 1 : 0;
 }
 
+void Network::set_batching(bool on) {
+  cfg_.batching = on;
+  if (on) return;
+  // Flush every open batch now: with batching off nothing would ever top
+  // them up, so their envelopes would otherwise sit parked until the
+  // original batch_window timer fired.
+  const int n = n_nodes();
+  for (NodeId from = 0; from < static_cast<NodeId>(n); ++from)
+    for (NodeId to = 0; to < static_cast<NodeId>(n); ++to) flush(from, to);
+}
+
 TrafficCounters Network::total_counters() const {
   TrafficCounters total;
   for (const auto& c : counters_) {
@@ -62,14 +79,37 @@ TrafficCounters Network::total_counters() const {
 
 void Network::reset_counters() {
   for (auto& c : counters_) c = TrafficCounters{};
-  bytes_by_kind_.clear();
+  bytes_by_kind_dense_.clear();
+  kind_names_.clear();
+}
+
+const std::map<std::string, std::uint64_t>& Network::bytes_by_kind() const {
+  bytes_by_kind_report_.clear();
+  for (std::size_t k = 0; k < kind_names_.size(); ++k)
+    if (kind_names_[k] != nullptr)
+      bytes_by_kind_report_[kind_names_[k]] += bytes_by_kind_dense_[k];
+  return bytes_by_kind_report_;
 }
 
 void Network::account_send(const Envelope& env, std::size_t framed_bytes) {
   auto& c = counters_[env.from];
   ++c.messages_sent;
   c.bytes_sent += framed_bytes;
-  bytes_by_kind_[env.payload->name()] += framed_bytes;
+  // Dense per-kind tally; the name (a static string owned by the payload
+  // class) is remembered so bytes_by_kind() can label the counts.
+  const std::uint32_t kind = env.payload->kind();
+  if (kind >= bytes_by_kind_dense_.size()) {
+    bytes_by_kind_dense_.resize(kind + 1, 0);
+    kind_names_.resize(kind + 1, nullptr);
+  }
+  bytes_by_kind_dense_[kind] += framed_bytes;
+  kind_names_[kind] = env.payload->name();
+}
+
+void Network::deliver_now(NodeId to, const Envelope& env) {
+  if (crashed_[to] || !delivery_[to]) return;
+  ++counters_[to].messages_delivered;
+  delivery_[to](env);
 }
 
 void Network::send(NodeId from, NodeId to, PayloadPtr payload) {
@@ -81,11 +121,7 @@ void Network::send(NodeId from, NodeId to, PayloadPtr payload) {
     // Loopback: no NIC, no propagation; delivered on the next event so the
     // sender's current handler finishes first.
     account_send(env, env.payload->wire_size());
-    sim_.after(0, [this, env = std::move(env)] {
-      if (crashed_[env.to] || !delivery_[env.to]) return;
-      ++counters_[env.to].messages_delivered;
-      delivery_[env.to](env);
-    });
+    sim_.after(0, [this, env = std::move(env)] { deliver_now(env.to, env); });
     return;
   }
   enqueue(std::move(env));
@@ -104,22 +140,18 @@ void Network::enqueue(Envelope env) {
       env.payload->wire_size() + cfg_.per_message_overhead;
 
   if (!cfg_.batching) {
-    std::vector<Envelope> one;
-    const NodeId from = env.from;
-    const NodeId to = env.to;
     account_send(env, msg_bytes);
-    one.push_back(std::move(env));
-    transmit(from, to, std::move(one), msg_bytes + cfg_.per_batch_overhead);
+    transmit_one(std::move(env), msg_bytes + cfg_.per_batch_overhead);
     return;
   }
 
-  auto& batch = batches_[{env.from, env.to}];
+  const NodeId from = env.from;
+  const NodeId to = env.to;
+  Batch& batch = batches_[link_index(from, to)];
   account_send(env, msg_bytes);
   batch.bytes += msg_bytes;
   batch.envelopes.push_back(std::move(env));
 
-  const NodeId from = batch.envelopes.back().from;
-  const NodeId to = batch.envelopes.back().to;
   if (batch.envelopes.size() >= cfg_.batch_max_messages ||
       batch.bytes >= cfg_.batch_max_bytes) {
     flush(from, to);
@@ -130,60 +162,93 @@ void Network::enqueue(Envelope env) {
 }
 
 void Network::flush(NodeId from, NodeId to) {
-  auto it = batches_.find({from, to});
-  if (it == batches_.end() || it->second.envelopes.empty()) return;
-  Batch batch = std::move(it->second);
-  batches_.erase(it);
+  Batch& batch = batches_[link_index(from, to)];
+  if (batch.envelopes.empty()) return;
+  std::vector<Envelope> envelopes = std::move(batch.envelopes);
+  const std::size_t bytes = batch.bytes;
   sim_.cancel(batch.flush_event);
+  batch.envelopes.clear();
+  batch.bytes = 0;
+  batch.flush_event = sim::kInvalidEvent;
   ++counters_[from].batches_sent;
-  transmit(from, to, std::move(batch.envelopes),
-           batch.bytes + cfg_.per_batch_overhead);
+  transmit(from, to, std::move(envelopes), bytes + cfg_.per_batch_overhead);
 }
 
-void Network::transmit(NodeId from, NodeId to, std::vector<Envelope> envelopes,
-                       std::size_t bytes) {
-  if (crashed_[from]) return;
-
-  // Egress NIC: transmissions from one node share its link bandwidth.
+sim::Time Network::transmit_time(NodeId from, NodeId to, std::size_t bytes,
+                                 std::size_t n_messages) {
+  // Egress NIC: transmissions from one node share its link bandwidth. The
+  // NIC is reserved even for transmissions that are then lost (the sender
+  // cannot know).
   const sim::Time ser = latency_.serialization(bytes);
   const sim::Time leave = std::max(sim_.now(), nic_free_at_[from]) + ser;
   nic_free_at_[from] = leave;
 
   if (!link_up(from, to)) {
-    counters_[from].messages_dropped += envelopes.size();
-    return;
+    counters_[from].messages_dropped += n_messages;
+    return kDropped;
   }
   if (cfg_.loss_probability > 0 && rng_.chance(cfg_.loss_probability)) {
-    counters_[from].messages_dropped += envelopes.size();
-    return;
+    counters_[from].messages_dropped += n_messages;
+    return kDropped;
   }
 
   // Propagation is sampled once per transmission; size cost was already
   // paid at the NIC, so only the propagation+jitter component remains.
   sim::Time arrival = leave + latency_.one_way(0, rng_);
   if (cfg_.fifo_links) {
-    sim::Time& last = last_arrival_[{from, to}];
+    sim::Time& last = last_arrival_[link_index(from, to)];
     arrival = std::max(arrival, last + 1);
     last = arrival;
   }
-  const int copies =
-      (cfg_.duplicate_probability > 0 && rng_.chance(cfg_.duplicate_probability))
-          ? 2
-          : 1;
-  for (int copy = 0; copy < copies; ++copy) {
-    // The duplicate trails the original, as a retransmission would.
-    const sim::Time when =
-        copy == 0 ? arrival : arrival + cfg_.latency.propagation;
-    sim_.at(when, [this, to, envelopes] {
-      if (crashed_[to] || !delivery_[to]) return;
-      for (const Envelope& env : envelopes) {
-        // A sender crash after the message hit the wire does not unsend
-        // it (crash semantics, not Byzantine) — deliver regardless.
-        ++counters_[to].messages_delivered;
-        delivery_[to](env);
-      }
-    });
+  return arrival;
+}
+
+void Network::transmit_one(Envelope env, std::size_t bytes) {
+  if (crashed_[env.from]) return;
+  const sim::Time arrival = transmit_time(env.from, env.to, bytes, 1);
+  if (arrival == kDropped) return;
+  const bool duplicated = cfg_.duplicate_probability > 0 &&
+                          rng_.chance(cfg_.duplicate_probability);
+  if (!duplicated) {
+    sim_.at(arrival, [this, env = std::move(env)] { deliver_now(env.to, env); });
+    return;
   }
+  // The duplicate trails the original, as a retransmission would. Schedule
+  // the original first so equal-timestamp delivery keeps FIFO order.
+  const sim::Time dup_at = arrival + cfg_.latency.propagation;
+  sim_.at(arrival, [this, env] { deliver_now(env.to, env); });
+  sim_.at(dup_at, [this, env = std::move(env)] { deliver_now(env.to, env); });
+}
+
+void Network::transmit(NodeId from, NodeId to, std::vector<Envelope> envelopes,
+                       std::size_t bytes) {
+  if (crashed_[from]) return;
+  const sim::Time arrival = transmit_time(from, to, bytes, envelopes.size());
+  if (arrival == kDropped) return;
+  const bool duplicated = cfg_.duplicate_probability > 0 &&
+                          rng_.chance(cfg_.duplicate_probability);
+
+  // A sender crash after the batch hit the wire does not unsend it (crash
+  // semantics, not Byzantine) — deliver regardless of the sender's fate.
+  auto deliver_batch = [this, to](const std::vector<Envelope>& envs) {
+    if (crashed_[to] || !delivery_[to]) return;
+    for (const Envelope& env : envs) {
+      ++counters_[to].messages_delivered;
+      delivery_[to](env);
+    }
+  };
+
+  if (!duplicated) {
+    sim_.at(arrival, [deliver_batch, envs = std::move(envelopes)] {
+      deliver_batch(envs);
+    });
+    return;
+  }
+  const sim::Time dup_at = arrival + cfg_.latency.propagation;
+  sim_.at(arrival, [deliver_batch, envs = envelopes] { deliver_batch(envs); });
+  sim_.at(dup_at, [deliver_batch, envs = std::move(envelopes)] {
+    deliver_batch(envs);
+  });
 }
 
 }  // namespace m2::net

@@ -1,13 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "net/latency.hpp"
 #include "net/payload.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/simulator.hpp"
 
 namespace m2::net {
@@ -63,7 +63,7 @@ struct TrafficCounters {
 /// which routes the envelope through the destination node's CPU model.
 class Network {
  public:
-  using DeliveryFn = std::function<void(const Envelope&)>;
+  using DeliveryFn = sim::BasicInlineFn<void(const Envelope&)>;
 
   Network(sim::Simulator& sim, NetworkConfig cfg, int n_nodes);
 
@@ -91,16 +91,18 @@ class Network {
   // --- accounting ------------------------------------------------------
   const TrafficCounters& counters(NodeId node) const { return counters_[node]; }
   TrafficCounters total_counters() const;
-  /// Bytes sent per payload name, across all nodes.
-  const std::map<std::string, std::uint64_t>& bytes_by_kind() const {
-    return bytes_by_kind_;
-  }
+  /// Bytes sent per payload name, across all nodes. The hot path accounts
+  /// into a dense per-kind array; the name-keyed map is materialized here,
+  /// at report time.
+  const std::map<std::string, std::uint64_t>& bytes_by_kind() const;
   void reset_counters();
 
   int n_nodes() const { return static_cast<int>(delivery_.size()); }
   const NetworkConfig& config() const { return cfg_; }
-  /// Batching can be toggled between experiment phases.
-  void set_batching(bool on) { cfg_.batching = on; }
+  /// Batching can be toggled between experiment phases. Turning it off
+  /// flushes any batches already open so their messages are not parked
+  /// until a stale batch_window timer fires.
+  void set_batching(bool on);
   /// Adjusts the drop probability mid-run (fault-injection tests).
   void set_loss(double p) { cfg_.loss_probability = p; }
   /// Adjusts the duplicate-delivery probability mid-run.
@@ -113,13 +115,23 @@ class Network {
     sim::EventId flush_event = sim::kInvalidEvent;
   };
 
+  std::size_t link_index(NodeId from, NodeId to) const {
+    return static_cast<std::size_t>(from) * delivery_.size() + to;
+  }
   bool link_up(NodeId from, NodeId to) const;
   void enqueue(Envelope env);
   void flush(NodeId from, NodeId to);
-  /// Pushes `bytes` through `from`'s NIC and schedules arrival of
-  /// `envelopes` at their common destination.
+  /// Reserves `from`'s NIC for `bytes` and returns the (jittered, FIFO-
+  /// corrected) arrival time at `to`, or -1 when the transmission is lost.
+  sim::Time transmit_time(NodeId from, NodeId to, std::size_t bytes,
+                          std::size_t n_messages);
+  /// Single-message transmission: the envelope rides inline in the event
+  /// callback, no batch vector needed.
+  void transmit_one(Envelope env, std::size_t bytes);
+  /// Batched transmission of `envelopes` (all same from/to).
   void transmit(NodeId from, NodeId to, std::vector<Envelope> envelopes,
                 std::size_t bytes);
+  void deliver_now(NodeId to, const Envelope& env);
   void account_send(const Envelope& env, std::size_t framed_bytes);
 
   sim::Simulator& sim_;
@@ -130,10 +142,18 @@ class Network {
   std::vector<sim::Time> nic_free_at_;
   std::vector<char> crashed_;
   std::vector<char> link_down_;  // n*n matrix, 1 = down
-  std::map<std::pair<NodeId, NodeId>, Batch> batches_;
-  std::map<std::pair<NodeId, NodeId>, sim::Time> last_arrival_;
+  // Flat per-directed-link tables indexed by from * n_nodes + to: the
+  // per-send tree lookups of the former std::map version dominated the
+  // send path.
+  std::vector<Batch> batches_;
+  std::vector<sim::Time> last_arrival_;
   std::vector<TrafficCounters> counters_;
-  std::map<std::string, std::uint64_t> bytes_by_kind_;
+  // Dense per-kind byte accounting, indexed by Payload::kind(); names are
+  // recorded on first sight and only joined with the counts in
+  // bytes_by_kind(). `mutable` members are the report-time cache.
+  std::vector<std::uint64_t> bytes_by_kind_dense_;
+  std::vector<const char*> kind_names_;
+  mutable std::map<std::string, std::uint64_t> bytes_by_kind_report_;
 };
 
 }  // namespace m2::net

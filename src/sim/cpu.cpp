@@ -14,8 +14,7 @@ Time NodeCpu::earliest_core_free() const {
   return *std::min_element(core_free_at_.begin(), core_free_at_.end());
 }
 
-void NodeCpu::submit(Time serial_cost, Time parallel_cost,
-                     std::function<void()> done) {
+void NodeCpu::submit(Time serial_cost, Time parallel_cost, InlineFn done) {
   assert(serial_cost >= 0 && parallel_cost >= 0);
   const Time now = sim_.now();
 

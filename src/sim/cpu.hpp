@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -27,7 +27,7 @@ class NodeCpu {
   NodeCpu(Simulator& sim, int cores);
 
   /// Enqueues a job. Costs must be >= 0. `done` runs when the job completes.
-  void submit(Time serial_cost, Time parallel_cost, std::function<void()> done);
+  void submit(Time serial_cost, Time parallel_cost, InlineFn done);
 
   int cores() const { return static_cast<int>(core_free_at_.size()); }
 

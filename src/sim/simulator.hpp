@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
@@ -13,7 +15,9 @@ namespace m2::sim {
 ///
 /// Owns the virtual clock and the event queue. All other substrates
 /// (network, node CPUs, timers, clients) schedule work here. Execution is
-/// single-threaded and deterministic for a given seed.
+/// single-threaded and deterministic for a given seed. The schedule/run
+/// path is defined inline so the queue operations and the InlineFn
+/// emplacement compile into the caller.
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
@@ -21,21 +25,48 @@ class Simulator {
   Time now() const { return now_; }
   Rng& rng() { return rng_; }
 
-  /// Schedules `fn` to run `delay` from now (delay >= 0).
-  EventId after(Time delay, std::function<void()> fn);
+  /// Schedules a callable to run `delay` from now (delay >= 0).
+  template <typename F>
+  EventId after(Time delay, F&& fn) {
+    assert(delay >= 0);
+    return queue_.schedule(now_ + delay, std::forward<F>(fn));
+  }
 
-  /// Schedules `fn` at absolute time `at` (>= now()).
-  EventId at(Time when, std::function<void()> fn);
+  /// Schedules a callable at absolute time `when` (>= now()).
+  template <typename F>
+  EventId at(Time when, F&& fn) {
+    assert(when >= now_);
+    return queue_.schedule(when, std::forward<F>(fn));
+  }
 
   void cancel(EventId id) { queue_.cancel(id); }
 
   /// Runs events until the queue is empty or `limit` events have fired.
   /// Returns the number of events executed.
-  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX) {
+    std::uint64_t n = 0;
+    while (n < limit && !queue_.empty()) {
+      // The clock must advance before the callback runs, and pop_run fires
+      // in place, so it takes the clock by reference.
+      queue_.pop_run(now_);
+      ++n;
+    }
+    executed_ += n;
+    return n;
+  }
 
   /// Runs events with timestamp <= deadline; leaves later events queued.
   /// The clock is advanced to `deadline` even if the queue drains early.
-  std::uint64_t run_until(Time deadline);
+  std::uint64_t run_until(Time deadline) {
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+      queue_.pop_run(now_);
+      ++n;
+    }
+    now_ = deadline;
+    executed_ += n;
+    return n;
+  }
 
   /// True when no events remain.
   bool idle() const { return queue_.empty(); }

@@ -121,5 +121,108 @@ INSTANTIATE_TEST_SUITE_P(Sweep, EventQueueDifferential,
                                            Param{3, 5000}, Param{4, 5000},
                                            Param{5, 10000}));
 
+// Cancel-heavy workload: more than half of all scheduled events are
+// cancelled, times are drawn from a tiny range so most heap entries tie on
+// timestamp, and the queue is periodically drained to force slot reuse
+// through the free list. Asserts (a) survivors fire in exact FIFO schedule
+// order among equal times, (b) every survivor fires exactly once, and
+// (c) no cancelled event's callback ever runs — i.e. a recycled slot never
+// resurrects a stale callback.
+class EventQueueCancelHeavy : public ::testing::TestWithParam<Param> {};
+
+TEST_P(EventQueueCancelHeavy, FifoAndSlotReuseSurviveMassCancellation) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  EventQueue q;
+  ReferenceQueue ref;
+  std::map<EventId, EventId> live;         // reference id -> queue id
+  std::vector<int> fire_count;             // indexed by reference id
+  std::vector<EventId> stale_ids;          // cancelled/fired queue ids
+  std::uint64_t scheduled = 0, cancelled = 0;
+  fire_count.push_back(0);  // reference ids start at 1
+
+  const auto drain_one = [&] {
+    ASSERT_FALSE(q.empty());
+    ASSERT_EQ(q.next_time(), ref.next_time());
+    const EventId rid = ref.pop();
+    auto [t, fn] = q.pop();
+    fn();
+    ASSERT_EQ(fire_count[rid], 1) << "FIFO tie-break diverged at id " << rid;
+    stale_ids.push_back(live[rid]);
+    live.erase(rid);
+  };
+
+  for (int op = 0; op < p.ops; ++op) {
+    const auto roll = rng.uniform(10);
+    if (roll < 4) {
+      // schedule; times in [0, 4) so ~25% of live events tie
+      const Time at = static_cast<Time>(rng.uniform(4));
+      const EventId rid = ref.schedule(at);
+      fire_count.push_back(0);
+      live[rid] = q.schedule(at, [rid, &fire_count] { ++fire_count[rid]; });
+      ++scheduled;
+    } else if (roll < 8 && !live.empty()) {
+      // cancel a random live event (dominant operation)
+      auto it = live.begin();
+      std::advance(it, rng.uniform(live.size()));
+      ASSERT_TRUE(ref.cancel(it->first));
+      q.cancel(it->second);
+      stale_ids.push_back(it->second);
+      live.erase(it);
+      ++cancelled;
+    } else if (roll == 8 && !stale_ids.empty()) {
+      // stale cancels must not disturb whatever now occupies the slot
+      for (int i = 0; i < 3 && i < static_cast<int>(stale_ids.size()); ++i)
+        q.cancel(stale_ids[rng.uniform(stale_ids.size())]);
+    } else if (!ref.empty()) {
+      drain_one();
+    }
+    // Periodic full drain: empties the free list back to maximum, so the
+    // next schedule burst reuses every slot.
+    if (op % 257 == 256)
+      while (!ref.empty()) drain_one();
+    ASSERT_EQ(q.size(), ref.size());
+  }
+  while (!ref.empty()) drain_one();
+  EXPECT_TRUE(q.empty());
+
+  // The workload really was cancel-heavy.
+  EXPECT_GE(2 * cancelled, scheduled)
+      << cancelled << " cancels for " << scheduled << " schedules";
+  // Survivors fired exactly once; cancelled events never fired.
+  for (std::size_t rid = 1; rid < fire_count.size(); ++rid)
+    EXPECT_LE(fire_count[rid], 1) << "event " << rid << " fired twice";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EventQueueCancelHeavy,
+                         ::testing::Values(Param{11, 4000}, Param{12, 4000},
+                                           Param{13, 8000}));
+
+// Directed slot-reuse probe: cancel an event, force its slot through the
+// free list, schedule a new event into the recycled slot, then cancel the
+// stale id. The stale cancel must be a no-op (generation mismatch) and the
+// new event must still fire.
+TEST(EventQueueSlotReuse, StaleCancelCannotKillRecycledSlot) {
+  EventQueue q;
+  for (int round = 0; round < 100; ++round) {
+    bool stale_fired = false;
+    const EventId old_id = q.schedule(1, [&stale_fired] { stale_fired = true; });
+    q.cancel(old_id);
+    // Surfacing the tombstone recycles the slot into the free list.
+    EXPECT_EQ(q.next_time(), kTimeNever);
+    bool new_fired = false;
+    const EventId new_id = q.schedule(2, [&new_fired] { new_fired = true; });
+    ASSERT_NE(new_id, old_id) << "generation must advance on reuse";
+    q.cancel(old_id);  // stale: must not disarm the recycled slot
+    ASSERT_FALSE(q.empty());
+    auto [t, fn] = q.pop();
+    fn();
+    EXPECT_TRUE(new_fired);
+    EXPECT_FALSE(stale_fired);
+    q.cancel(new_id);  // fired: must be a no-op for the next round
+  }
+  EXPECT_TRUE(q.empty());
+}
+
 }  // namespace
 }  // namespace m2::sim

@@ -31,7 +31,7 @@ struct FdHarness {
       for (NodeId to = 0; to < static_cast<NodeId>(h_.cfg_.n_nodes); ++to)
         if (to != id_ || include_self) h_.route(id_, to, p);
     }
-    sim::EventId set_timer(sim::Time d, std::function<void()> fn) override {
+    sim::EventId set_timer(sim::Time d, sim::InlineFn fn) override {
       return h_.sim_.after(d, std::move(fn));
     }
     void cancel_timer(sim::EventId id) override { h_.sim_.cancel(id); }

@@ -23,7 +23,7 @@ class ScriptedContext final : public core::Context {
   void broadcast(net::PayloadPtr p, bool) override {
     sent.emplace_back(kNoNode, std::move(p));
   }
-  sim::EventId set_timer(sim::Time delay, std::function<void()> fn) override {
+  sim::EventId set_timer(sim::Time delay, sim::InlineFn fn) override {
     return sim.after(delay, std::move(fn));
   }
   void cancel_timer(sim::EventId id) override { sim.cancel(id); }

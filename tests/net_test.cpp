@@ -261,5 +261,103 @@ TEST(Network, MessagesFromOnePairArriveInOrder) {
   // here we only check that nothing was lost.
 }
 
+// ---------------------------------------------------------------------
+// Flat per-link tables (post-overhaul): the link state that used to live
+// in std::maps keyed by (from, to) is now flat vectors indexed by
+// from * n + to. These tests pin down the properties that indexing must
+// preserve: per-link FIFO correction, per-link partition state, and
+// per-node counter attribution.
+// ---------------------------------------------------------------------
+
+struct Tagged final : Payload {
+  explicit Tagged(std::uint64_t tag) : tag_(tag) {}
+  std::uint64_t tag_;
+  std::uint32_t kind() const override { return 9002; }
+  std::size_t wire_size() const override { return 64; }
+  const char* name() const override { return "Tagged"; }
+};
+
+TEST(Network, FlatTablesKeepEveryLinkFifoUnderJitter) {
+  sim::Simulator sim(7);
+  NetworkConfig cfg;  // jitter on; fifo_links = true (default)
+  cfg.batching = false;
+  constexpr int kNodes = 5;
+  Network net(sim, cfg, kNodes);
+  // Tags increase per ordered pair; each link's arrivals must do the same.
+  std::vector<std::uint64_t> last_tag(kNodes * kNodes, 0);
+  std::vector<std::uint64_t> arrivals(kNodes * kNodes, 0);
+  int inversions = 0;
+  for (NodeId to = 0; to < kNodes; ++to)
+    net.set_delivery(to, [&, to](const Envelope& env) {
+      const auto& p = static_cast<const Tagged&>(*env.payload);
+      std::uint64_t& prev = last_tag[env.from * kNodes + to];
+      if (p.tag_ <= prev) ++inversions;
+      prev = p.tag_;
+      ++arrivals[env.from * kNodes + to];
+    });
+  constexpr int kRounds = 40;
+  std::uint64_t tag = 0;
+  for (int round = 0; round < kRounds; ++round)
+    for (NodeId from = 0; from < kNodes; ++from)
+      for (NodeId to = 0; to < kNodes; ++to)
+        if (from != to) net.send(from, to, make_payload<Tagged>(++tag));
+  sim.run();
+  EXPECT_EQ(inversions, 0) << "a link delivered out of send order";
+  for (NodeId from = 0; from < kNodes; ++from)
+    for (NodeId to = 0; to < kNodes; ++to)
+      if (from != to)
+        EXPECT_EQ(arrivals[from * kNodes + to],
+                  static_cast<std::uint64_t>(kRounds))
+            << "link " << from << "->" << to;
+}
+
+TEST(Network, FlatTablesEnforcePartitionPerLink) {
+  sim::Simulator sim;
+  Network net(sim, quiet_config(), 4);
+  std::vector<int> received(4, 0);
+  for (NodeId n = 0; n < 4; ++n)
+    net.set_delivery(n, [&received, n](const Envelope&) { ++received[n]; });
+
+  net.partition({0, 1});  // {0,1} vs {2,3}
+  for (NodeId from = 0; from < 4; ++from)
+    for (NodeId to = 0; to < 4; ++to)
+      if (from != to) net.send(from, to, make_payload<Ping>());
+  sim.run();
+  // Each node hears only from its partner inside the partition group.
+  EXPECT_EQ(received, (std::vector<int>{1, 1, 1, 1}));
+  // Cross-group sends were dropped and billed to the sender.
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(net.counters(n).messages_dropped, 2u) << "node " << n;
+    EXPECT_EQ(net.counters(n).messages_sent, 3u) << "node " << n;
+  }
+
+  net.heal();
+  for (NodeId from = 0; from < 4; ++from)
+    for (NodeId to = 0; to < 4; ++to)
+      if (from != to) net.send(from, to, make_payload<Ping>());
+  sim.run();
+  EXPECT_EQ(received, (std::vector<int>{4, 4, 4, 4}));
+}
+
+TEST(Network, FlatTablesAttributeCountersToTheRightNode) {
+  sim::Simulator sim;
+  Network net(sim, quiet_config(), 3);
+  for (NodeId n = 0; n < 3; ++n) net.set_delivery(n, [](const Envelope&) {});
+  // Asymmetric traffic: node 0 sends 5, node 1 sends 2, node 2 silent.
+  for (int i = 0; i < 5; ++i) net.send(0, 2, make_payload<Ping>(10));
+  for (int i = 0; i < 2; ++i) net.send(1, 0, make_payload<Ping>(10));
+  sim.run();
+  EXPECT_EQ(net.counters(0).messages_sent, 5u);
+  EXPECT_EQ(net.counters(1).messages_sent, 2u);
+  EXPECT_EQ(net.counters(2).messages_sent, 0u);
+  EXPECT_EQ(net.counters(0).messages_delivered, 2u);
+  EXPECT_EQ(net.counters(1).messages_delivered, 0u);
+  EXPECT_EQ(net.counters(2).messages_delivered, 5u);
+  const auto total = net.total_counters();
+  EXPECT_EQ(total.messages_sent, 7u);
+  EXPECT_EQ(total.messages_delivered, 7u);
+  EXPECT_EQ(total.messages_dropped, 0u);
+}
+
 }  // namespace
 }  // namespace m2::net

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Smoke check for the simulator hot-path benchmark.
+#
+# Builds the micro_sim target in Release mode, runs it in quick mode under
+# a 5-second wall-clock cap, and validates that the emitted BENCH_sim.json
+# parses as JSON. Fails (nonzero exit) if the build breaks, the bench
+# exceeds the cap, the bench itself reports a regression (nonzero exit,
+# e.g. steady-state allocations), or the JSON is malformed.
+#
+# Usage: tools/bench_smoke.sh [build-dir]
+#   build-dir: an existing CMake build directory to reuse (its configured
+#              build type is kept, as under CTest); when omitted, a
+#              dedicated Release tree is configured at build-bench-smoke/.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-bench-smoke}"
+
+if [[ ! -f "$build/CMakeCache.txt" ]]; then
+  cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+cmake --build "$build" --target micro_sim -j"$(nproc)" >/dev/null
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+# micro_sim writes BENCH_sim.json into its cwd; run from a scratch dir so
+# the smoke run never clobbers a real benchmark result.
+(cd "$out" && M2_BENCH_QUICK=1 timeout 5 "$build/bench/micro_sim") || {
+  status=$?
+  if [[ $status -eq 124 ]]; then
+    echo "bench_smoke: micro_sim exceeded the 5-second cap" >&2
+  else
+    echo "bench_smoke: micro_sim failed (exit $status)" >&2
+  fi
+  exit 1
+}
+
+if ! python3 -m json.tool "$out/BENCH_sim.json" >/dev/null; then
+  echo "bench_smoke: BENCH_sim.json is malformed" >&2
+  exit 1
+fi
+
+echo "bench_smoke: OK"
