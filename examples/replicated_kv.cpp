@@ -42,9 +42,13 @@ int main() {
   // atomic cross-partition multi-put (ownership acquisition).
   const core::ObjectId shared_counter = 0;  // owned by node 0
   for (NodeId n = 0; n < kNodes; ++n) {
-    for (int i = 0; i < 15; ++i)
-      put(n, n * kKeysPerNode + static_cast<core::ObjectId>(i),
-          "v" + std::to_string(n) + "." + std::to_string(i));
+    for (int i = 0; i < 15; ++i) {
+      // snprintf instead of string concatenation: gcc 12's -Wrestrict
+      // false-fires on inlined operator+ at -O2 (GCC bug 105651).
+      char value[32];
+      std::snprintf(value, sizeof value, "v%u.%d", n, i);
+      put(n, n * kKeysPerNode + static_cast<core::ObjectId>(i), value);
+    }
     for (int i = 0; i < 5; ++i) incr(n, shared_counter, 1);
   }
   app::KvMultiPut tx;

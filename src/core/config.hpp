@@ -75,6 +75,13 @@ struct ClusterConfig {
   /// contended ownership acquisitions. 0 disables the fallback.
   int acquisition_fallback_after = 8;
 
+  /// TEST ONLY — deliberately breaks M²Paxos safety so the fuzzing
+  /// auditor's detection path can be validated end-to-end: acceptors skip
+  /// the promised-epoch check on Accept (stale owners regain quorums) and
+  /// decided slots may be silently rebound instead of asserting. Never set
+  /// outside the fuzzer's --inject-bug mode.
+  bool test_unsafe_epochs = false;
+
   /// Capacity of the delivered-command-id dedup window per replica. Ids
   /// older than this are forgotten; the window only needs to cover the
   /// maximum lifetime of an in-flight proposal.
@@ -88,8 +95,17 @@ struct ClusterConfig {
   /// Fast quorum for Fast/Generalized Paxos: floor(2N/3)+1 (§I).
   int fast_quorum() const { return (2 * n_nodes) / 3 + 1; }
 
-  /// EPaxos fast quorum: f + floor((f+1)/2) [Moraru et al., SOSP'13].
-  int epaxos_fast_quorum() const { return f() + (f() + 1) / 2; }
+  /// EPaxos fast quorum: f + floor((f+1)/2) [Moraru et al., SOSP'13],
+  /// clamped to a classic majority. The paper states the size for odd N
+  /// (N = 2f+1); taken literally at even N it drops below a majority
+  /// (N=4: quorums of 2), so two interfering commands can pre-accept on
+  /// disjoint quorums and fast-commit with no dependency in either
+  /// direction — the fault fuzzer catches the resulting divergent
+  /// execution orders. A majority keeps any two fast quorums intersecting.
+  int epaxos_fast_quorum() const {
+    const int paper = f() + (f() + 1) / 2;
+    return paper > classic_quorum() ? paper : classic_quorum();
+  }
 
   void validate() const {
     assert(n_nodes >= 1);

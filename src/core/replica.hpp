@@ -45,6 +45,33 @@ class Context {
   /// client-visible commit point the paper's latency numbers measure — on
   /// the M²Paxos fast path it fires after two communication delays.
   virtual void committed(const Command& c) = 0;
+
+  // --- observation hooks (default no-op; the harness wires these into the
+  // --- flight recorder and the fuzzing safety auditor) -------------------
+
+  /// Reports that this node learned the decision of consensus slot
+  /// ⟨object, instance⟩. Protocols without per-object logs report their
+  /// native slot key: Multi-Paxos and Generalized Paxos use object 0 with
+  /// the log/sequence index, EPaxos uses (command-leader, instance).
+  /// Fired once per slot per node; firing twice for one slot (a rebind)
+  /// is itself a safety violation the auditor detects.
+  virtual void decided(ObjectId object, Instance slot, const Command& c) {
+    (void)object;
+    (void)slot;
+    (void)c;
+  }
+
+  /// Reports an authoritative local ownership observation for `object`:
+  /// either this node completed an acquisition at `epoch` (`acquired`
+  /// true) or it accepted a value from `owner` coordinating at `epoch`.
+  /// M²Paxos-specific; other protocols never call it.
+  virtual void ownership(ObjectId object, Epoch epoch, NodeId owner,
+                         bool acquired) {
+    (void)object;
+    (void)epoch;
+    (void)owner;
+    (void)acquired;
+  }
 };
 
 /// Base class of all four protocol replicas.

@@ -253,6 +253,8 @@ void EPaxosReplica::commit(InstRef r, const Command& cmd, Attrs attrs) {
   st.cmd = cmd;
   st.attrs = std::move(attrs);
   st.status = Status::kCommitted;
+  // Instance space is per command leader: slot key is ⟨leader, instance⟩.
+  ctx_.decided(inst_replica(r), inst_slot(r), cmd);
   // Commit latency is measured at the command leader (EPaxos semantics).
   if (inst_replica(r) == id_ && !cmd.noop) ctx_.committed(cmd);
   for (ObjectId l : cmd.objects) note_access(l, r);

@@ -1,0 +1,247 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "harness/cluster.hpp"
+#include "workload/synthetic.hpp"
+
+namespace m2::fuzz {
+
+namespace {
+
+void apply(harness::Cluster& cluster, const FaultAction& action) {
+  net::Network& net = cluster.network();
+  switch (action.kind) {
+    case FaultKind::kCrash:
+      if (!net.is_crashed(action.a)) cluster.crash(action.a);
+      break;
+    case FaultKind::kRecover:
+      if (net.is_crashed(action.a)) cluster.recover(action.a);
+      break;
+    case FaultKind::kLinkDown:
+      net.set_link(action.a, action.b, false);
+      break;
+    case FaultKind::kLinkUp:
+      net.set_link(action.a, action.b, true);
+      break;
+    case FaultKind::kPartition:
+      net.partition(action.group);
+      break;
+    case FaultKind::kHeal:
+      net.heal();
+      break;
+    case FaultKind::kLossSpike:
+      net.set_loss(action.value);
+      break;
+    case FaultKind::kLossClear:
+      net.set_loss(0.0);
+      break;
+    case FaultKind::kLatencySpike:
+      net.set_latency_scale(action.value);
+      break;
+    case FaultKind::kLatencyClear:
+      net.set_latency_scale(1.0);
+      break;
+    case FaultKind::kDupSpike:
+      net.set_duplication(action.value);
+      break;
+    case FaultKind::kDupClear:
+      net.set_duplication(0.0);
+      break;
+  }
+}
+
+/// A schedule that can silently disappear individual messages (drop a
+/// decide broadcast, isolate a node while a decision happens) leaves
+/// correct-but-unlucky nodes with no way to notice the gap unless later
+/// traffic exposes it. The strong liveness checks only hold under
+/// crash/latency/duplication faults, where every broadcast that is sent
+/// reaches every up node; with loss or connectivity faults we fall back
+/// to delivery-at-reporter (reporters retry until they deliver locally).
+bool schedule_is_lossy(const std::vector<FaultAction>& schedule) {
+  for (const auto& action : schedule) {
+    switch (action.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kPartition:
+      case FaultKind::kLossSpike:
+        return true;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+std::vector<FaultAction> schedule_for(const FuzzCase& fuzz_case) {
+  if (!fuzz_case.schedule_override.empty()) return fuzz_case.schedule_override;
+  ScheduleConfig cfg;
+  cfg.n_nodes = fuzz_case.n_nodes;
+  cfg.horizon = fuzz_case.horizon;
+  cfg.intensity = fuzz_case.intensity;
+  auto schedule = make_schedule(fuzz_case.seed, cfg);
+  if (!fuzz_case.keep_episodes.empty()) {
+    const std::unordered_set<int> keep(fuzz_case.keep_episodes.begin(),
+                                       fuzz_case.keep_episodes.end());
+    std::erase_if(schedule, [&](const FaultAction& action) {
+      return keep.count(action.episode) == 0;
+    });
+  }
+  return schedule;
+}
+
+}  // namespace
+
+FuzzResult run_case(const FuzzCase& fuzz_case) {
+  wl::SyntheticConfig wcfg;
+  wcfg.n_nodes = fuzz_case.n_nodes;
+  wcfg.objects_per_node = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(fuzz_case.n_objects) /
+             static_cast<std::uint64_t>(fuzz_case.n_nodes));
+  wcfg.locality = 0.7;          // remote proposals force forwards/acquisitions
+  wcfg.complex_fraction = 0.1;  // multi-object commands cross partitions
+  wcfg.payload_bytes = 16;
+  wcfg.seed = fuzz_case.seed;
+  wl::SyntheticWorkload workload(wcfg);
+
+  harness::ExperimentConfig cfg;
+  cfg.protocol = fuzz_case.protocol;
+  cfg.cluster.n_nodes = fuzz_case.n_nodes;
+  cfg.cluster.cores_per_node = 4;
+  cfg.cluster.forward_timeout = 20 * sim::kMillisecond;
+  cfg.cluster.test_unsafe_epochs = fuzz_case.inject_bug;
+  cfg.network.batching = false;
+  cfg.load.clients_per_node = fuzz_case.clients_per_node;
+  cfg.load.think_time = 2 * sim::kMillisecond;
+  cfg.load.max_inflight_per_node = 8;
+  cfg.seed = fuzz_case.seed;
+  cfg.audit = false;  // the auditor rebuilds C-structs from deliver events
+  harness::Cluster cluster(cfg, workload);
+
+  SafetyAuditor auditor(fuzz_case.protocol, fuzz_case.n_nodes);
+  cluster.set_observer(&auditor);
+
+  const std::vector<FaultAction> schedule = schedule_for(fuzz_case);
+
+  cluster.start_clients();
+  sim::Time now = 0;
+  for (const auto& action : schedule) {
+    if (action.at > now) {
+      cluster.run_for(action.at - now);
+      now = action.at;
+    }
+    apply(cluster, action);
+  }
+  if (fuzz_case.horizon > now) cluster.run_for(fuzz_case.horizon - now);
+  cluster.stop_clients();
+
+  // Safety net: the generator pairs every fault with its undo inside the
+  // horizon, but replayed/edited schedules may not — heal everything so
+  // the end-of-run checks are meaningful.
+  cluster.network().heal();
+  cluster.network().set_loss(0.0);
+  cluster.network().set_duplication(0.0);
+  cluster.network().set_latency_scale(1.0);
+  for (NodeId n = 0; n < static_cast<NodeId>(fuzz_case.n_nodes); ++n)
+    if (cluster.network().is_crashed(n)) cluster.recover(n);
+  cluster.run_for(fuzz_case.drain);
+
+  LivenessChecks checks = default_checks(fuzz_case.protocol);
+  if (schedule_is_lossy(schedule)) {
+    checks.eventual_delivery = false;
+    checks.convergence = false;
+    // Only M²Paxos repairs local delivery under message loss (per-slot
+    // watchdog retransmissions plus anti-entropy once a frontier sticks);
+    // the single-log protocols stall forever on a lost commit/sequence of
+    // a foreign slot ahead of their own.
+    if (fuzz_case.protocol != core::Protocol::kM2Paxos)
+      checks.delivery_at_reporter = false;
+  }
+  auditor.finalize(checks);
+
+  cluster.set_observer(nullptr);
+
+  FuzzResult result;
+  result.ok = auditor.ok();
+  result.violations = auditor.violations();
+  result.schedule = schedule;
+  result.committed = auditor.commits_seen();
+  result.proposals = auditor.proposals_seen();
+  result.decisions = auditor.decisions_seen();
+  result.deliveries = auditor.deliveries_seen();
+  result.nodes_crashed = static_cast<int>(auditor.ever_crashed().size());
+  return result;
+}
+
+std::vector<int> shrink_schedule(const FuzzCase& fuzz_case,
+                                 FuzzResult& out_result, int max_runs) {
+  const std::vector<FaultAction> full = schedule_for(fuzz_case);
+  std::vector<int> episodes;
+  for (const auto& action : full)
+    if (episodes.empty() || episodes.back() != action.episode)
+      episodes.push_back(action.episode);
+  std::sort(episodes.begin(), episodes.end());
+  episodes.erase(std::unique(episodes.begin(), episodes.end()),
+                 episodes.end());
+
+  int runs = 0;
+  auto replay = [&](const std::vector<int>& keep, FuzzResult& result) {
+    ++runs;
+    FuzzCase sub = fuzz_case;
+    sub.keep_episodes.clear();
+    // Replays filter the full schedule so action timing is preserved. An
+    // empty subset cannot ride schedule_override (empty means "generate"
+    // there), so it filters the generated schedule down to nothing instead.
+    const std::unordered_set<int> set(keep.begin(), keep.end());
+    sub.schedule_override = full;
+    std::erase_if(sub.schedule_override, [&](const FaultAction& action) {
+      return set.count(action.episode) == 0;
+    });
+    if (sub.schedule_override.empty()) sub.keep_episodes.push_back(-2);
+    result = run_case(sub);
+    return !result.ok;
+  };
+
+  // The failure must reproduce at all; and if it reproduces with no faults
+  // the schedule is irrelevant — report the empty set immediately.
+  if (!replay(episodes, out_result)) return episodes;
+  FuzzResult candidate;
+  if (replay({}, candidate)) {
+    out_result = candidate;
+    return {};
+  }
+
+  // ddmin over episode ids.
+  std::size_t granularity = 2;
+  while (episodes.size() >= 2 && runs < max_runs) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, episodes.size() / granularity);
+    bool reduced = false;
+    for (std::size_t begin = 0; begin < episodes.size() && runs < max_runs;
+         begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, episodes.size());
+      std::vector<int> complement;
+      complement.reserve(episodes.size() - (end - begin));
+      complement.insert(complement.end(), episodes.begin(),
+                        episodes.begin() + static_cast<std::ptrdiff_t>(begin));
+      complement.insert(complement.end(),
+                        episodes.begin() + static_cast<std::ptrdiff_t>(end),
+                        episodes.end());
+      if (complement.empty()) continue;
+      if (replay(complement, candidate)) {
+        episodes = std::move(complement);
+        out_result = candidate;
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk == 1) break;  // 1-minimal
+      granularity = std::min(granularity * 2, episodes.size());
+    }
+  }
+  return episodes;
+}
+
+}  // namespace m2::fuzz

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "fuzz/fault_schedule.hpp"
+#include "fuzz/safety_auditor.hpp"
+
+namespace m2::fuzz {
+
+/// One fuzzing run: a protocol, a cluster size, and a seed that determines
+/// the workload, the network jitter stream, and the fault schedule.
+struct FuzzCase {
+  core::Protocol protocol = core::Protocol::kM2Paxos;
+  int n_nodes = 5;
+  std::uint64_t seed = 1;
+  int intensity = 3;
+  /// Fault-injection window; the run then drains for `drain` with all
+  /// faults healed before the auditor's end-of-run checks.
+  sim::Time horizon = 300 * sim::kMillisecond;
+  sim::Time drain = 2 * sim::kSecond;
+  int clients_per_node = 4;
+  /// 0 = synthetic objects with the default pool (reads the workload's
+  /// partitioned-object default).
+  int n_objects = 40;
+  /// Deliberately break M²Paxos epoch safety (ClusterConfig::
+  /// test_unsafe_epochs) to validate the auditor's detection path.
+  bool inject_bug = false;
+  /// When non-empty, replay exactly these actions instead of the schedule
+  /// generated from `seed` (used by the shrinker and --keep replays).
+  std::vector<FaultAction> schedule_override;
+  /// When set, restrict the generated schedule to these episode ids
+  /// (ignored when schedule_override is non-empty).
+  std::vector<int> keep_episodes;
+};
+
+
+struct FuzzResult {
+  bool ok = false;
+  std::vector<std::string> violations;
+  /// The schedule that was actually applied.
+  std::vector<FaultAction> schedule;
+  std::uint64_t committed = 0;
+  std::uint64_t proposals = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t deliveries = 0;
+  int nodes_crashed = 0;
+};
+
+/// Executes one case: builds a cluster from the seed, applies the fault
+/// schedule while open-loop clients load all nodes, heals, drains, audits.
+/// Deterministic: identical cases produce identical results.
+FuzzResult run_case(const FuzzCase& fuzz_case);
+
+/// Shrinks the fault schedule of a failing case to a locally minimal set
+/// of *episodes* that still fails, by ddmin-style bisection (drop halves,
+/// then quarters, ... then single episodes). Episode granularity keeps
+/// every fault paired with its undo, so shrunk schedules always end
+/// healed. Returns the surviving episode ids (replayable with --keep) and
+/// the result of the final failing replay in `out_result`; `max_runs`
+/// bounds the replay budget. Precondition: run_case(fuzz_case) fails.
+std::vector<int> shrink_schedule(const FuzzCase& fuzz_case,
+                                 FuzzResult& out_result, int max_runs = 200);
+
+}  // namespace m2::fuzz

@@ -195,6 +195,8 @@ void GenPaxosReplica::leader_sequence(const Command& cmd) {
   const std::uint64_t index = next_index_++;
   recent_sequences_.emplace(cmd.id, std::make_pair(index, cmd));
   seq_log_.emplace(index, cmd);
+  // Single sequencer log: slot key is ⟨object 0, sequence index⟩.
+  ctx_.decided(0, index, cmd);
   try_deliver();
   ctx_.broadcast(net::make_payload<Sequence>(index, cmd), false);
 }
@@ -204,7 +206,8 @@ void GenPaxosReplica::leader_sequence(const Command& cmd) {
 // --------------------------------------------------------------------
 
 void GenPaxosReplica::handle_sequence(const Sequence& msg) {
-  seq_log_.emplace(msg.index, msg.cmd);
+  const auto [it, inserted] = seq_log_.emplace(msg.index, msg.cmd);
+  if (inserted) ctx_.decided(0, msg.index, msg.cmd);
   try_deliver();
 }
 

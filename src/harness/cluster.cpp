@@ -63,6 +63,14 @@ class NodeContext final : public core::Context {
   void committed(const core::Command& c) override {
     cluster_.on_committed(id_, c);
   }
+  void decided(core::ObjectId l, core::Instance in,
+               const core::Command& c) override {
+    cluster_.on_decided(id_, l, in, c);
+  }
+  void ownership(core::ObjectId l, core::Epoch e, NodeId owner,
+                 bool acquired) override {
+    cluster_.on_ownership(id_, l, e, owner, acquired);
+  }
 
  private:
   void charge_tx(std::size_t bytes) {
@@ -127,10 +135,12 @@ void Cluster::propose(NodeId n, const core::Command& c) {
   ++proposals_;
   ++inflight_[n];
   propose_times_[c.id] = sim_.now();
+  if (observer_ != nullptr) observer_->on_propose(sim_.now(), n, c);
   replicas_[n]->propose(c);
 }
 
-void Cluster::on_committed(NodeId /*reporter*/, const core::Command& c) {
+void Cluster::on_committed(NodeId reporter, const core::Command& c) {
+  if (observer_ != nullptr) observer_->on_committed(sim_.now(), reporter, c);
   auto it = propose_times_.find(c.id);
   if (it == propose_times_.end()) return;  // not a tracked proposal
   if (measuring_) {
@@ -149,13 +159,32 @@ void Cluster::on_deliver(NodeId n, const core::Command& c) {
   if (c.noop) return;
   ++delivered_[n];
   if (cfg_.audit) cstructs_[n].append(c);
+  if (observer_ != nullptr) observer_->on_deliver(sim_.now(), n, c);
   if (recorder_.enabled())
     recorder_.record({sim_.now(), n, trace::Event::Kind::kDeliver, kNoNode,
                       "", c.id.value});
 }
 
+void Cluster::on_decided(NodeId n, core::ObjectId l, core::Instance in,
+                         const core::Command& c) {
+  if (observer_ != nullptr) observer_->on_decided(sim_.now(), n, l, in, c);
+  if (recorder_.enabled())
+    recorder_.record({sim_.now(), n, trace::Event::Kind::kDecide, kNoNode, "",
+                      c.id.value, l, in});
+}
+
+void Cluster::on_ownership(NodeId n, core::ObjectId l, core::Epoch e,
+                           NodeId owner, bool acquired) {
+  if (observer_ != nullptr)
+    observer_->on_ownership(sim_.now(), n, l, e, owner, acquired);
+  if (recorder_.enabled())
+    recorder_.record({sim_.now(), n, trace::Event::Kind::kOwnership, owner,
+                      acquired ? "acquired" : "observed", 0, l, e});
+}
+
 void Cluster::crash(NodeId n) {
   recorder_.record({sim_.now(), n, trace::Event::Kind::kCrash, kNoNode, "", 0});
+  if (observer_ != nullptr) observer_->on_crash(sim_.now(), n);
   network_->set_crashed(n, true);
   replicas_[n]->on_crash();
 }
@@ -163,6 +192,7 @@ void Cluster::crash(NodeId n) {
 void Cluster::recover(NodeId n) {
   recorder_.record(
       {sim_.now(), n, trace::Event::Kind::kRecover, kNoNode, "", 0});
+  if (observer_ != nullptr) observer_->on_recover(sim_.now(), n);
   network_->set_crashed(n, false);
   replicas_[n]->on_recover();
 }

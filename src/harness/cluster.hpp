@@ -60,6 +60,23 @@ struct ExperimentResult {
 
 class ClientSet;
 
+/// Observer of cluster-level protocol events, invoked synchronously from
+/// the simulation. The fuzzing safety auditor implements this; all methods
+/// default to no-ops so tests can override selectively.
+class ClusterObserver {
+ public:
+  virtual ~ClusterObserver() = default;
+  virtual void on_propose(sim::Time, NodeId, const core::Command&) {}
+  virtual void on_decided(sim::Time, NodeId, core::ObjectId, core::Instance,
+                          const core::Command&) {}
+  virtual void on_ownership(sim::Time, NodeId, core::ObjectId, core::Epoch,
+                            NodeId /*owner*/, bool /*acquired*/) {}
+  virtual void on_deliver(sim::Time, NodeId, const core::Command&) {}
+  virtual void on_committed(sim::Time, NodeId, const core::Command&) {}
+  virtual void on_crash(sim::Time, NodeId) {}
+  virtual void on_recover(sim::Time, NodeId) {}
+};
+
 /// Simulated cluster: N protocol replicas over the network substrate, one
 /// k-core CPU model per node, plus open-loop clients. Also the Context
 /// implementation replicas run against.
@@ -114,6 +131,10 @@ class Cluster {
   /// Flight recorder: enable, then dump on failure (tests).
   trace::Recorder& recorder() { return recorder_; }
 
+  /// Installs (or clears, with nullptr) the event observer. Not owned;
+  /// must outlive the cluster or be cleared before destruction.
+  void set_observer(ClusterObserver* observer) { observer_ = observer; }
+
  private:
   friend class NodeContext;
   friend class ClientSet;
@@ -121,6 +142,10 @@ class Cluster {
   void wire_node(NodeId n);
   void on_deliver(NodeId n, const core::Command& c);
   void on_committed(NodeId n, const core::Command& c);
+  void on_decided(NodeId n, core::ObjectId l, core::Instance in,
+                  const core::Command& c);
+  void on_ownership(NodeId n, core::ObjectId l, core::Epoch e, NodeId owner,
+                    bool acquired);
   void reset_measurement();
 
   ExperimentConfig cfg_;
@@ -143,6 +168,7 @@ class Cluster {
   std::unordered_map<core::CommandId, sim::Time> propose_times_;
   std::vector<core::CStruct> cstructs_;
   trace::Recorder recorder_;
+  ClusterObserver* observer_ = nullptr;
 };
 
 /// Constructs the replica implementing `protocol` (factory shared by the

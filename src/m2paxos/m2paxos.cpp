@@ -140,6 +140,7 @@ void M2PaxosReplica::on_crash() {
   pending_.clear();
   accepts_.clear();
   prepares_.clear();
+  repair_cooldown_.clear();
   ctx_.cancel_timer(sync_timer_);
   sync_timer_ = sim::kInvalidEvent;
   ctx_.cancel_timer(crossing_timer_);
@@ -166,9 +167,9 @@ std::vector<ObjectId> M2PaxosReplica::undecided_objects(
 void M2PaxosReplica::propose(const core::Command& c) {
   if (crashed_) return;
   if (delivered_ids_.count(c.id) > 0) return;
-  auto [it, inserted] = pending_.try_emplace(c.id, PendingCommand{c, 0, false,
-                                                                  sim::kInvalidEvent});
+  auto [it, inserted] = pending_.try_emplace(c.id);
   if (!inserted) return;  // already coordinating this command
+  it->second.cmd = c;
   coordinate(c.id);
 }
 
@@ -194,14 +195,26 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
     arm_watchdog(again_pc);
     if (!again_pc.in_flight) {
       std::vector<ObjectId> blocked;
-      for (ObjectId l : again_pc.cmd.objects) {
-        ObjectState& st = table_.obj(l);
-        auto slot = st.slots.find(st.last_appended + 1);
-        if (slot == st.slots.end() || !slot->second.decided)
-          blocked.push_back(l);
-      }
+      collect_blocked(again_pc.cmd, blocked);
+      auto self = pending_.find(id);  // collect_blocked may deliver
+      if (self == pending_.end()) return;
+      // Deduplicate repair rounds per object: dozens of blocked commands
+      // share one wait-for closure, and concurrent forced acquisitions on
+      // the same objects stale each other's epochs forever. One round per
+      // cooldown window is enough — a single success unblocks the cascade.
+      // The jitter staggers replicas that would otherwise retry in
+      // lockstep (the backoffs elsewhere are also randomized per node).
+      const sim::Time now = ctx_.now();
+      std::erase_if(blocked, [&](ObjectId l) {
+        auto [slot, fresh] = repair_cooldown_.try_emplace(l, 0);
+        if (!fresh && now < slot->second) return true;
+        slot->second = now + cfg_.forward_timeout +
+                       static_cast<sim::Time>(ctx_.rng().uniform(
+                           static_cast<std::uint64_t>(cfg_.forward_timeout)));
+        return false;
+      });
       if (!blocked.empty())
-        start_acquisition(again_pc, blocked, /*force_prepare_all=*/true);
+        start_acquisition(self->second, blocked, /*force_prepare_all=*/true);
     }
     return;
   }
@@ -240,6 +253,44 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
   }
 
   start_acquisition(pc, objects);
+}
+
+void M2PaxosReplica::collect_blocked(const core::Command& root,
+                                     std::vector<ObjectId>& blocked) {
+  // Walk the local wait-for closure of `root`: delivery is blocked on each
+  // accessed object either by a missing/undecided frontier decision (the
+  // ground cause — a repair round or sync probe can resolve it there) or by
+  // a different command sitting at that frontier, in which case whatever
+  // *that* command waits on blocks `root` too. Only the direct objects are
+  // visible to the caller's watchdog, so the chain must be chased here —
+  // e.g. root waits on c at one of its own objects while c waits on an
+  // object whose frontier decision this node never received.
+  std::unordered_set<ObjectId> seen_objects;
+  std::unordered_set<std::uint64_t> seen_cmds{root.id.value};
+  std::deque<ObjectId> queue(root.objects.begin(), root.objects.end());
+  bool requeued = false;
+  while (!queue.empty()) {
+    const ObjectId l = queue.front();
+    queue.pop_front();
+    if (!seen_objects.insert(l).second) continue;
+    ObjectState& st = table_.obj(l);
+    auto it = st.slots.find(st.last_appended + 1);
+    if (it == st.slots.end() || !it->second.decided) {
+      blocked.push_back(l);
+      continue;
+    }
+    const core::Command& c = *it->second.decided;
+    if (delivered_ids_.count(c.id) > 0) {
+      // A duplicate decision of an already-delivered command parked at the
+      // frontier; re-scan the object so try_deliver's skip path advances.
+      dirty_objects_.push_back(l);
+      requeued = true;
+      continue;
+    }
+    if (seen_cmds.insert(c.id.value).second)
+      for (ObjectId l2 : c.objects) queue.push_back(l2);
+  }
+  if (requeued) try_deliver();
 }
 
 void M2PaxosReplica::arm_watchdog(PendingCommand& pc) {
@@ -304,9 +355,12 @@ void M2PaxosReplica::send_accept(core::CommandId for_cmd,
 
 void M2PaxosReplica::handle_accept(NodeId from, const Accept& msg) {
   bool ok = true;
+  // cfg_.test_unsafe_epochs skips the promise check — the deliberately
+  // broken build the fuzzing auditor must catch (stale owners keep
+  // winning quorums and rebinding slots).
   for (const auto& s : msg.slots) {
     const ObjectState* st = table_.find(s.object);
-    if (st != nullptr && s.epoch < st->promised) {
+    if (!cfg_.test_unsafe_epochs && st != nullptr && s.epoch < st->promised) {
       ok = false;
       break;
     }
@@ -319,6 +373,8 @@ void M2PaxosReplica::handle_accept(NodeId from, const Accept& msg) {
   if (ok) {
     for (const auto& s : msg.slots) {
       ObjectState& st = table_.obj(s.object);
+      if (st.owner != from || st.promised != s.epoch)
+        ctx_.ownership(s.object, s.epoch, from, /*acquired=*/false);
       st.promised = std::max(st.promised, s.epoch);
       st.owner = from;  // Algorithm 2, line 18
       Slot& slot = st.slots[s.instance];
@@ -401,10 +457,18 @@ void M2PaxosReplica::decide_slot(ObjectId l, Instance in,
   ObjectState& st = table_.obj(l);
   Slot& slot = st.slots[in];
   if (slot.decided) {
+    if (cfg_.test_unsafe_epochs && slot.decided->id != c.id) {
+      // Broken-build mode: rebind silently so the auditor — not a process
+      // abort — is what reports the violation.
+      slot.decided = c;
+      ctx_.decided(l, in, c);
+      return;
+    }
     assert(slot.decided->id == c.id && "two commands decided in one slot");
     return;
   }
   slot.decided = c;
+  ctx_.decided(l, in, c);
   ++counters_.decided_slots;
   dirty_objects_.push_back(l);
   if (in > st.last_appended + 1) {
@@ -519,6 +583,18 @@ void M2PaxosReplica::try_deliver() {
         }
         if (!ready) {
           stuck_objects_.insert(l);
+          // Transitive demand: c may be waiting on an object whose frontier
+          // decision this node simply never received (lost Decide during a
+          // partition, with no later decision to expose the gap). That
+          // object generates no evidence of its own, so mark it stuck here
+          // — the sync probe fetches missing frontiers, one hop per round,
+          // until the wait chain is grounded.
+          for (ObjectId l2 : c.objects) {
+            const ObjectState& st2 = table_.obj(l2);
+            auto it2 = st2.slots.find(st2.last_appended + 1);
+            if (it2 == st2.slots.end() || !it2->second.decided)
+              stuck_objects_.insert(l2);
+          }
           start_sync_timer();
           break;
         }
@@ -783,9 +859,17 @@ void M2PaxosReplica::finish_acquisition(PrepareRound round) {
   std::vector<SlotValue> slots;
   for (const auto& e : round.entries) {
     ObjectState& st = table_.obj(e.object);
-    st.promised = std::max(st.promised, e.epoch);
+    // The quorum promised e.epoch, but if this node has since observed a
+    // higher epoch (a competing Prepare or an Accept processed while our
+    // acks were in flight) the acquisition is already stale: every Accept
+    // we issue at e.epoch would be rejected by the promised-epoch check.
+    // Claiming ownership anyway would only advertise a dead epoch — skip
+    // the object and let the watchdog re-coordinate against the new owner.
+    if (st.promised > e.epoch) continue;
+    st.promised = e.epoch;
     st.owner = id_;
     st.owned_epoch = e.epoch;
+    ctx_.ownership(e.object, e.epoch, id_, /*acquired=*/true);
 
     // Instances at or below the quorum's delivered floor are decided with
     // values that may be garbage-collected everywhere we can see; never
@@ -794,6 +878,12 @@ void M2PaxosReplica::finish_acquisition(PrepareRound round) {
     // values if this node still needs them for delivery.
     const auto fit = round.floors.find(e.object);
     const Instance floor = fit == round.floors.end() ? 0 : fit->second;
+    if (floor > st.last_appended) {
+      // A quorum already delivered past our frontier: the missing decisions
+      // will never be re-proposed, so only a sync probe can fetch them.
+      stuck_objects_.insert(e.object);
+      start_sync_timer();
+    }
     const Instance from = std::max(e.from_instance, floor + 1);
 
     // Highest voted instance for this object.
@@ -837,6 +927,11 @@ void M2PaxosReplica::finish_acquisition(PrepareRound round) {
     slots.push_back(SlotValue{l, in, st.owned_epoch, round.cmd});
   }
 
+  if (slots.empty()) {
+    // Every entry went stale mid-flight; nothing to accept.
+    retry_later(round.cmd.id);
+    return;
+  }
   send_accept(round.cmd.id, std::move(slots));
 }
 

@@ -173,6 +173,10 @@ class M2PaxosReplica final : public core::Replica {
   void handle_propose(const Propose& msg);
   void retry_later(core::CommandId id);
   void arm_watchdog(PendingCommand& pc);
+  /// Collects the objects whose missing/undecided frontier decisions
+  /// (transitively) block `root` from delivering locally.
+  void collect_blocked(const core::Command& root,
+                       std::vector<ObjectId>& blocked);
   void apply_hints(const std::vector<ViewHint>& hints);
   core::Command make_noop(ObjectId l);
   std::vector<ObjectId> undecided_objects(const core::Command& c) const;
@@ -192,6 +196,9 @@ class M2PaxosReplica final : public core::Replica {
   /// Objects whose frontier slot is decided but whose command is waiting on
   /// other objects — the candidates for crossing resolution.
   std::unordered_set<ObjectId> stuck_objects_;
+  /// Earliest time another delivery-repair acquisition may target each
+  /// object (see coordinate(); repairs are deduplicated per object).
+  std::unordered_map<ObjectId, sim::Time> repair_cooldown_;
   bool delivering_ = false;  // reentrancy guard for try_deliver
   std::uint64_t next_req_ = 1;
   std::uint64_t noop_seq_ = 0;

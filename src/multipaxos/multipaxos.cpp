@@ -31,7 +31,8 @@ MultiPaxosReplica::MultiPaxosReplica(NodeId id, const core::ClusterConfig& cfg,
 }
 
 void MultiPaxosReplica::start(bool enable_failure_detector) {
-  if (enable_failure_detector) fd_.start();
+  fd_enabled_ = enable_failure_detector;
+  if (fd_enabled_) fd_.start();
 }
 
 void MultiPaxosReplica::on_crash() {
@@ -45,7 +46,10 @@ void MultiPaxosReplica::on_crash() {
 void MultiPaxosReplica::on_recover() {
   crashed_ = false;
   // Acceptor/learner state (promised_, slots_, delivered log) is durable.
-  fd_.start();
+  // Only restart the detector if it was running before the crash: a lone
+  // restarted detector in an otherwise detector-less cluster hears no
+  // heartbeats, suspects everyone, and self-elects.
+  if (fd_enabled_) fd_.start();
 }
 
 core::RxCost MultiPaxosReplica::rx_cost(const net::Payload& payload) const {
@@ -68,8 +72,9 @@ core::RxCost MultiPaxosReplica::rx_cost(const net::Payload& payload) const {
 void MultiPaxosReplica::propose(const Command& c) {
   if (crashed_) return;
   if (delivered_ids_.count(c.id) > 0) return;
-  auto [it, inserted] = pending_.try_emplace(c.id, PendingCommand{c, sim::kInvalidEvent});
+  auto [it, inserted] = pending_.try_emplace(c.id);
   if (!inserted) return;
+  it->second.cmd = c;
   arm_retry(c);
   handle_propose(c);
 }
@@ -196,6 +201,7 @@ void MultiPaxosReplica::handle_prepare(NodeId from, const Prepare& msg) {
   auto reply = std::make_shared<Promise>();
   reply->ballot = msg.ballot;
   reply->acceptor = id_;
+  reply->first_undelivered = last_delivered_ + 1;
   if (msg.ballot > promised_) {
     promised_ = msg.ballot;
     leader_ = static_cast<NodeId>(msg.ballot % cfg_.n_nodes);
@@ -222,6 +228,7 @@ void MultiPaxosReplica::handle_prepare(NodeId from, const Prepare& msg) {
 void MultiPaxosReplica::start_leader_change() {
   ballot_ = next_ballot_for(id_, std::max(promised_, ballot_), cfg_.n_nodes);
   preparing_ = true;
+  promise_safe_start_ = last_delivered_ + 1;
   promise_ackers_.clear();
   promise_votes_.clear();
   ctx_.broadcast(net::make_payload<Prepare>(ballot_, last_delivered_ + 1), true);
@@ -242,6 +249,7 @@ void MultiPaxosReplica::handle_promise(const Promise& msg) {
                 msg.acceptor) != promise_ackers_.end())
     return;  // duplicate delivery
   promise_ackers_.push_back(msg.acceptor);
+  promise_safe_start_ = std::max(promise_safe_start_, msg.first_undelivered);
   promise_votes_.insert(promise_votes_.end(), msg.votes.begin(),
                         msg.votes.end());
   if (static_cast<int>(promise_ackers_.size()) >= cfg_.classic_quorum())
@@ -262,9 +270,23 @@ void MultiPaxosReplica::become_leader() {
     if (!inserted && v.vballot > it->second->vballot) it->second = &v;
   }
 
+  // Slots below the quorum's maximum delivery frontier are committed, and
+  // the acceptors that delivered them have pruned their records — so the
+  // promise votes for those slots are incomplete and possibly stale losers.
+  // Proposing there (a stale vote or a no-op filler) would rebind a decided
+  // slot. Adopt any committed votes we did see and leave the rest alone; a
+  // leader that lags its own log simply stalls local delivery behind the
+  // gap (there is no catch-up transfer), which is safe.
+  const std::uint64_t safe_start =
+      std::max(promise_safe_start_, last_delivered_ + 1);
+  for (const auto& [slot, vote] : best) {
+    if (slot < safe_start && vote->vballot == UINT64_MAX)
+      commit_slot(slot, vote->cmd);
+  }
+
   // Re-propose surviving votes; fill holes with no-ops so delivery cannot
   // stall behind slots whose value was lost with the old leader.
-  for (std::uint64_t slot = last_delivered_ + 1; slot <= max_slot; ++slot) {
+  for (std::uint64_t slot = safe_start; slot <= max_slot; ++slot) {
     auto it = best.find(slot);
     Command cmd;
     if (it != best.end()) {
@@ -276,7 +298,7 @@ void MultiPaxosReplica::become_leader() {
     ctx_.broadcast(net::make_payload<Accept>(ballot_, slot, std::move(cmd)),
                    true);
   }
-  next_slot_ = max_slot + 1;
+  next_slot_ = std::max(max_slot + 1, safe_start);
   promise_votes_.clear();
 
   // Re-submit our own pending proposals under the new ballot.
@@ -298,6 +320,8 @@ void MultiPaxosReplica::commit_slot(std::uint64_t slot, const Command& cmd) {
     return;
   }
   st.committed = cmd;
+  // Single log: slot key is ⟨object 0, log index⟩.
+  ctx_.decided(0, slot, cmd);
   assigned_.erase(cmd.id);
   if (leader_ == id_) {
     recent_commits_[cmd.id] = {slot, cmd};

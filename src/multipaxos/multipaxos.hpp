@@ -46,6 +46,11 @@ struct Prepare final : net::Payload {
 };
 
 /// Phase-1b: promise plus every vote at or above the prepared slot.
+///
+/// `first_undelivered` is the acceptor's delivery frontier: slots below it
+/// are committed and their acceptor records have been pruned, so they can
+/// contribute no votes. A new leader must treat every slot below the
+/// quorum's maximum frontier as decided elsewhere and never re-propose it.
 struct Promise final : net::Payload {
   struct Vote {
     std::uint64_t slot = 0;
@@ -55,10 +60,11 @@ struct Promise final : net::Payload {
   Ballot ballot = 0;
   NodeId acceptor = kNoNode;
   bool ack = false;
+  std::uint64_t first_undelivered = 1;
   std::vector<Vote> votes;
   std::uint32_t kind() const override { return net::kKindMultiPaxos + 3; }
   std::size_t wire_size() const override {
-    std::size_t bytes = 8 + 4 + 1;
+    std::size_t bytes = 8 + 4 + 1 + 8;
     for (const auto& v : votes) bytes += 16 + v.cmd.wire_size();
     return bytes;
   }
@@ -178,6 +184,9 @@ class MultiPaxosReplica final : public core::Replica {
   Ballot ballot_ = 0;
   std::uint64_t next_slot_ = 1;
   bool preparing_ = false;
+  /// Max Promise::first_undelivered over the promise quorum: the first slot
+  /// this leader may propose into (everything below is committed at a peer).
+  std::uint64_t promise_safe_start_ = 1;
   std::vector<NodeId> promise_ackers_;  // deduplicated
   std::vector<Promise::Vote> promise_votes_;
   std::unordered_map<CommandId, std::uint64_t> assigned_;  // cmd -> slot
@@ -197,6 +206,7 @@ class MultiPaxosReplica final : public core::Replica {
 
   NodeId leader_ = 0;
   core::FailureDetector fd_;
+  bool fd_enabled_ = false;  // was the detector started? (restart on recover)
   bool crashed_ = false;
   MpCounters counters_;
 };

@@ -15,7 +15,7 @@ sim::Time LatencyModel::one_way(std::size_t bytes, sim::Rng& rng) const {
   const double jitter =
       cfg_.jitter_sigma > 0 ? rng.lognormal(1.0, cfg_.jitter_sigma) : 1.0;
   const auto base = static_cast<sim::Time>(
-      static_cast<double>(cfg_.propagation) * jitter);
+      static_cast<double>(cfg_.propagation) * jitter * scale_);
   return std::max<sim::Time>(cfg_.jitter_floor, base) + serialization(bytes);
 }
 

@@ -32,10 +32,16 @@ class LatencyModel {
   /// Pure serialization time of `bytes` at the configured bandwidth.
   sim::Time serialization(std::size_t bytes) const;
 
+  /// Multiplies the propagation component of every subsequent sample
+  /// (fault injection: a latency spike). 1.0 restores the baseline.
+  void set_scale(double scale) { scale_ = scale; }
+  double scale() const { return scale_; }
+
   const LatencyConfig& config() const { return cfg_; }
 
  private:
   LatencyConfig cfg_;
+  double scale_ = 1.0;
 };
 
 }  // namespace m2::net

@@ -107,6 +107,9 @@ class Network {
   void set_loss(double p) { cfg_.loss_probability = p; }
   /// Adjusts the duplicate-delivery probability mid-run.
   void set_duplication(double p) { cfg_.duplicate_probability = p; }
+  /// Scales propagation latency mid-run (fault injection: latency spike).
+  void set_latency_scale(double s) { latency_.set_scale(s); }
+  double latency_scale() const { return latency_.scale(); }
 
  private:
   struct Batch {

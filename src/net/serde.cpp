@@ -92,6 +92,7 @@ void encode_body(Writer& w, const Payload& p) {
       w.u64(m.ballot);
       w.u32(m.acceptor);
       w.u8(m.ack ? 1 : 0);
+      w.u64(m.first_undelivered);
       w.varint(m.votes.size());
       for (const auto& v : m.votes) {
         w.u64(v.slot);
@@ -384,12 +385,15 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
       const auto ballot = r.u64();
       const auto acceptor = r.u32();
       const auto ack = r.u8();
+      const auto first_undelivered = r.u64();
       const auto n = r.varint();
-      if (!ballot || !acceptor || !ack || !n || *n > kMaxListLen)
+      if (!ballot || !acceptor || !ack || !first_undelivered || !n ||
+          *n > kMaxListLen)
         return nullptr;
       m->ballot = *ballot;
       m->acceptor = *acceptor;
       m->ack = *ack != 0;
+      m->first_undelivered = *first_undelivered;
       for (std::uint64_t i = 0; i < *n; ++i) {
         const auto slot = r.u64();
         const auto vballot = r.u64();

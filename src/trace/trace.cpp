@@ -22,6 +22,12 @@ const char* kind_name(Event::Kind k) {
       return "crash";
     case Event::Kind::kRecover:
       return "recover";
+    case Event::Kind::kDecide:
+      return "decide";
+    case Event::Kind::kOwnership:
+      return "own";
+    case Event::Kind::kFault:
+      return "fault";
   }
   return "?";
 }
@@ -33,6 +39,10 @@ void Event::print(std::ostream& os) const {
   if (peer != kNoNode) os << "  peer=n" << peer;
   if (what != nullptr && what[0] != '\0') os << "  " << what;
   if (detail != 0) os << "  #" << std::hex << detail << std::dec;
+  if (kind == Kind::kDecide)
+    os << "  obj=" << object << " slot=" << slot;
+  else if (kind == Kind::kOwnership)
+    os << "  obj=" << object << " epoch=" << slot;
   os << "\n";
 }
 

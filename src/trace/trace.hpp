@@ -19,15 +19,20 @@ struct Event {
     kCommit,
     kDeliver,
     kCrash,
-    kRecover
+    kRecover,
+    kDecide,     // slot ⟨object, slot⟩ decided; detail = command id
+    kOwnership,  // ownership observation; peer = owner, slot = epoch
+    kFault       // injected fault-schedule action (what = description)
   };
 
   sim::Time at = 0;
   NodeId node = kNoNode;
   Kind kind = Kind::kSend;
-  NodeId peer = kNoNode;       // destination / source when applicable
+  NodeId peer = kNoNode;       // destination / source / owner when applicable
   const char* what = "";       // message type or command description
   std::uint64_t detail = 0;    // command id / wire size
+  std::uint64_t object = 0;    // consensus object (kDecide/kOwnership)
+  std::uint64_t slot = 0;      // instance (kDecide) or epoch (kOwnership)
 
   void print(std::ostream& os) const;
 };

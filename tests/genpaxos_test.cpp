@@ -74,7 +74,8 @@ TEST(GenPaxos, DeliveryIsATotalOrder) {
   // for Generalized Consensus, trivially consistent).
   GpCluster t(3, 5);
   for (int i = 1; i <= 15; ++i)
-    for (NodeId n = 0; n < 3; ++n) t.cluster.propose(n, cmd(n, i, {i % 5}));
+    for (NodeId n = 0; n < 3; ++n)
+      t.cluster.propose(n, cmd(n, i, {static_cast<core::ObjectId>(i % 5)}));
   t.cluster.run_idle();
   EXPECT_TRUE(test::all_delivered(t.cluster, 45));
   const auto report = core::check_total_order(t.cluster.cstructs());

@@ -51,7 +51,8 @@ TEST(MultiPaxos, RemoteProposalForwardsToLeader) {
 TEST(MultiPaxos, ProducesIdenticalTotalOrder) {
   MpCluster t(5, 3);
   for (int i = 1; i <= 20; ++i)
-    for (NodeId n = 0; n < 5; ++n) t.cluster.propose(n, cmd(n, i, {i % 4}));
+    for (NodeId n = 0; n < 5; ++n)
+      t.cluster.propose(n, cmd(n, i, {static_cast<core::ObjectId>(i % 4)}));
   t.cluster.run_idle();
   EXPECT_TRUE(test::all_delivered(t.cluster, 100));
   const auto report = core::check_total_order(t.cluster.cstructs());

@@ -305,10 +305,11 @@ TEST(Network, FlatTablesKeepEveryLinkFifoUnderJitter) {
   EXPECT_EQ(inversions, 0) << "a link delivered out of send order";
   for (NodeId from = 0; from < kNodes; ++from)
     for (NodeId to = 0; to < kNodes; ++to)
-      if (from != to)
+      if (from != to) {
         EXPECT_EQ(arrivals[from * kNodes + to],
                   static_cast<std::uint64_t>(kRounds))
             << "link " << from << "->" << to;
+      }
 }
 
 TEST(Network, FlatTablesEnforcePartitionPerLink) {

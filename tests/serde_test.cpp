@@ -76,8 +76,10 @@ TEST(Serde, MultiPaxosMessages) {
     p.ballot = 3;
     p.acceptor = 1;
     p.ack = true;
+    p.first_undelivered = 6;
     p.votes.push_back({7, 2, c});
     const auto back = round_trip(p);
+    EXPECT_EQ(back->first_undelivered, 6u);
     ASSERT_EQ(back->votes.size(), 1u);
     EXPECT_EQ(back->votes[0].slot, 7u);
     EXPECT_EQ(back->votes[0].cmd.id, c.id);

@@ -1,0 +1,310 @@
+// m2fuzz — seeded fault-schedule fuzzer for all four protocols.
+//
+// Sweeps a seed range; each seed deterministically expands into a workload,
+// a network jitter stream, and a timed fault schedule (crashes, partitions,
+// link failures, loss/latency/duplication spikes) applied to a simulated
+// cluster while open-loop clients load every node. A safety auditor checks
+// the Generalized Consensus invariants online and after the post-heal
+// drain. Failing seeds are shrunk (ddmin over fault episodes) and reported
+// with a replayable command line.
+//
+//   m2fuzz --protocol m2paxos --nodes 5 --seeds 1..200
+//   m2fuzz --protocol all --seeds 1..50 --intensity 5 --json
+//   m2fuzz --protocol m2paxos --seeds 17..17 --keep 2,5   # replay a shrink
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.hpp"
+
+using namespace m2;
+
+namespace {
+
+struct Options {
+  std::vector<core::Protocol> protocols;
+  int nodes = 0;  // 0 = alternate 4- and 5-node clusters across seeds
+  std::uint64_t seed_lo = 1;
+  std::uint64_t seed_hi = 50;
+  int intensity = 3;
+  long horizon_ms = 300;
+  long drain_ms = 2000;
+  bool json = false;
+  bool inject_bug = false;
+  bool shrink = true;
+  bool verbose = false;
+  std::vector<int> keep;
+  bool have_keep = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [flags]\n"
+      "  --protocol multipaxos|genpaxos|epaxos|m2paxos|all  (default all)\n"
+      "  --nodes N         cluster size; 0 alternates 4/5   (default 0)\n"
+      "  --seeds A..B      inclusive seed range             (default 1..50)\n"
+      "  --intensity N     fault episodes per 100ms, 1..10  (default 3)\n"
+      "  --horizon-ms MS   fault-injection window           (default 300)\n"
+      "  --drain-ms MS     post-heal drain                  (default 2000)\n"
+      "  --keep I,J,...    replay only these fault episodes\n"
+      "  --inject-bug      enable the deliberate epoch-safety bug\n"
+      "  --no-shrink       report failures without shrinking\n"
+      "  --json            machine-readable output (one object per run)\n"
+      "  --verbose         print every schedule, not just failing ones\n"
+      "\n"
+      "exit status: 0 all seeds clean, 1 violations found, 2 bad usage\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_protocols(const std::string& s, std::vector<core::Protocol>& out) {
+  if (s == "multipaxos") out = {core::Protocol::kMultiPaxos};
+  else if (s == "genpaxos") out = {core::Protocol::kGenPaxos};
+  else if (s == "epaxos") out = {core::Protocol::kEPaxos};
+  else if (s == "m2paxos") out = {core::Protocol::kM2Paxos};
+  else if (s == "all")
+    out = {core::Protocol::kMultiPaxos, core::Protocol::kGenPaxos,
+           core::Protocol::kEPaxos, core::Protocol::kM2Paxos};
+  else return false;
+  return true;
+}
+
+bool parse_seed_range(const std::string& s, std::uint64_t& lo,
+                      std::uint64_t& hi) {
+  const auto dots = s.find("..");
+  if (dots == std::string::npos) {
+    char* end = nullptr;
+    lo = hi = std::strtoull(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+  }
+  lo = std::strtoull(s.substr(0, dots).c_str(), nullptr, 10);
+  hi = std::strtoull(s.substr(dots + 2).c_str(), nullptr, 10);
+  return lo <= hi;
+}
+
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto comma = s.find(',', pos);
+    const auto piece = s.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos);
+    if (!piece.empty()) out.push_back(std::atoi(piece.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  parse_protocols("all", opt.protocols);
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--protocol") {
+      if (!parse_protocols(need_value(i), opt.protocols)) usage(argv[0]);
+    } else if (flag == "--nodes") {
+      opt.nodes = std::atoi(need_value(i));
+    } else if (flag == "--seeds") {
+      if (!parse_seed_range(need_value(i), opt.seed_lo, opt.seed_hi))
+        usage(argv[0]);
+    } else if (flag == "--intensity") {
+      opt.intensity = std::atoi(need_value(i));
+    } else if (flag == "--horizon-ms") {
+      opt.horizon_ms = std::atol(need_value(i));
+    } else if (flag == "--drain-ms") {
+      opt.drain_ms = std::atol(need_value(i));
+    } else if (flag == "--keep") {
+      opt.keep = parse_int_list(need_value(i));
+      opt.have_keep = true;
+    } else if (flag == "--inject-bug") {
+      opt.inject_bug = true;
+    } else if (flag == "--no-shrink") {
+      opt.shrink = false;
+    } else if (flag == "--json") {
+      opt.json = true;
+    } else if (flag == "--verbose") {
+      opt.verbose = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.nodes < 0 || opt.nodes == 1 || opt.nodes == 2 ||
+      opt.intensity < 1 || opt.intensity > 10 || opt.horizon_ms < 1 ||
+      opt.drain_ms < 0)
+    usage(argv[0]);
+  return opt;
+}
+
+int nodes_for_seed(const Options& opt, std::uint64_t seed) {
+  if (opt.nodes != 0) return opt.nodes;
+  return seed % 2 == 0 ? 4 : 5;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string episode_list(const std::vector<int>& episodes) {
+  std::string out;
+  for (const int e : episodes) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(e);
+  }
+  return out;
+}
+
+/// Protocol name in the exact spelling the --protocol flag accepts (the
+/// display names from core::to_string are capitalized).
+std::string flag_name(core::Protocol protocol) {
+  std::string name = core::to_string(protocol);
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return name;
+}
+
+std::string repro_command(const char* argv0, core::Protocol protocol,
+                          int nodes, std::uint64_t seed, const Options& opt,
+                          const std::vector<int>& keep) {
+  std::string cmd = argv0;
+  cmd += " --protocol " + flag_name(protocol);
+  cmd += " --nodes " + std::to_string(nodes);
+  cmd += " --seeds " + std::to_string(seed) + ".." + std::to_string(seed);
+  cmd += " --intensity " + std::to_string(opt.intensity);
+  if (opt.horizon_ms != 300)
+    cmd += " --horizon-ms " + std::to_string(opt.horizon_ms);
+  if (opt.inject_bug) cmd += " --inject-bug";
+  if (!keep.empty()) cmd += " --keep " + episode_list(keep);
+  return cmd;
+}
+
+void print_json_run(core::Protocol protocol, int nodes, std::uint64_t seed,
+                    const fuzz::FuzzResult& result,
+                    const std::vector<int>* shrunk,
+                    const std::string& repro) {
+  std::printf("{\"protocol\":\"%s\",\"nodes\":%d,\"seed\":%llu,\"ok\":%s,"
+              "\"proposals\":%llu,\"committed\":%llu,\"decisions\":%llu,"
+              "\"deliveries\":%llu,\"crashes\":%d,\"violations\":[",
+              core::to_string(protocol).c_str(), nodes,
+              static_cast<unsigned long long>(seed),
+              result.ok ? "true" : "false",
+              static_cast<unsigned long long>(result.proposals),
+              static_cast<unsigned long long>(result.committed),
+              static_cast<unsigned long long>(result.decisions),
+              static_cast<unsigned long long>(result.deliveries),
+              result.nodes_crashed);
+  for (std::size_t i = 0; i < result.violations.size(); ++i)
+    std::printf("%s\"%s\"", i != 0 ? "," : "",
+                json_escape(result.violations[i]).c_str());
+  std::printf("]");
+  if (shrunk != nullptr) {
+    std::printf(",\"shrunk_episodes\":[");
+    for (std::size_t i = 0; i < shrunk->size(); ++i)
+      std::printf("%s%d", i != 0 ? "," : "", (*shrunk)[i]);
+    std::printf("]");
+  }
+  if (!repro.empty()) std::printf(",\"repro\":\"%s\"", json_escape(repro).c_str());
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  std::uint64_t runs = 0, failures = 0;
+  for (const core::Protocol protocol : opt.protocols) {
+    for (std::uint64_t seed = opt.seed_lo; seed <= opt.seed_hi; ++seed) {
+      fuzz::FuzzCase fuzz_case;
+      fuzz_case.protocol = protocol;
+      fuzz_case.n_nodes = nodes_for_seed(opt, seed);
+      fuzz_case.seed = seed;
+      fuzz_case.intensity = opt.intensity;
+      fuzz_case.horizon = opt.horizon_ms * sim::kMillisecond;
+      fuzz_case.drain = opt.drain_ms * sim::kMillisecond;
+      fuzz_case.inject_bug = opt.inject_bug;
+      if (opt.have_keep) {
+        fuzz_case.keep_episodes = opt.keep;
+        if (fuzz_case.keep_episodes.empty())
+          fuzz_case.keep_episodes.push_back(-2);  // --keep "" = no faults
+      }
+
+      fuzz::FuzzResult result = fuzz::run_case(fuzz_case);
+      ++runs;
+
+      if (opt.verbose && !opt.json) {
+        std::printf("# %s nodes=%d seed=%llu: %s (%llu committed)\n",
+                    core::to_string(protocol).c_str(), fuzz_case.n_nodes,
+                    static_cast<unsigned long long>(seed),
+                    result.ok ? "ok" : "FAIL",
+                    static_cast<unsigned long long>(result.committed));
+        std::fputs(fuzz::to_string(result.schedule).c_str(), stdout);
+      }
+
+      if (result.ok) {
+        if (opt.json && opt.verbose)
+          print_json_run(protocol, fuzz_case.n_nodes, seed, result, nullptr,
+                         "");
+        continue;
+      }
+      ++failures;
+
+      std::vector<int> shrunk;
+      bool have_shrunk = false;
+      if (opt.shrink && !opt.have_keep) {
+        shrunk = fuzz::shrink_schedule(fuzz_case, result);
+        have_shrunk = true;
+      }
+      const std::string repro =
+          repro_command(argv[0], protocol, fuzz_case.n_nodes, seed, opt,
+                        have_shrunk ? shrunk : fuzz_case.keep_episodes);
+
+      if (opt.json) {
+        print_json_run(protocol, fuzz_case.n_nodes, seed, result,
+                       have_shrunk ? &shrunk : nullptr, repro);
+      } else {
+        std::printf("FAIL %s nodes=%d seed=%llu intensity=%d\n",
+                    core::to_string(protocol).c_str(), fuzz_case.n_nodes,
+                    static_cast<unsigned long long>(seed), opt.intensity);
+        for (const auto& v : result.violations)
+          std::printf("  violation: %s\n", v.c_str());
+        if (have_shrunk)
+          std::printf("  shrunk to %zu episode(s): %s\n", shrunk.size(),
+                      episode_list(shrunk).c_str());
+        std::fputs(fuzz::to_string(result.schedule).c_str(), stdout);
+        std::printf("  repro: %s\n", repro.c_str());
+      }
+    }
+  }
+
+  if (opt.json) {
+    std::printf("{\"runs\":%llu,\"failures\":%llu}\n",
+                static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(failures));
+  } else {
+    std::printf("%llu run(s), %llu failure(s)\n",
+                static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(failures));
+  }
+  return failures == 0 ? 0 : 1;
+}
