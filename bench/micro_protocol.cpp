@@ -1,0 +1,244 @@
+// Protocol hot-path microbenchmark: decided-commands/sec and steady-state
+// heap allocations per decided command for M²Paxos, measured through the
+// full simulated cluster (replicas + network + open-loop clients) at N=3.
+// Three mixes cover the three propose paths of Algorithm 1:
+//
+//   fast path    every command touches one locally-owned object
+//                (synthetic workload, locality 1.0)
+//   forwarding   every command touches one remotely-owned object, so the
+//                proposer forwards to the unique owner (locality 0.0)
+//   acquisition  50% of commands pair a local object with an object of the
+//                next node's partition, so no node owns the whole set and
+//                ownership must be (re-)acquired (Algorithm 3)
+//
+// Emits BENCH_protocol.json with current numbers next to the recorded
+// pre-overhaul baseline so the perf trajectory is pinned in-branch.
+//
+// A global operator-new hook counts heap allocations across the steady
+// state of each mix. Once the protocol-layer overhaul lands (flat slot
+// logs, inline object sets, shared command handles, pooled payloads) the
+// fast-path mix must be allocation-free per decided command; the
+// kRequireZeroAllocFast gate turns that into a failing exit code. The gate
+// is off in the baseline commit that records the pre-overhaul numbers.
+//
+// M2_BENCH_QUICK=1 shrinks the measurement windows for smoke runs (<5 s).
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "bench_common.hpp"
+#include "harness/cluster.hpp"
+#include "workload/synthetic.hpp"
+
+// ---------------------------------------------------------------------
+// Allocation counting: replace global operator new/delete.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace m2::bench {
+namespace {
+
+// Pre-overhaul numbers, measured at commit 40c31d2 (std::map slot logs,
+// vector object sets, deep-copied commands at every hop) on the reference
+// machine with the same mixes and build flags. They contextualize
+// `current`; absolute values are machine-dependent, the before/after ratio
+// is not.
+constexpr double kBaselineFastPath = 71.7e3;       // decided cmds/sec (wall)
+constexpr double kBaselineForwarding = 61.9e3;     // decided cmds/sec (wall)
+constexpr double kBaselineAcquisition = 53.7e3;    // decided cmds/sec (wall)
+constexpr double kBaselineFastAllocs = 36.2;       // allocs/decided command
+
+// Flip to true once the overhaul lands: the steady-state fast path must
+// then perform ZERO heap allocations per decided command.
+constexpr bool kRequireZeroAllocFast = false;
+
+/// 50%-acquisition workload: even sequence numbers touch one object of the
+/// proposer's partition (fast path once owned); odd sequence numbers touch
+/// a {local, next-partition} pair, which no single node owns, forcing an
+/// ownership acquisition round. Deterministic per seed.
+class AcquisitionMixWorkload final : public wl::Workload {
+ public:
+  AcquisitionMixWorkload(int n_nodes, std::uint64_t objects_per_node,
+                         std::uint64_t seed)
+      : n_nodes_(n_nodes),
+        per_node_(objects_per_node),
+        rng_(seed),
+        next_seq_(static_cast<std::size_t>(n_nodes), 1) {}
+
+  core::Command next(NodeId proposer) override {
+    const std::uint64_t seq = next_seq_[proposer]++;
+    const core::CommandId id = core::CommandId::make(proposer, seq);
+    const core::ObjectId local = object_in(proposer);
+    if (seq % 2 == 0) return core::Command(id, {local}, 16);
+    const NodeId other = static_cast<NodeId>((proposer + 1) % n_nodes_);
+    return core::Command(id, {local, object_in(other)}, 16);
+  }
+
+  NodeId default_owner(core::ObjectId object) const override {
+    return static_cast<NodeId>(object / per_node_);
+  }
+
+ private:
+  core::ObjectId object_in(NodeId node) {
+    return static_cast<core::ObjectId>(node) * per_node_ +
+           rng_.uniform(per_node_);
+  }
+
+  int n_nodes_;
+  std::uint64_t per_node_;
+  sim::Rng rng_;
+  std::vector<std::uint64_t> next_seq_;
+};
+
+struct MixResult {
+  double decided_per_sec = 0;     // wall-clock, at node 0
+  double allocs_per_decided = 0;  // steady-state heap allocs / decided cmd
+  std::uint64_t decided = 0;
+  std::uint64_t steady_allocations = 0;
+};
+
+harness::ExperimentConfig mix_config() {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = core::Protocol::kM2Paxos;
+  cfg.cluster.n_nodes = 3;
+  cfg.seed = 1;
+  // Shrink the delivered-id dedup window so it fills (and starts evicting)
+  // during warmup — otherwise its growth would masquerade as a steady-state
+  // allocation source that a real long run would not have.
+  cfg.cluster.delivered_id_window = 4096;
+  return cfg;
+}
+
+/// Runs one mix: warm the cluster up (hash maps reach capacity, the
+/// delivered-id window fills, ownership settles), then measure wall-clock
+/// decided commands and heap allocations over a simulated window.
+MixResult run_mix(wl::Workload& workload, sim::Time sim_warmup,
+                  sim::Time sim_measure) {
+  harness::ExperimentConfig cfg = mix_config();
+  harness::Cluster cluster(cfg, workload);
+  cluster.start_clients();
+  cluster.run_for(sim_warmup);
+
+  const std::uint64_t decided_before = cluster.delivered_at(0);
+  const std::uint64_t allocs_before = g_allocations.load();
+  WallTimer timer;
+  cluster.run_for(sim_measure);
+  const double dt = timer.elapsed_seconds();
+
+  MixResult r;
+  r.decided = cluster.delivered_at(0) - decided_before;
+  r.steady_allocations = g_allocations.load() - allocs_before;
+  r.decided_per_sec = static_cast<double>(r.decided) / dt;
+  r.allocs_per_decided =
+      r.decided ? static_cast<double>(r.steady_allocations) /
+                      static_cast<double>(r.decided)
+                : -1.0;
+  cluster.stop_clients();
+  return r;
+}
+
+void print_mix(const char* name, const MixResult& r, double baseline) {
+  std::printf("%-12s %9.0f decided/sec  (baseline %9.0f, %5.2fx)   "
+              "%7.2f allocs/decided  (%llu over %llu)\n",
+              name, r.decided_per_sec, baseline,
+              r.decided_per_sec / baseline, r.allocs_per_decided,
+              static_cast<unsigned long long>(r.steady_allocations),
+              static_cast<unsigned long long>(r.decided));
+}
+
+int bench_main() {
+  const bool quick = quick_mode();
+  const sim::Time sim_warmup =
+      (quick ? 60 : 250) * sim::kMillisecond;
+  const sim::Time sim_measure =
+      (quick ? 120 : 500) * sim::kMillisecond;
+
+  wl::SyntheticConfig fast_cfg;
+  fast_cfg.n_nodes = 3;
+  fast_cfg.objects_per_node = 1024;
+  fast_cfg.locality = 1.0;
+  wl::SyntheticWorkload fast_wl(fast_cfg);
+  const MixResult fast = run_mix(fast_wl, sim_warmup, sim_measure);
+  print_mix("fast_path", fast, kBaselineFastPath);
+
+  wl::SyntheticConfig fwd_cfg = fast_cfg;
+  fwd_cfg.locality = 0.0;
+  wl::SyntheticWorkload fwd_wl(fwd_cfg);
+  const MixResult fwd = run_mix(fwd_wl, sim_warmup, sim_measure);
+  print_mix("forwarding", fwd, kBaselineForwarding);
+
+  AcquisitionMixWorkload acq_wl(3, 1024, 1);
+  const MixResult acq = run_mix(acq_wl, sim_warmup, sim_measure);
+  print_mix("acquisition", acq, kBaselineAcquisition);
+
+  JsonWriter baseline;
+  baseline.string("note",
+                  "pre-overhaul (std::map slot logs, vector object sets, "
+                  "deep-copied commands), reference machine");
+  baseline.number("fast_path_decided_per_sec", kBaselineFastPath);
+  baseline.number("forwarding_decided_per_sec", kBaselineForwarding);
+  baseline.number("acquisition_decided_per_sec", kBaselineAcquisition);
+  baseline.number("fast_path_allocs_per_decided", kBaselineFastAllocs);
+
+  JsonWriter current;
+  current.number("fast_path_decided_per_sec", fast.decided_per_sec);
+  current.number("forwarding_decided_per_sec", fwd.decided_per_sec);
+  current.number("acquisition_decided_per_sec", acq.decided_per_sec);
+  current.number("fast_path_allocs_per_decided", fast.allocs_per_decided);
+  current.number("forwarding_allocs_per_decided", fwd.allocs_per_decided);
+  current.number("acquisition_allocs_per_decided", acq.allocs_per_decided);
+  current.integer("fast_path_decided", fast.decided);
+  current.integer("forwarding_decided", fwd.decided);
+  current.integer("acquisition_decided", acq.decided);
+
+  JsonWriter doc;
+  doc.string("bench", "micro_protocol");
+  doc.integer("quick", quick ? 1 : 0);
+  doc.object("baseline", baseline);
+  doc.object("current", current);
+  doc.number("speedup_fast_path", fast.decided_per_sec / kBaselineFastPath);
+  doc.number("speedup_forwarding", fwd.decided_per_sec / kBaselineForwarding);
+  doc.number("speedup_acquisition",
+             acq.decided_per_sec / kBaselineAcquisition);
+  if (!doc.write_file("BENCH_protocol.json")) return 1;
+  std::printf("wrote BENCH_protocol.json\n");
+
+  // Sanity: every mix must have made real progress.
+  if (fast.decided == 0 || fwd.decided == 0 || acq.decided == 0) {
+    std::fprintf(stderr, "FAIL: a mix decided zero commands\n");
+    return 1;
+  }
+  // The tentpole claim, once the overhaul lands: the steady-state
+  // owned-object fast path is allocation-free per decided command.
+  if (kRequireZeroAllocFast && fast.steady_allocations != 0) {
+    std::fprintf(stderr,
+                 "FAIL: expected zero steady-state allocations on the fast "
+                 "path, got %llu over %llu decided\n",
+                 static_cast<unsigned long long>(fast.steady_allocations),
+                 static_cast<unsigned long long>(fast.decided));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace m2::bench
+
+int main() { return m2::bench::bench_main(); }

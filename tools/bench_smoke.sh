@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Smoke check for the simulator hot-path benchmark.
+# Smoke check for the self-timed hot-path benchmarks.
 #
-# Builds the micro_sim target in Release mode, runs it in quick mode under
-# a 5-second wall-clock cap, and validates that the emitted BENCH_sim.json
-# parses as JSON. Fails (nonzero exit) if the build breaks, the bench
-# exceeds the cap, the bench itself reports a regression (nonzero exit,
+# Builds the micro_sim and micro_protocol targets in Release mode, runs
+# each in quick mode under a wall-clock cap, and validates that the emitted
+# BENCH_*.json parses as JSON. Fails (nonzero exit) if the build breaks, a
+# bench exceeds its cap, a bench itself reports a regression (nonzero exit,
 # e.g. steady-state allocations), or the JSON is malformed.
 #
 # Usage: tools/bench_smoke.sh [build-dir]
@@ -15,30 +15,38 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-bench-smoke}"
+# Absolutize: the benches run from a scratch dir below.
+case "$build" in /*) ;; *) build="$(pwd)/$build" ;; esac
 
 if [[ ! -f "$build/CMakeCache.txt" ]]; then
   cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 fi
-cmake --build "$build" --target micro_sim -j"$(nproc)" >/dev/null
+cmake --build "$build" --target micro_sim micro_protocol -j"$(nproc)" \
+  >/dev/null
 
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
-# micro_sim writes BENCH_sim.json into its cwd; run from a scratch dir so
-# the smoke run never clobbers a real benchmark result.
-(cd "$out" && M2_BENCH_QUICK=1 timeout 5 "$build/bench/micro_sim") || {
-  status=$?
-  if [[ $status -eq 124 ]]; then
-    echo "bench_smoke: micro_sim exceeded the 5-second cap" >&2
-  else
-    echo "bench_smoke: micro_sim failed (exit $status)" >&2
+# The benches write BENCH_*.json into their cwd; run from a scratch dir so
+# a smoke run never clobbers a real benchmark result.
+run_bench() {
+  local name="$1" cap="$2" json="$3"
+  (cd "$out" && M2_BENCH_QUICK=1 timeout "$cap" "$build/bench/$name") || {
+    status=$?
+    if [[ $status -eq 124 ]]; then
+      echo "bench_smoke: $name exceeded the ${cap}-second cap" >&2
+    else
+      echo "bench_smoke: $name failed (exit $status)" >&2
+    fi
+    exit 1
+  }
+  if ! python3 -m json.tool "$out/$json" >/dev/null; then
+    echo "bench_smoke: $json is malformed" >&2
+    exit 1
   fi
-  exit 1
 }
 
-if ! python3 -m json.tool "$out/BENCH_sim.json" >/dev/null; then
-  echo "bench_smoke: BENCH_sim.json is malformed" >&2
-  exit 1
-fi
+run_bench micro_sim 5 BENCH_sim.json
+run_bench micro_protocol 60 BENCH_protocol.json
 
 echo "bench_smoke: OK"
