@@ -61,7 +61,7 @@ BENCHMARK(BM_HistogramRecord);
 
 void BM_CommandConflict(benchmark::State& state) {
   const auto objs = static_cast<std::size_t>(state.range(0));
-  std::vector<core::ObjectId> a_ls, b_ls;
+  core::ObjectList a_ls, b_ls;
   for (std::size_t i = 0; i < objs; ++i) {
     a_ls.push_back(2 * i);
     b_ls.push_back(2 * i + 1);  // disjoint: worst case scans both lists

@@ -76,7 +76,7 @@ std::optional<KvMultiPut> KvMultiPut::decode(const std::uint8_t* data,
 }
 
 core::Command KvMultiPut::to_command(core::CommandId id) const {
-  std::vector<core::ObjectId> keys;
+  core::ObjectList keys;
   keys.reserve(puts.size());
   for (const auto& op : puts) keys.push_back(op.key);
   core::Command c(id, std::move(keys));

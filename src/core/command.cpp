@@ -5,7 +5,7 @@
 
 namespace m2::core {
 
-Command::Command(CommandId cid, std::vector<ObjectId> ls, std::uint32_t payload)
+Command::Command(CommandId cid, ObjectList ls, std::uint32_t payload)
     : id(cid), objects(std::move(ls)), payload_bytes(payload) {
   std::sort(objects.begin(), objects.end());
   objects.erase(std::unique(objects.begin(), objects.end()), objects.end());

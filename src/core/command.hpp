@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/small_vec.hpp"
 #include "net/payload.hpp"
 
 namespace m2::core {
@@ -39,6 +40,11 @@ struct CommandId {
   friend bool operator<(CommandId a, CommandId b) { return a.value < b.value; }
 };
 
+/// Object list of a command. Inline capacity 4: simple commands touch 1-2
+/// objects and TPC-C transactions a handful, so the list almost never
+/// allocates and command copies stay a flat memcpy-sized move.
+using ObjectList = SmallVec<ObjectId, 4>;
+
 /// A command submitted to the consensus layer.
 ///
 /// As in the paper (§III), the semantics of a command is abstracted to the
@@ -46,7 +52,7 @@ struct CommandId {
 /// never interprets the payload.
 struct Command {
   CommandId id;
-  std::vector<ObjectId> objects;   // c.LS, kept sorted and unique
+  ObjectList objects;              // c.LS, kept sorted and unique
   std::uint32_t payload_bytes = 16;  // paper: 16-byte payload
   /// No-op commands are produced by recovery to fill undecided holes; they
   /// are delivered (to advance frontiers) but invisible to the application.
@@ -64,7 +70,7 @@ struct Command {
   }
 
   Command() = default;
-  Command(CommandId cid, std::vector<ObjectId> ls, std::uint32_t payload = 16);
+  Command(CommandId cid, ObjectList ls, std::uint32_t payload = 16);
 
   NodeId proposer() const { return id.proposer(); }
 
@@ -81,6 +87,12 @@ struct Command {
 
 /// Sums the wire sizes of a span of commands (used by message size models).
 std::size_t wire_size_of(const std::vector<Command>& cmds);
+
+/// Shared immutable command handle: one allocation carries a command along
+/// the whole replication path (Accept -> acceptor slots -> Decide -> slot
+/// log) instead of a deep copy per hop. Commands are never mutated after
+/// proposal, so sharing is safe.
+using CommandPtr = std::shared_ptr<const Command>;
 
 }  // namespace m2::core
 

@@ -58,12 +58,16 @@ struct ClusterConfig {
   bool record_delivered = true;
 
   /// M²Paxos anti-entropy (extension): period between sync probes for
-  /// stuck delivery frontiers, and how many delivered slots a replica
-  /// retains (in total, across objects) to serve peers' catch-up
-  /// requests. sync_period 0 disables probing.
+  /// stuck delivery frontiers. sync_period 0 disables probing.
   sim::Time sync_period = 25 * sim::kMillisecond;
-  std::size_t sync_retention = 4096;  // delivered slots kept per replica
-  std::size_t sync_batch = 16;        // objects per probe
+  std::size_t sync_batch = 16;  // objects per probe
+
+  /// M²Paxos frontier GC: per object, slots more than this many instances
+  /// below the delivery frontier are truncated from the log. The margin is
+  /// the per-object catch-up window anti-entropy can serve; peers further
+  /// behind learn the frontier via delivered floors and sync from there.
+  /// Bounds log memory for marathon/fuzz runs.
+  std::size_t gc_margin = 1024;
 
   /// M²Paxos crossing resolution is a recovery path: the (deterministic)
   /// wait-cycle search runs at most once per interval, not per message.

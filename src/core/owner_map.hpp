@@ -1,0 +1,61 @@
+#pragma once
+
+// Flat default-ownership descriptor: the static partition map every
+// workload installs on every replica, reduced to a tagged parameter so the
+// per-propose lookup is a branch and an integer op instead of a
+// std::function indirection. All partition maps in the suite are one of
+// three shapes: contiguous blocks (object / per_node), striding
+// (object % n), or a constant owner.
+
+#include <cstdint>
+
+#include "net/payload.hpp"
+
+namespace m2::core {
+
+class OwnerMap {
+ public:
+  OwnerMap() = default;
+
+  /// Block partition: node n owns [n*per_node, (n+1)*per_node).
+  static OwnerMap divide(std::uint64_t per_node) {
+    return OwnerMap(Kind::kDivide, per_node, kNoNode);
+  }
+  /// Striped partition: object l is owned by l % n.
+  static OwnerMap modulo(std::uint64_t n) {
+    return OwnerMap(Kind::kModulo, n, kNoNode);
+  }
+  /// Every object owned by one node (single-leader layouts).
+  static OwnerMap constant(NodeId owner) {
+    return OwnerMap(Kind::kConstant, 1, owner);
+  }
+
+  /// True when a map is installed; a default-constructed OwnerMap assigns
+  /// no owner (objects start unowned, the cold-start setting).
+  bool valid() const { return kind_ != Kind::kNone; }
+
+  NodeId owner(std::uint64_t object) const {
+    switch (kind_) {
+      case Kind::kDivide:
+        return static_cast<NodeId>(object / param_);
+      case Kind::kModulo:
+        return static_cast<NodeId>(object % param_);
+      case Kind::kConstant:
+        return constant_;
+      case Kind::kNone:
+        break;
+    }
+    return kNoNode;
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kNone, kDivide, kModulo, kConstant };
+  OwnerMap(Kind kind, std::uint64_t param, NodeId constant)
+      : kind_(kind), param_(param == 0 ? 1 : param), constant_(constant) {}
+
+  Kind kind_ = Kind::kNone;
+  std::uint64_t param_ = 1;
+  NodeId constant_ = kNoNode;
+};
+
+}  // namespace m2::core

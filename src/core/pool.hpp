@@ -1,0 +1,154 @@
+#pragma once
+
+// Size-binned freelist pool + std allocator adapter, the allocation
+// recycler behind the protocol hot path. A replica's per-message payloads
+// (allocate_shared control blocks) and per-command container nodes
+// (pending/accept/prepare hash maps, delivered-id window) cycle through a
+// small set of fixed sizes; routing frees back to a freelist instead of
+// the global heap makes the steady state allocation-free once every bin
+// has warmed up.
+//
+// Lifetime: PoolAlloc holds a shared_ptr to the pool state, and every
+// allocated shared_ptr control block / container embeds a copy of its
+// allocator — so blocks can outlive the replica that created the pool
+// (e.g. payloads still queued in the network when the cluster tears
+// replicas down first) and the arena is freed only after the last block
+// returns.
+//
+// Single-threaded by design, like the simulator it serves: one pool is
+// only ever used from one simulation thread.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+namespace m2::core {
+
+class PoolState {
+ public:
+  PoolState() = default;
+  PoolState(const PoolState&) = delete;
+  PoolState& operator=(const PoolState&) = delete;
+  ~PoolState() {
+    for (FreeNode* head : bins_) {
+      while (head != nullptr) {
+        FreeNode* next = head->next;
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  }
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t bin = bin_of(bytes);
+    if (bin == kNoBin) return ::operator new(bytes);
+    if (FreeNode* head = bins_[bin]) {
+      bins_[bin] = head->next;
+      return head;
+    }
+    return ::operator new(bin_size(bin));
+  }
+
+  /// Pushes `count` additional free blocks onto the bin serving
+  /// `bytes`-sized requests. Capacity provisioning: the pool otherwise
+  /// grows its high-water mark one block at a time straight from the
+  /// heap, so callers that assert an allocation-free steady state
+  /// pre-extend the hot bins with slack after warmup.
+  void reserve(std::size_t bytes, std::size_t count) {
+    const std::size_t bin = bin_of(bytes);
+    if (bin == kNoBin) return;
+    for (std::size_t i = 0; i < count; ++i) {
+      FreeNode* node = static_cast<FreeNode*>(::operator new(bin_size(bin)));
+      node->next = bins_[bin];
+      bins_[bin] = node;
+    }
+  }
+
+  void deallocate(void* p, std::size_t bytes) {
+    const std::size_t bin = bin_of(bytes);
+    if (bin == kNoBin) {
+      ::operator delete(p);
+      return;
+    }
+    FreeNode* node = static_cast<FreeNode*>(p);
+    node->next = bins_[bin];
+    bins_[bin] = node;
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  // 16-byte granularity up to 1 KiB covers every pooled node/payload size;
+  // larger blocks fall through to the global heap.
+  static constexpr std::size_t kGranularity = 16;
+  static constexpr std::size_t kMaxBytes = 1024;
+  static constexpr std::size_t kNumBins = kMaxBytes / kGranularity;
+  static constexpr std::size_t kNoBin = SIZE_MAX;
+
+  static std::size_t bin_of(std::size_t bytes) {
+    if (bytes == 0 || bytes > kMaxBytes) return kNoBin;
+    return (bytes - 1) / kGranularity;
+  }
+  static std::size_t bin_size(std::size_t bin) {
+    return (bin + 1) * kGranularity;
+  }
+
+  std::array<FreeNode*, kNumBins> bins_{};
+};
+
+using PoolRef = std::shared_ptr<PoolState>;
+
+inline PoolRef make_pool() { return std::make_shared<PoolState>(); }
+
+/// Allocator adapter over a PoolState, usable with std containers and
+/// std::allocate_shared. A default-constructed (pool-less) instance falls
+/// back to the global heap, so rebound temporaries are always safe.
+template <typename T>
+class PoolAlloc {
+ public:
+  using value_type = T;
+
+  PoolAlloc() = default;
+  explicit PoolAlloc(PoolRef pool) : pool_(std::move(pool)) {}
+  template <typename U>
+  PoolAlloc(const PoolAlloc<U>& other) : pool_(other.pool()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (pool_) return static_cast<T*>(pool_->allocate(bytes));
+    return static_cast<T*>(::operator new(bytes));
+  }
+  void deallocate(T* p, std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (pool_) {
+      pool_->deallocate(p, bytes);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  const PoolRef& pool() const { return pool_; }
+
+  friend bool operator==(const PoolAlloc& a, const PoolAlloc& b) {
+    return a.pool_ == b.pool_;
+  }
+  friend bool operator!=(const PoolAlloc& a, const PoolAlloc& b) {
+    return !(a == b);
+  }
+
+ private:
+  PoolRef pool_;
+};
+
+/// allocate_shared through the pool: one block for object + control block,
+/// recycled by size class on release.
+template <typename T, typename... Args>
+std::shared_ptr<T> pool_make_shared(const PoolRef& pool, Args&&... args) {
+  return std::allocate_shared<T>(PoolAlloc<T>(pool),
+                                 std::forward<Args>(args)...);
+}
+
+}  // namespace m2::core

@@ -1,0 +1,196 @@
+#pragma once
+
+// Small-vector with inline capacity: the first N elements live inside the
+// object itself, so the common case (command object sets of 1-2 entries,
+// accept rounds over a handful of slots) performs no heap allocation and
+// copies are a memcpy-sized move of inline storage. Spills to the heap
+// beyond N like a normal vector.
+//
+// Deliberately minimal: just the surface the protocol hot paths need
+// (push/emplace, iteration, indexing, clear/reserve, equality). Not
+// exception-clever — element moves are assumed non-throwing, which holds
+// for everything stored in one (PODs, shared_ptr-carrying structs).
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace m2::core {
+
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() : data_(inline_ptr()) {}
+  SmallVec(std::initializer_list<T> init) : SmallVec() {
+    reserve(init.size());
+    for (const T& v : init) unchecked_push(v);
+  }
+  template <typename It>
+  SmallVec(It first, It last) : SmallVec() {
+    for (; first != last; ++first) push_back(*first);
+  }
+  SmallVec(const SmallVec& other) : SmallVec() {
+    reserve(other.size_);
+    for (const T& v : other) unchecked_push(v);
+  }
+  SmallVec(SmallVec&& other) noexcept : SmallVec() { steal(other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    for (const T& v : other) unchecked_push(v);
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this == &other) return *this;
+    clear();
+    release_heap();
+    data_ = inline_ptr();
+    capacity_ = N;
+    steal(other);
+    return *this;
+  }
+  ~SmallVec() {
+    clear();
+    release_heap();
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& v) {
+    reserve(size_ + 1);
+    unchecked_push(v);
+  }
+  void push_back(T&& v) {
+    reserve(size_ + 1);
+    ::new (static_cast<void*>(data_ + size_)) T(std::move(v));
+    ++size_;
+  }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    reserve(size_ + 1);
+    T* p = ::new (static_cast<void*>(data_ + size_)) T(
+        std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+  void pop_back() {
+    assert(size_ > 0);
+    data_[--size_].~T();
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  /// Removes [first, last) preserving order (std::vector::erase semantics).
+  T* erase(T* first, T* last) {
+    T* e = end();
+    T* out = std::move(last, e, first);
+    for (T* p = out; p != e; ++p) p->~T();
+    size_ -= static_cast<std::size_t>(last - first);
+    return first;
+  }
+
+  void reserve(std::size_t need) {
+    if (need <= capacity_) return;
+    std::size_t cap = capacity_;
+    while (cap < need) cap *= 2;
+    T* heap = static_cast<T*>(::operator new(cap * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(heap + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    release_heap();
+    data_ = heap;
+    capacity_ = cap;
+  }
+
+  void resize(std::size_t n) {
+    if (n < size_) {
+      for (std::size_t i = n; i < size_; ++i) data_[i].~T();
+      size_ = n;
+      return;
+    }
+    reserve(n);
+    while (size_ < n) ::new (static_cast<void*>(data_ + size_++)) T();
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) {
+    return !(a == b);
+  }
+
+ private:
+  T* inline_ptr() { return std::launder(reinterpret_cast<T*>(inline_)); }
+  bool on_heap() const {
+    return data_ != reinterpret_cast<const T*>(inline_);
+  }
+  void release_heap() {
+    if (on_heap()) ::operator delete(data_);
+  }
+  void unchecked_push(const T& v) {
+    ::new (static_cast<void*>(data_ + size_)) T(v);
+    ++size_;
+  }
+  /// Move-takes `other`'s contents; *this must be empty and inline.
+  void steal(SmallVec& other) {
+    if (other.on_heap()) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_ptr();
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      other.data_[i].~T();
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  T* data_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+}  // namespace m2::core

@@ -76,8 +76,9 @@ class NodeContext final : public core::Context {
   void charge_tx(std::size_t bytes) {
     // Marshalling/socket work parallelizes across cores; it loads the
     // sender's CPU without delaying the message (see DESIGN.md §5).
-    cluster_.cpus_[id_]->submit(0, cluster_.cfg_.cluster.cost.tx_cost(bytes),
-                                [] {});
+    // charge() — not submit() — so no event is queued for the no-op
+    // completion.
+    cluster_.cpus_[id_]->charge(0, cluster_.cfg_.cluster.cost.tx_cost(bytes));
   }
 
   Cluster& cluster_;
@@ -103,10 +104,9 @@ Cluster::Cluster(ExperimentConfig cfg, wl::Workload& workload)
   }
 
   if (cfg_.protocol == core::Protocol::kM2Paxos && cfg_.preassign_ownership) {
-    for (auto& r : replicas_) {
-      static_cast<m2p::M2PaxosReplica&>(*r).set_default_owner(
-          [&workload](core::ObjectId l) { return workload.default_owner(l); });
-    }
+    const core::OwnerMap map = workload.owner_map();
+    for (auto& r : replicas_)
+      static_cast<m2p::M2PaxosReplica&>(*r).set_default_owner(map);
   }
   if (cfg_.protocol == core::Protocol::kMultiPaxos) {
     for (auto& r : replicas_) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/cstruct.hpp"
+#include "core/pool.hpp"
 #include "core/replica.hpp"
 #include "net/network.hpp"
 #include "sim/cpu.hpp"
@@ -165,7 +166,14 @@ class Cluster {
   stats::Histogram latency_;
   std::vector<std::uint64_t> inflight_;
   std::vector<std::uint64_t> delivered_;
-  std::unordered_map<core::CommandId, sim::Time> propose_times_;
+  /// Pooled: one insert/erase per tracked proposal — steady-state churn
+  /// must recycle, not hit the heap (the zero-alloc bench counts it).
+  core::PoolRef latency_pool_ = core::make_pool();
+  std::unordered_map<core::CommandId, sim::Time, std::hash<core::CommandId>,
+                     std::equal_to<core::CommandId>,
+                     core::PoolAlloc<std::pair<const core::CommandId,
+                                               sim::Time>>>
+      propose_times_{256, core::PoolAlloc<char>(latency_pool_)};
   std::vector<core::CStruct> cstructs_;
   trace::Recorder recorder_;
   ClusterObserver* observer_ = nullptr;

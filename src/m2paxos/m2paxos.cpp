@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <deque>
 #include <functional>
 #include <map>
 #include <unordered_map>
@@ -11,14 +12,14 @@ namespace m2::m2p {
 namespace {
 
 /// Wire size of a slot list: headers plus each distinct command once.
-std::size_t slots_wire_size(const std::vector<SlotValue>& slots) {
+std::size_t slots_wire_size(const SlotList& slots) {
   std::size_t bytes = 0;
-  std::vector<std::uint64_t> seen;
+  core::SmallVec<std::uint64_t, 8> seen;
   for (const auto& s : slots) {
     bytes += SlotValue::kHeaderBytes + 8;  // header + command-id reference
-    if (std::find(seen.begin(), seen.end(), s.cmd.id.value) == seen.end()) {
-      seen.push_back(s.cmd.id.value);
-      bytes += s.cmd.wire_size();
+    if (std::find(seen.begin(), seen.end(), s.cmd->id.value) == seen.end()) {
+      seen.push_back(s.cmd->id.value);
+      bytes += s.cmd->wire_size();
     }
   }
   return bytes;
@@ -39,13 +40,21 @@ std::size_t Decide::wire_size() const {
 std::size_t AckPrepare::wire_size() const {
   std::size_t bytes =
       8 + 4 + 1 + 24 * hints.size() + 16 * delivered_floors.size();
-  for (const auto& v : votes) bytes += 25 + v.cmd.wire_size();
+  for (const auto& v : votes) bytes += 25 + v.cmd->wire_size();
   return bytes;
 }
 
 M2PaxosReplica::M2PaxosReplica(NodeId id, const core::ClusterConfig& cfg,
                                core::Context& ctx)
-    : core::Replica(id, cfg, ctx) {}
+    : core::Replica(id, cfg, ctx),
+      pending_(64, core::PoolAlloc<char>(pool_)),
+      accepts_(64, core::PoolAlloc<char>(pool_)),
+      prepares_(16, core::PoolAlloc<char>(pool_)),
+      delivered_ids_(1024, core::PoolAlloc<char>(pool_)),
+      delivered_fifo_(core::PoolAlloc<char>(pool_)),
+      dirty_objects_(core::PoolAlloc<char>(pool_)),
+      stuck_objects_(16, core::PoolAlloc<char>(pool_)),
+      repair_cooldown_(16, core::PoolAlloc<char>(pool_)) {}
 
 // ---------------------------------------------------------------------
 // Anti-entropy (extension, DESIGN.md §5a)
@@ -75,8 +84,8 @@ void M2PaxosReplica::sync_tick() {
     std::vector<SyncRequest::Entry> entries;
     for (const ObjectId l : stuck_objects_) {
       ObjectState& st = table_.obj(l);
-      auto it = st.slots.find(st.last_appended + 1);
-      if (it != st.slots.end() && it->second.decided) continue;
+      const Slot* s = st.log.find(st.last_appended + 1);
+      if (s != nullptr && s->decided) continue;
       entries.push_back(SyncRequest::Entry{l, st.last_appended + 1});
       if (entries.size() >= cfg_.sync_batch) break;
     }
@@ -92,14 +101,19 @@ void M2PaxosReplica::sync_tick() {
 }
 
 void M2PaxosReplica::handle_sync_request(NodeId from, const SyncRequest& msg) {
-  std::vector<SlotValue> slots;
+  SlotList slots;
   for (const auto& e : msg.entries) {
     const ObjectState* st = table_.find(e.object);
     if (st == nullptr) continue;
-    for (auto it = st->slots.lower_bound(e.from_instance);
-         it != st->slots.end(); ++it) {
-      if (!it->second.decided) continue;
-      slots.push_back(SlotValue{e.object, it->first, 0, *it->second.decided});
+    // Instances below the log base were truncated by frontier GC; the
+    // retained window [base, end) is this node's answerable summary — a
+    // peer further behind sees the decisions it can get and learns the
+    // rest from other peers or the floors piggybacked on promises.
+    for (Instance in = std::max(e.from_instance, st->log.base());
+         in < st->log.end(); ++in) {
+      const Slot* s = st->log.find(in);
+      if (s == nullptr || !s->decided) continue;
+      slots.emplace_back(e.object, in, Epoch{0}, s->decided);
     }
   }
   if (!slots.empty())
@@ -109,9 +123,9 @@ void M2PaxosReplica::handle_sync_request(NodeId from, const SyncRequest& msg) {
 void M2PaxosReplica::handle_sync_reply(const SyncReply& msg) {
   for (const auto& s : msg.slots) {
     ObjectState& st = table_.obj(s.object);
-    auto it = st.slots.find(s.instance);
+    const Slot* have = st.log.find(s.instance);
     if (s.instance > st.last_appended &&
-        (it == st.slots.end() || !it->second.decided)) {
+        (have == nullptr || !have->decided)) {
       ++counters_.sync_slots_learned;
       decide_slot(s.object, s.instance, s.cmd);
     }
@@ -152,12 +166,36 @@ void M2PaxosReplica::on_recover() {
   start_sync_timer();  // no-op unless a frontier is stuck
 }
 
-std::vector<ObjectId> M2PaxosReplica::undecided_objects(
+core::ObjectList M2PaxosReplica::undecided_objects(
     const core::Command& c) const {
-  std::vector<ObjectId> out;
+  core::ObjectList out;
   for (ObjectId l : c.objects)
     if (!table_.is_decided_on(c, l)) out.push_back(l);
   return out;
+}
+
+void M2PaxosReplica::prewarm_commands(std::size_t n) {
+  // Allocate-then-release: every block lands on the command bin's
+  // freelist. The scratch vector itself is heap-allocated, which is why
+  // this runs before — never inside — an allocation-counted window.
+  std::vector<core::CommandPtr> blocks;
+  blocks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    blocks.push_back(pooled<core::Command>());
+}
+
+void M2PaxosReplica::gc_object(ObjectState& st) {
+  // Frontier GC: slots this far behind the delivery frontier are dead to
+  // the protocol (position selection starts at last_appended+1, duplicate
+  // proposals are filtered through delivered_ids_) and outside the window
+  // anti-entropy serves — truncate them so log memory stays bounded.
+  const Instance frontier = st.last_appended + 1;
+  const Instance keep_from =
+      frontier > cfg_.gc_margin ? frontier - cfg_.gc_margin : 1;
+  if (keep_from <= st.log.base()) return;
+  const std::size_t before = st.log.size();
+  st.log.truncate_below(keep_from);
+  counters_.gc_truncated_slots += before - st.log.size();
 }
 
 // ---------------------------------------------------------------------
@@ -169,7 +207,9 @@ void M2PaxosReplica::propose(const core::Command& c) {
   if (delivered_ids_.count(c.id) > 0) return;
   auto [it, inserted] = pending_.try_emplace(c.id);
   if (!inserted) return;  // already coordinating this command
-  it->second.cmd = c;
+  // The one deep copy on the path: from here the command travels as a
+  // shared immutable handle through Accept/slots/Decide on every replica.
+  it->second.cmd = pooled<core::Command>(c);
   coordinate(c.id);
 }
 
@@ -179,8 +219,12 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
   PendingCommand& pc = it->second;
   if (pc.in_flight) return;
 
+  // One pass over c.LS resolves ownership and the undecided set
+  // (Algorithm 1's IsOwner/GetOwners plus the `ins` selection).
+  const OwnershipTable::Route rt = table_.route(id_, *pc.cmd);
+
   // ins = {<l, next position> : l in c.LS, c not decided on l}
-  const std::vector<ObjectId> objects = undecided_objects(pc.cmd);
+  const core::ObjectList& objects = rt.undecided;
   if (objects.empty()) {
     // Decided on every object; normally delivery cleans the entry up.
     try_deliver();
@@ -194,8 +238,8 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
     PendingCommand& again_pc = again->second;
     arm_watchdog(again_pc);
     if (!again_pc.in_flight) {
-      std::vector<ObjectId> blocked;
-      collect_blocked(again_pc.cmd, blocked);
+      core::ObjectList blocked;
+      collect_blocked(*again_pc.cmd, blocked);
       auto self = pending_.find(id);  // collect_blocked may deliver
       if (self == pending_.end()) return;
       // Deduplicate repair rounds per object: dozens of blocked commands
@@ -205,14 +249,19 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
       // The jitter staggers replicas that would otherwise retry in
       // lockstep (the backoffs elsewhere are also randomized per node).
       const sim::Time now = ctx_.now();
-      std::erase_if(blocked, [&](ObjectId l) {
-        auto [slot, fresh] = repair_cooldown_.try_emplace(l, 0);
-        if (!fresh && now < slot->second) return true;
-        slot->second = now + cfg_.forward_timeout +
-                       static_cast<sim::Time>(ctx_.rng().uniform(
-                           static_cast<std::uint64_t>(cfg_.forward_timeout)));
-        return false;
-      });
+      blocked.erase(
+          std::remove_if(
+              blocked.begin(), blocked.end(),
+              [&](ObjectId l) {
+                auto [slot, fresh] = repair_cooldown_.try_emplace(l, 0);
+                if (!fresh && now < slot->second) return true;
+                slot->second =
+                    now + cfg_.forward_timeout +
+                    static_cast<sim::Time>(ctx_.rng().uniform(
+                        static_cast<std::uint64_t>(cfg_.forward_timeout)));
+                return false;
+              }),
+          blocked.end());
       if (!blocked.empty())
         start_acquisition(self->second, blocked, /*force_prepare_all=*/true);
     }
@@ -221,7 +270,7 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
 
   arm_watchdog(pc);
 
-  if (table_.owns_all(id_, pc.cmd)) {
+  if (rt.owns_all) {
     ++counters_.fast_path_rounds;
     start_fast_accept(pc, objects);
     return;
@@ -234,7 +283,7 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
   if (cfg_.acquisition_fallback_after > 0 &&
       pc.attempts >= cfg_.acquisition_fallback_after && id_ != 0) {
     ++counters_.fallbacks;
-    ctx_.send(0, net::make_payload<Propose>(pc.cmd));
+    ctx_.send(0, pooled<Propose>(*pc.cmd));
     return;
   }
 
@@ -245,10 +294,10 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
   // re-coordinates if the target fails to decide; after several timeouts
   // the target is presumed crashed and this node takes over by acquiring
   // ownership itself (the paper's embedded recovery).
-  const NodeId owner = table_.plurality_owner(pc.cmd);
+  const NodeId owner = rt.plurality_owner;
   if (owner != kNoNode && owner != id_ && pc.attempts < 3) {
     ++counters_.forwarded;
-    ctx_.send(owner, net::make_payload<Propose>(pc.cmd));
+    ctx_.send(owner, pooled<Propose>(*pc.cmd));
     return;
   }
 
@@ -256,7 +305,7 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
 }
 
 void M2PaxosReplica::collect_blocked(const core::Command& root,
-                                     std::vector<ObjectId>& blocked) {
+                                     core::ObjectList& blocked) {
   // Walk the local wait-for closure of `root`: delivery is blocked on each
   // accessed object either by a missing/undecided frontier decision (the
   // ground cause — a repair round or sync probe can resolve it there) or by
@@ -274,16 +323,16 @@ void M2PaxosReplica::collect_blocked(const core::Command& root,
     queue.pop_front();
     if (!seen_objects.insert(l).second) continue;
     ObjectState& st = table_.obj(l);
-    auto it = st.slots.find(st.last_appended + 1);
-    if (it == st.slots.end() || !it->second.decided) {
+    const Slot* s = st.log.find(st.last_appended + 1);
+    if (s == nullptr || !s->decided) {
       blocked.push_back(l);
       continue;
     }
-    const core::Command& c = *it->second.decided;
+    const core::Command& c = *s->decided;
     if (delivered_ids_.count(c.id) > 0) {
       // A duplicate decision of an already-delivered command parked at the
       // frontier; re-scan the object so try_deliver's skip path advances.
-      dirty_objects_.push_back(l);
+      dirty_objects_.push_back(&st);
       requeued = true;
       continue;
     }
@@ -295,7 +344,7 @@ void M2PaxosReplica::collect_blocked(const core::Command& root,
 
 void M2PaxosReplica::arm_watchdog(PendingCommand& pc) {
   ctx_.cancel_timer(pc.watchdog);
-  const core::CommandId id = pc.cmd.id;
+  const core::CommandId id = pc.cmd->id;
   // Backed-off watchdog: re-coordinations of a congested command must not
   // multiply its load.
   const sim::Time delay = cfg_.forward_timeout
@@ -311,8 +360,8 @@ void M2PaxosReplica::arm_watchdog(PendingCommand& pc) {
 }
 
 void M2PaxosReplica::start_fast_accept(PendingCommand& pc,
-                                       const std::vector<ObjectId>& objects) {
-  std::vector<SlotValue> slots;
+                                       const core::ObjectList& objects) {
+  SlotList slots;
   slots.reserve(objects.size());
   for (ObjectId l : objects) {
     ObjectState& st = table_.obj(l);
@@ -335,49 +384,55 @@ void M2PaxosReplica::start_fast_accept(PendingCommand& pc,
     st.next_slot = in + 1;
     // owns_all guarantees promised == owned_epoch here, so this accept is
     // issued at an epoch this node actually prepared (or was preassigned).
-    slots.push_back(SlotValue{l, in, st.owned_epoch, pc.cmd});
+    slots.emplace_back(l, in, st.owned_epoch, pc.cmd);
   }
   pc.in_flight = true;
   pc.assigned_slots = slots;
-  send_accept(pc.cmd.id, std::move(slots));
+  send_accept(pc.cmd->id, std::move(slots));
 }
 
 // ---------------------------------------------------------------------
 // Accept phase (Algorithm 2)
 // ---------------------------------------------------------------------
 
-void M2PaxosReplica::send_accept(core::CommandId for_cmd,
-                                 std::vector<SlotValue> slots) {
+void M2PaxosReplica::send_accept(core::CommandId for_cmd, SlotList slots) {
   const std::uint64_t req = next_req_++;
   accepts_.emplace(req, AcceptRound{slots, for_cmd, {}, false});
-  ctx_.broadcast(net::make_payload<Accept>(req, std::move(slots)), true);
+  ctx_.broadcast(pooled<Accept>(req, std::move(slots)), true);
 }
 
 void M2PaxosReplica::handle_accept(NodeId from, const Accept& msg) {
   bool ok = true;
-  // cfg_.test_unsafe_epochs skips the promise check — the deliberately
-  // broken build the fuzzing auditor must catch (stale owners keep
-  // winning quorums and rebinding slots).
+  // One table probe per slot: the validation pass caches the state
+  // pointers the apply pass reuses. cfg_.test_unsafe_epochs skips the
+  // promise check — the deliberately broken build the fuzzing auditor
+  // must catch (stale owners keep winning quorums and rebinding slots).
+  core::SmallVec<ObjectState*, 4> states;
   for (const auto& s : msg.slots) {
-    const ObjectState* st = table_.find(s.object);
-    if (!cfg_.test_unsafe_epochs && st != nullptr && s.epoch < st->promised) {
+    ObjectState& st = table_.obj(s.object);
+    if (!cfg_.test_unsafe_epochs && s.epoch < st.promised) {
       ok = false;
       break;
     }
+    states.push_back(&st);
   }
 
-  auto reply = std::make_shared<AckAccept>();
+  auto reply = pooled<AckAccept>();
   reply->req_id = msg.req_id;
   reply->acceptor = id_;
   reply->ack = ok;
   if (ok) {
+    std::size_t i = 0;
     for (const auto& s : msg.slots) {
-      ObjectState& st = table_.obj(s.object);
+      ObjectState& st = *states[i++];
       if (st.owner != from || st.promised != s.epoch)
         ctx_.ownership(s.object, s.epoch, from, /*acquired=*/false);
       st.promised = std::max(st.promised, s.epoch);
       st.owner = from;  // Algorithm 2, line 18
-      Slot& slot = st.slots[s.instance];
+      // Below the log base the slot was decided, delivered, and truncated;
+      // a late accept there is outdated and its vote can never matter.
+      if (s.instance < st.log.base()) continue;
+      Slot& slot = st.log.at_or_create(s.instance);
       if (s.epoch >= slot.accepted_epoch) {
         slot.accepted_epoch = s.epoch;
         slot.accepted = s.cmd;
@@ -416,19 +471,19 @@ void M2PaxosReplica::handle_ack_accept(NodeId /*from*/, const AckAccept& msg) {
   round.done = true;
 
   // Quorum of ACKs: decide every slot locally and broadcast the decision.
-  std::vector<SlotValue> slots = std::move(round.slots);
+  SlotList slots = std::move(round.slots);
   const core::CommandId cmd = round.for_cmd;
   accepts_.erase(it);
   for (const auto& s : slots) decide_slot(s.object, s.instance, s.cmd);
-  ctx_.broadcast(net::make_payload<Decide>(std::move(slots)), false);
+  ctx_.broadcast(pooled<Decide>(std::move(slots)), false);
   if (cmd.valid()) {
     auto pit = pending_.find(cmd);
     if (pit != pending_.end()) {
       pit->second.in_flight = false;
-      maybe_report_commit(pit->second.cmd);
+      maybe_report_commit(*pit->second.cmd);
       // If the round decided forced commands rather than this command on
       // some objects, re-coordinate for the remaining objects.
-      if (!undecided_objects(pit->second.cmd).empty()) coordinate(cmd);
+      if (!undecided_objects(*pit->second.cmd).empty()) coordinate(cmd);
     }
   }
   try_deliver();
@@ -440,7 +495,7 @@ void M2PaxosReplica::handle_ack_accept(NodeId /*from*/, const AckAccept& msg) {
 
 void M2PaxosReplica::handle_decide(const Decide& msg) {
   for (const auto& s : msg.slots) decide_slot(s.object, s.instance, s.cmd);
-  for (const auto& s : msg.slots) maybe_report_commit(s.cmd);
+  for (const auto& s : msg.slots) maybe_report_commit(*s.cmd);
   try_deliver();
 }
 
@@ -453,24 +508,27 @@ void M2PaxosReplica::maybe_report_commit(const core::Command& c) {
 }
 
 void M2PaxosReplica::decide_slot(ObjectId l, Instance in,
-                                 const core::Command& c) {
+                                 const core::CommandPtr& c) {
   ObjectState& st = table_.obj(l);
-  Slot& slot = st.slots[in];
+  // Below the base the slot was decided, delivered, and truncated by
+  // frontier GC; a late decide is a stale duplicate.
+  if (in < st.log.base()) return;
+  Slot& slot = st.log.at_or_create(in);
   if (slot.decided) {
-    if (cfg_.test_unsafe_epochs && slot.decided->id != c.id) {
+    if (cfg_.test_unsafe_epochs && slot.decided->id != c->id) {
       // Broken-build mode: rebind silently so the auditor — not a process
       // abort — is what reports the violation.
       slot.decided = c;
-      ctx_.decided(l, in, c);
+      ctx_.decided(l, in, *c);
       return;
     }
-    assert(slot.decided->id == c.id && "two commands decided in one slot");
+    assert(slot.decided->id == c->id && "two commands decided in one slot");
     return;
   }
   slot.decided = c;
-  ctx_.decided(l, in, c);
+  ctx_.decided(l, in, *c);
   ++counters_.decided_slots;
-  dirty_objects_.push_back(l);
+  dirty_objects_.push_back(&st);
   if (in > st.last_appended + 1) {
     // Decision gap: an earlier decision for this object was missed (lost
     // Decide, partition). Anti-entropy will probe a peer for it.
@@ -479,53 +537,40 @@ void M2PaxosReplica::decide_slot(ObjectId l, Instance in,
   }
 }
 
-void M2PaxosReplica::retire_slot(ObjectId l, Instance in) {
-  // Slots at or below the delivery frontier are never read by the protocol
-  // again (position selection starts at last_appended+1 and duplicate
-  // proposals are filtered through delivered_ids_), but they are kept in a
-  // bounded ring so anti-entropy can serve peers that missed the decision.
-  retained_.emplace_back(l, in);
-  while (retained_.size() > cfg_.sync_retention) {
-    const auto [rl, rin] = retained_.front();
-    retained_.pop_front();
-    ObjectState& st = table_.obj(rl);
-    if (rin <= st.last_appended) st.slots.erase(rin);
-  }
-}
-
-void M2PaxosReplica::deliver_command(const core::Command& c) {
-  delivered_ids_.insert(c.id);
-  delivered_fifo_.push_back(c.id);
+void M2PaxosReplica::deliver_command(const core::CommandPtr& c,
+                                     ObjectState* hint) {
+  delivered_ids_.insert(c->id);
+  delivered_fifo_.push_back(c->id);
   while (delivered_fifo_.size() > cfg_.delivered_id_window) {
     delivered_ids_.erase(delivered_fifo_.front());
     delivered_fifo_.pop_front();
   }
-  if (!c.noop) {
-    if (cfg_.record_delivered) delivered_seq_.push_back(c);
+  if (!c->noop) {
+    if (cfg_.record_delivered) delivered_seq_.push_back(*c);
     ++counters_.delivered;
   }
   // Advance the frontier of every object where c sits exactly at the
   // frontier (on crossing resolution, c may occupy a later slot of some
   // object; that slot is skipped when the frontier reaches it).
-  for (ObjectId l2 : c.objects) {
-    ObjectState& st2 = table_.obj(l2);
-    auto it2 = st2.slots.find(st2.last_appended + 1);
-    if (it2 != st2.slots.end() && it2->second.decided &&
-        it2->second.decided->id == c.id) {
+  for (ObjectId l2 : c->objects) {
+    ObjectState& st2 =
+        (hint != nullptr && hint->id == l2) ? *hint : table_.obj(l2);
+    const Slot* s2 = st2.log.find(st2.last_appended + 1);
+    if (s2 != nullptr && s2->decided && s2->decided->id == c->id) {
       ++st2.last_appended;
       st2.next_slot = std::max(st2.next_slot, st2.last_appended + 1);
-      retire_slot(l2, st2.last_appended);
+      gc_object(st2);
       if (!stuck_objects_.empty()) stuck_objects_.erase(l2);
-      dirty_objects_.push_back(l2);
+      dirty_objects_.push_back(&st2);
     }
   }
-  auto pit = pending_.find(c.id);
+  auto pit = pending_.find(c->id);
   if (pit != pending_.end()) {
-    if (!pit->second.commit_reported) ctx_.committed(c);
+    if (!pit->second.commit_reported) ctx_.committed(*c);
     ctx_.cancel_timer(pit->second.watchdog);
     pending_.erase(pit);
   }
-  ctx_.deliver(c);
+  ctx_.deliver(*c);
 }
 
 void M2PaxosReplica::schedule_crossing_check() {
@@ -550,33 +595,37 @@ void M2PaxosReplica::try_deliver() {
   delivering_ = true;
   for (;;) {
     while (!dirty_objects_.empty()) {
-      const ObjectId l = dirty_objects_.front();
+      ObjectState& st = *dirty_objects_.front();
+      const ObjectId l = st.id;
       dirty_objects_.pop_front();
 
       for (;;) {
-        ObjectState& st = table_.obj(l);
-        auto it = st.slots.find(st.last_appended + 1);
-        if (it == st.slots.end() || !it->second.decided) break;
-        const core::Command c = *it->second.decided;
+        const Slot* s = st.log.find(st.last_appended + 1);
+        if (s == nullptr || !s->decided) break;
+        // Keep the command alive across the frontier advance: GC may
+        // truncate the very slot holding it. A handle copy, not a deep
+        // command copy.
+        const core::CommandPtr c = s->decided;
 
-        if (delivered_ids_.count(c.id) > 0) {
+        if (delivered_ids_.count(c->id) > 0) {
           // Duplicate decision of an already-delivered command (possible
           // after retransmissions and crossing resolution); skip the slot.
           ++st.last_appended;
           st.next_slot = std::max(st.next_slot, st.last_appended + 1);
-          retire_slot(l, st.last_appended);
+          gc_object(st);
           stuck_objects_.erase(l);
           continue;
         }
 
         // Deliverable iff c sits at the frontier of every object it
-        // accesses (Algorithm 3, line 12).
+        // accesses (Algorithm 3, line 12). `st`'s own frontier is where
+        // c was just found, so only the other objects need checking.
         bool ready = true;
-        for (ObjectId l2 : c.objects) {
+        for (ObjectId l2 : c->objects) {
+          if (l2 == l) continue;
           const ObjectState& st2 = table_.obj(l2);
-          auto it2 = st2.slots.find(st2.last_appended + 1);
-          if (it2 == st2.slots.end() || !it2->second.decided ||
-              it2->second.decided->id != c.id) {
+          const Slot* s2 = st2.log.find(st2.last_appended + 1);
+          if (s2 == nullptr || !s2->decided || s2->decided->id != c->id) {
             ready = false;
             break;
           }
@@ -589,16 +638,15 @@ void M2PaxosReplica::try_deliver() {
           // object generates no evidence of its own, so mark it stuck here
           // — the sync probe fetches missing frontiers, one hop per round,
           // until the wait chain is grounded.
-          for (ObjectId l2 : c.objects) {
+          for (ObjectId l2 : c->objects) {
             const ObjectState& st2 = table_.obj(l2);
-            auto it2 = st2.slots.find(st2.last_appended + 1);
-            if (it2 == st2.slots.end() || !it2->second.decided)
-              stuck_objects_.insert(l2);
+            const Slot* s2 = st2.log.find(st2.last_appended + 1);
+            if (s2 == nullptr || !s2->decided) stuck_objects_.insert(l2);
           }
           start_sync_timer();
           break;
         }
-        deliver_command(c);
+        deliver_command(c, &st);
       }
     }
     // No normal progress possible. Wait cycles (rare, only after partial
@@ -613,31 +661,31 @@ bool M2PaxosReplica::resolve_crossings() {
   // Candidates: commands at a stuck frontier whose every accessed object
   // has a decided frontier slot (so all wait-for edges are known locally).
   struct Candidate {
-    core::Command cmd;
+    core::CommandPtr cmd;
     std::vector<core::CommandId> waits_on;
   };
   std::map<core::CommandId, Candidate> cands;
   for (const ObjectId l : stuck_objects_) {
     ObjectState& st = table_.obj(l);
-    auto it = st.slots.find(st.last_appended + 1);
-    if (it == st.slots.end() || !it->second.decided) continue;
-    const core::Command& c = *it->second.decided;
-    if (delivered_ids_.count(c.id) > 0 || cands.count(c.id) > 0) continue;
+    const Slot* s = st.log.find(st.last_appended + 1);
+    if (s == nullptr || !s->decided) continue;
+    const core::CommandPtr& c = s->decided;
+    if (delivered_ids_.count(c->id) > 0 || cands.count(c->id) > 0) continue;
 
     Candidate cand;
     cand.cmd = c;
     bool complete = true;
-    for (ObjectId l2 : c.objects) {
+    for (ObjectId l2 : c->objects) {
       ObjectState& st2 = table_.obj(l2);
-      auto it2 = st2.slots.find(st2.last_appended + 1);
-      if (it2 == st2.slots.end() || !it2->second.decided) {
+      const Slot* s2 = st2.log.find(st2.last_appended + 1);
+      if (s2 == nullptr || !s2->decided) {
         complete = false;  // wait for the missing decision instead
         break;
       }
-      if (it2->second.decided->id != c.id)
-        cand.waits_on.push_back(it2->second.decided->id);
+      if (s2->decided->id != c->id)
+        cand.waits_on.push_back(s2->decided->id);
     }
-    if (complete) cands.emplace(c.id, std::move(cand));
+    if (complete) cands.emplace(c->id, std::move(cand));
   }
 
   // Drop candidates waiting on a non-candidate: their progress depends on
@@ -723,7 +771,8 @@ bool M2PaxosReplica::resolve_crossings() {
     if (!sink) continue;
     std::vector<core::CommandId> order = sccs[s];
     std::sort(order.begin(), order.end());
-    for (const core::CommandId id : order) deliver_command(cands.at(id).cmd);
+    for (const core::CommandId id : order)
+      deliver_command(cands.at(id).cmd, nullptr);
     delivered_any = true;
   }
   return delivered_any;
@@ -734,7 +783,7 @@ bool M2PaxosReplica::resolve_crossings() {
 // ---------------------------------------------------------------------
 
 void M2PaxosReplica::start_acquisition(PendingCommand& pc,
-                                       const std::vector<ObjectId>& objects,
+                                       const core::ObjectList& objects,
                                        bool force_prepare_all) {
   // Only acquire what we do not hold: re-preparing an object we own would
   // bump our own epoch and abort every in-flight fast-path accept on it.
@@ -778,7 +827,7 @@ void M2PaxosReplica::handle_prepare(NodeId from, const Prepare& msg) {
     }
   }
 
-  auto reply = std::make_shared<AckPrepare>();
+  auto reply = pooled<AckPrepare>();
   reply->req_id = msg.req_id;
   reply->acceptor = id_;
   reply->ack = ok;
@@ -789,15 +838,18 @@ void M2PaxosReplica::handle_prepare(NodeId from, const Prepare& msg) {
       reply->delivered_floors.emplace_back(e.object, st.last_appended);
       // Report every vote (accepted or decided) at or above the prepared
       // position — the decs of Algorithm 4, covering the whole suffix.
-      for (auto it = st.slots.lower_bound(e.from_instance);
-           it != st.slots.end(); ++it) {
-        const Slot& slot = it->second;
+      // Positions below the log base were truncated by frontier GC; they
+      // are at or below this node's delivered floor just reported, so the
+      // acquirer treats them as decided-elsewhere, never as free.
+      for (Instance in = std::max(e.from_instance, st.log.base());
+           in < st.log.end(); ++in) {
+        const Slot& slot = *st.log.find(in);
         if (slot.decided) {
-          reply->votes.push_back(AckPrepare::Vote{
-              e.object, it->first, slot.accepted_epoch, true, *slot.decided});
+          reply->votes.emplace_back(e.object, in, slot.accepted_epoch, true,
+                                    slot.decided);
         } else if (slot.accepted) {
-          reply->votes.push_back(AckPrepare::Vote{
-              e.object, it->first, slot.accepted_epoch, false, *slot.accepted});
+          reply->votes.emplace_back(e.object, in, slot.accepted_epoch, false,
+                                    slot.accepted);
         }
       }
     }
@@ -819,7 +871,7 @@ void M2PaxosReplica::handle_ack_prepare(NodeId /*from*/, const AckPrepare& msg) 
   if (!msg.ack) {
     ++counters_.prepare_nacks;
     apply_hints(msg.hints);
-    const core::CommandId cmd = round.cmd.id;
+    const core::CommandId cmd = round.cmd->id;
     prepares_.erase(it);
     retry_later(cmd);
     return;
@@ -856,7 +908,7 @@ void M2PaxosReplica::finish_acquisition(PrepareRound round) {
     }
   }
 
-  std::vector<SlotValue> slots;
+  SlotList slots;
   for (const auto& e : round.entries) {
     ObjectState& st = table_.obj(e.object);
     // The quorum promised e.epoch, but if this node has since observed a
@@ -897,10 +949,10 @@ void M2PaxosReplica::finish_acquisition(PrepareRound round) {
     for (Instance in = from; in <= max_voted; ++in) {
       auto bit = best.find({e.object, in});
       if (bit != best.end()) {
-        slots.push_back(SlotValue{e.object, in, e.epoch, bit->second->cmd});
-        if (bit->second->cmd.id == round.cmd.id) cmd_placed = true;
+        slots.emplace_back(e.object, in, e.epoch, bit->second->cmd);
+        if (bit->second->cmd->id == round.cmd->id) cmd_placed = true;
       } else {
-        slots.push_back(SlotValue{e.object, in, e.epoch, make_noop(e.object)});
+        slots.emplace_back(e.object, in, e.epoch, make_noop(e.object));
         ++counters_.noops_filled;
       }
     }
@@ -910,7 +962,7 @@ void M2PaxosReplica::finish_acquisition(PrepareRound round) {
       // that stalls the delivery frontier).
       st.next_slot = max_voted + 1;
     } else {
-      slots.push_back(SlotValue{e.object, max_voted + 1, e.epoch, round.cmd});
+      slots.emplace_back(e.object, max_voted + 1, e.epoch, round.cmd);
       st.next_slot = max_voted + 2;
     }
   }
@@ -921,18 +973,18 @@ void M2PaxosReplica::finish_acquisition(PrepareRound round) {
   for (ObjectId l : round.owned_objects) {
     ObjectState& st = table_.obj(l);
     if (st.owner != id_ || st.promised != st.owned_epoch) continue;
-    if (table_.is_decided_on(round.cmd, l)) continue;
+    if (table_.is_decided_on(*round.cmd, l)) continue;
     const Instance in = std::max(st.next_slot, st.last_appended + 1);
     st.next_slot = in + 1;
-    slots.push_back(SlotValue{l, in, st.owned_epoch, round.cmd});
+    slots.emplace_back(l, in, st.owned_epoch, round.cmd);
   }
 
   if (slots.empty()) {
     // Every entry went stale mid-flight; nothing to accept.
-    retry_later(round.cmd.id);
+    retry_later(round.cmd->id);
     return;
   }
-  send_accept(round.cmd.id, std::move(slots));
+  send_accept(round.cmd->id, std::move(slots));
 }
 
 // ---------------------------------------------------------------------
@@ -969,12 +1021,13 @@ void M2PaxosReplica::apply_hints(const std::vector<ViewHint>& hints) {
   }
 }
 
-core::Command M2PaxosReplica::make_noop(ObjectId l) {
+core::CommandPtr M2PaxosReplica::make_noop(ObjectId l) {
   // Noop ids live in a reserved per-node sequence range above 2^40 so they
   // can never collide with client command ids.
-  core::Command noop(core::CommandId::make(id_, (1ULL << 40) + noop_seq_++),
-                     {l}, 0);
-  noop.noop = true;
+  auto noop = pooled<core::Command>(
+      core::CommandId::make(id_, (1ULL << 40) + noop_seq_++),
+      core::ObjectList{l}, 0u);
+  noop->noop = true;
   return noop;
 }
 

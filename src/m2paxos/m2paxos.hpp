@@ -2,12 +2,15 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "core/command.hpp"
 #include "core/config.hpp"
+#include "core/owner_map.hpp"
+#include "core/pool.hpp"
 #include "core/replica.hpp"
 #include "m2paxos/messages.hpp"
 #include "m2paxos/ownership.hpp"
@@ -29,6 +32,7 @@ struct M2Counters {
   std::uint64_t sync_probes = 0;        // anti-entropy requests sent
   std::uint64_t sync_slots_learned = 0; // decisions learned via sync
   std::uint64_t fallbacks = 0;          // routed via the conflict leader
+  std::uint64_t gc_truncated_slots = 0; // slots dropped by frontier GC
 };
 
 /// M²Paxos replica: Generalized Consensus via per-object Multi-Paxos
@@ -57,8 +61,16 @@ struct M2Counters {
 ///    (sink SCCs in command-id order);
 ///  - mixed-owner commands forward to the plurality owner, which acquires
 ///    only what it lacks; repeated losers route through the conflict
-///    leader (§IV-C); promises carry delivered floors so retention GC of
+///    leader (§IV-C); promises carry delivered floors so frontier GC of
 ///    old slots stays safe; anti-entropy syncs missed decisions.
+///
+/// Memory/allocation discipline (the protocol hot-path overhaul): slot
+/// logs are flat rings truncated behind the delivery frontier
+/// (cfg.gc_margin), commands travel as shared immutable handles, and
+/// per-command bookkeeping (pending/accept rounds, dedup window, payload
+/// control blocks) recycles through a size-binned pool — the steady-state
+/// owned-object fast path performs no heap allocation per decided command
+/// (pinned by bench/micro_protocol and tests/alloc_regression).
 class M2PaxosReplica final : public core::Replica {
  public:
   M2PaxosReplica(NodeId id, const core::ClusterConfig& cfg, core::Context& ctx);
@@ -77,12 +89,20 @@ class M2PaxosReplica final : public core::Replica {
 
   /// Installs a partition map applied lazily to objects first seen later;
   /// see OwnershipTable::set_default_owner.
-  void set_default_owner(std::function<NodeId(ObjectId)> fn) {
-    table_.set_default_owner(std::move(fn));
+  void set_default_owner(core::OwnerMap map) {
+    table_.set_default_owner(map);
   }
 
   const M2Counters& counters() const { return counters_; }
   const OwnershipTable& table() const { return table_; }
+
+  /// Capacity provisioning: pre-extends the pooled-command freelist by
+  /// `n` blocks. The live-command population (slots retained below the GC
+  /// margin plus the in-flight pipeline) drifts to new maxima like any
+  /// queueing tail, and each new maximum costs one heap allocation;
+  /// benchmarks and tests that assert an allocation-free steady state call
+  /// this after warmup so the slack absorbs the drift.
+  void prewarm_commands(std::size_t n);
   /// Introspection for tests and diagnostics.
   std::size_t pending_count() const { return pending_.size(); }
   std::vector<core::CommandId> pending_ids() const {
@@ -100,23 +120,23 @@ class M2PaxosReplica final : public core::Replica {
 
  private:
   struct PendingCommand {
-    core::Command cmd;
+    core::CommandPtr cmd;
     int attempts = 0;
     bool in_flight = false;  // an Accept or Prepare round is outstanding
     bool commit_reported = false;
     sim::EventId watchdog = sim::kInvalidEvent;
     /// Slots assigned by a previous fast accept; reused on retry so a lost
     /// round is retransmitted instead of leaving a hole at the old slot.
-    std::vector<SlotValue> assigned_slots;
+    SlotList assigned_slots;
   };
   struct AcceptRound {
-    std::vector<SlotValue> slots;
+    SlotList slots;
     core::CommandId for_cmd;
-    std::vector<NodeId> ackers;  // deduplicated (the network may duplicate)
+    core::SmallVec<NodeId, 8> ackers;  // deduplicated (network may duplicate)
     bool done = false;
   };
   struct PrepareRound {
-    core::Command cmd;
+    core::CommandPtr cmd;
     std::vector<Prepare::Entry> entries;
     /// Max delivered frontier per object reported by the promise quorum;
     /// slots at or below it are decided and must not be written.
@@ -126,24 +146,46 @@ class M2PaxosReplica final : public core::Replica {
     /// our in-flight fast-path accepts) — the final Accept carries their
     /// slots at the existing owned epoch.
     std::vector<ObjectId> owned_objects;
-    std::vector<NodeId> ackers;  // deduplicated
+    core::SmallVec<NodeId, 8> ackers;  // deduplicated
     std::vector<AckPrepare::Vote> votes;
   };
 
+  /// Hash containers on the per-command hot path draw their nodes from the
+  /// replica's pool, so steady-state insert/erase churn recycles instead
+  /// of hitting the global heap.
+  template <typename K, typename V>
+  using PooledMap =
+      std::unordered_map<K, V, std::hash<K>, std::equal_to<K>,
+                         core::PoolAlloc<std::pair<const K, V>>>;
+  template <typename T>
+  using PooledSet = std::unordered_set<T, std::hash<T>, std::equal_to<T>,
+                                       core::PoolAlloc<T>>;
+  template <typename T>
+  using PooledDeque = std::deque<T, core::PoolAlloc<T>>;
+
+  /// Pool-backed payload construction: the shared_ptr control block and
+  /// object live in one recycled block (see core/pool.hpp for lifetime).
+  template <typename T, typename... Args>
+  std::shared_ptr<T> pooled(Args&&... args) {
+    return core::pool_make_shared<T>(pool_, std::forward<Args>(args)...);
+  }
+
   // --- Coordination phase (Algorithm 1) -----------------------------
   void coordinate(core::CommandId id);
-  void start_fast_accept(PendingCommand& pc,
-                         const std::vector<ObjectId>& objects);
+  void start_fast_accept(PendingCommand& pc, const core::ObjectList& objects);
   // --- Accept phase (Algorithm 2) ------------------------------------
-  void send_accept(core::CommandId for_cmd, std::vector<SlotValue> slots);
+  void send_accept(core::CommandId for_cmd, SlotList slots);
   void handle_accept(NodeId from, const Accept& msg);
   void handle_ack_accept(NodeId from, const AckAccept& msg);
   // --- Decision phase (Algorithm 3) -----------------------------------
   void handle_decide(const Decide& msg);
-  void decide_slot(ObjectId l, Instance in, const core::Command& c);
+  void decide_slot(ObjectId l, Instance in, const core::CommandPtr& c);
   void maybe_report_commit(const core::Command& c);
   void try_deliver();
-  void deliver_command(const core::Command& c);
+  /// Appends `c` to the local C-struct and advances frontiers. `hint`, if
+  /// non-null, is the already-looked-up state of one of c's objects (the
+  /// common single-object command then needs no table lookup at all).
+  void deliver_command(const core::CommandPtr& c, ObjectState* hint);
   /// Arms the one-shot crossing-resolution timer (rate limiting: the
   /// wait-cycle search is O(waiting frontiers) and must not run per
   /// message; running it late only delays delivery, never changes it).
@@ -157,8 +199,7 @@ class M2PaxosReplica final : public core::Replica {
   /// `force_prepare_all` makes even currently-owned objects go through the
   /// prepare (used by delivery repair, where the point of the round is to
   /// surface lost votes and fill holes, not to gain ownership).
-  void start_acquisition(PendingCommand& pc,
-                         const std::vector<ObjectId>& objects,
+  void start_acquisition(PendingCommand& pc, const core::ObjectList& objects,
                          bool force_prepare_all = false);
   void handle_prepare(NodeId from, const Prepare& msg);
   void handle_ack_prepare(NodeId from, const AckPrepare& msg);
@@ -175,30 +216,31 @@ class M2PaxosReplica final : public core::Replica {
   void arm_watchdog(PendingCommand& pc);
   /// Collects the objects whose missing/undecided frontier decisions
   /// (transitively) block `root` from delivering locally.
-  void collect_blocked(const core::Command& root,
-                       std::vector<ObjectId>& blocked);
+  void collect_blocked(const core::Command& root, core::ObjectList& blocked);
   void apply_hints(const std::vector<ViewHint>& hints);
-  core::Command make_noop(ObjectId l);
-  std::vector<ObjectId> undecided_objects(const core::Command& c) const;
-  /// Moves a delivered slot into the bounded retention ring; the oldest
-  /// retained slot is erased from the table when the ring overflows.
-  void retire_slot(ObjectId l, Instance in);
+  core::CommandPtr make_noop(ObjectId l);
+  core::ObjectList undecided_objects(const core::Command& c) const;
+  /// Frontier GC: truncates `st`'s log below last_appended+1 minus the
+  /// configured margin (cfg.gc_margin), bounding per-object log memory.
+  void gc_object(ObjectState& st);
 
+  core::PoolRef pool_ = core::make_pool();
   OwnershipTable table_;
-  std::unordered_map<core::CommandId, PendingCommand> pending_;
-  std::unordered_map<std::uint64_t, AcceptRound> accepts_;
-  std::unordered_map<std::uint64_t, PrepareRound> prepares_;
-  std::unordered_set<core::CommandId> delivered_ids_;
-  std::deque<core::CommandId> delivered_fifo_;  // eviction order for the set
-  std::vector<core::Command> delivered_seq_;    // only if cfg.record_delivered
-  std::deque<ObjectId> dirty_objects_;
-  std::deque<std::pair<ObjectId, Instance>> retained_;  // delivered slots
+  PooledMap<core::CommandId, PendingCommand> pending_;
+  PooledMap<std::uint64_t, AcceptRound> accepts_;
+  PooledMap<std::uint64_t, PrepareRound> prepares_;
+  PooledSet<core::CommandId> delivered_ids_;
+  PooledDeque<core::CommandId> delivered_fifo_;  // eviction order for the set
+  std::vector<core::Command> delivered_seq_;     // only if cfg.record_delivered
+  /// Objects whose frontier may have advanced, queued as stable table
+  /// pointers so the delivery loop skips the hash lookup per entry.
+  PooledDeque<ObjectState*> dirty_objects_;
   /// Objects whose frontier slot is decided but whose command is waiting on
   /// other objects — the candidates for crossing resolution.
-  std::unordered_set<ObjectId> stuck_objects_;
+  PooledSet<ObjectId> stuck_objects_;
   /// Earliest time another delivery-repair acquisition may target each
   /// object (see coordinate(); repairs are deduplicated per object).
-  std::unordered_map<ObjectId, sim::Time> repair_cooldown_;
+  PooledMap<ObjectId, sim::Time> repair_cooldown_;
   bool delivering_ = false;  // reentrancy guard for try_deliver
   std::uint64_t next_req_ = 1;
   std::uint64_t noop_seq_ = 0;

@@ -1,8 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/command.hpp"
@@ -11,20 +12,39 @@
 namespace m2::m2p {
 
 using core::Command;
+using core::CommandPtr;
 using core::Epoch;
 using core::Instance;
 using core::ObjectId;
 
 /// One (object, position) cell targeted by an Accept/Decide, together with
-/// the epoch it is proposed in and the command to place there.
+/// the epoch it is proposed in and the command to place there. The command
+/// is a shared immutable handle: Accept, acceptor slots, Decide, and the
+/// slot log all reference the same allocation (the modeled wire still
+/// carries the full command — wire_size() is unchanged).
 struct SlotValue {
   ObjectId object = 0;
   Instance instance = 0;
   Epoch epoch = 0;
-  Command cmd;
+  CommandPtr cmd;
+
+  SlotValue() = default;
+  SlotValue(ObjectId o, Instance in, Epoch e, CommandPtr c)
+      : object(o), instance(in), epoch(e), cmd(std::move(c)) {}
+  /// Wraps a by-value command into a fresh shared handle (decode paths and
+  /// tests; protocol hot paths pass CommandPtr through).
+  SlotValue(ObjectId o, Instance in, Epoch e, Command c)
+      : object(o),
+        instance(in),
+        epoch(e),
+        cmd(std::make_shared<const Command>(std::move(c))) {}
 
   static constexpr std::size_t kHeaderBytes = 24;  // object+instance+epoch
 };
+
+/// Slot list of an Accept/Decide: inline capacity 4 (fast-path rounds
+/// carry one slot per object of one command).
+using SlotList = core::SmallVec<SlotValue, 4>;
 
 /// Forwarding of a command to the node owning all its objects (§IV-B).
 struct Propose final : net::Payload {
@@ -39,10 +59,9 @@ struct Propose final : net::Payload {
 /// Phase-2a over a set of slots. `req_id` correlates replies with the
 /// outstanding accept round at the proposer.
 struct Accept final : net::Payload {
-  Accept(std::uint64_t rid, std::vector<SlotValue> s)
-      : req_id(rid), slots(std::move(s)) {}
+  Accept(std::uint64_t rid, SlotList s) : req_id(rid), slots(std::move(s)) {}
   std::uint64_t req_id;
-  std::vector<SlotValue> slots;
+  SlotList slots;
 
   std::uint32_t kind() const override { return net::kKindM2Paxos + 2; }
   std::size_t wire_size() const override;  // cached; payloads are immutable
@@ -76,8 +95,8 @@ struct AckAccept final : net::Payload {
 /// Learn message: the decided command per slot, broadcast by the proposer
 /// once a classic quorum of ACKs arrived.
 struct Decide final : net::Payload {
-  explicit Decide(std::vector<SlotValue> s) : slots(std::move(s)) {}
-  std::vector<SlotValue> slots;
+  explicit Decide(SlotList s) : slots(std::move(s)) {}
+  SlotList slots;
 
   std::uint32_t kind() const override { return net::kKindM2Paxos + 4; }
   std::size_t wire_size() const override;  // cached; payloads are immutable
@@ -114,7 +133,21 @@ struct AckPrepare final : net::Payload {
     Instance instance = 0;
     Epoch accepted_epoch = 0;
     bool decided = false;
-    Command cmd;
+    CommandPtr cmd;
+
+    Vote() = default;
+    Vote(ObjectId o, Instance in, Epoch e, bool dec, CommandPtr c)
+        : object(o),
+          instance(in),
+          accepted_epoch(e),
+          decided(dec),
+          cmd(std::move(c)) {}
+    Vote(ObjectId o, Instance in, Epoch e, bool dec, Command c)
+        : object(o),
+          instance(in),
+          accepted_epoch(e),
+          decided(dec),
+          cmd(std::make_shared<const Command>(std::move(c))) {}
   };
   std::uint64_t req_id = 0;
   NodeId acceptor = kNoNode;
@@ -152,14 +185,14 @@ struct SyncRequest final : net::Payload {
 /// Reply: the peer's retained decided slots at or above the requested
 /// positions (served from its retention window).
 struct SyncReply final : net::Payload {
-  explicit SyncReply(std::vector<SlotValue> s) : slots(std::move(s)) {}
-  std::vector<SlotValue> slots;
+  explicit SyncReply(SlotList s) : slots(std::move(s)) {}
+  SlotList slots;
 
   std::uint32_t kind() const override { return net::kKindM2Paxos + 8; }
   std::size_t wire_size() const override {
     std::size_t bytes = 0;
     for (const auto& s : slots)
-      bytes += SlotValue::kHeaderBytes + s.cmd.wire_size();
+      bytes += SlotValue::kHeaderBytes + s.cmd->wire_size();
     return bytes;
   }
   const char* name() const override { return "M2.SyncReply"; }

@@ -1,57 +1,61 @@
 #include "m2paxos/ownership.hpp"
 
+#include <algorithm>
+
 namespace m2::m2p {
 
 ObjectState& OwnershipTable::obj(ObjectId l) {
+  ++lookups_;
   auto [it, inserted] = objects_.try_emplace(l);
-  if (inserted && default_owner_) it->second.owner = default_owner_(l);
+  if (inserted) {
+    it->second.id = l;
+    if (default_owner_.valid()) it->second.owner = default_owner_.owner(l);
+  }
   return it->second;
 }
 
 const ObjectState* OwnershipTable::find(ObjectId l) const {
+  ++lookups_;
   auto it = objects_.find(l);
   return it == objects_.end() ? nullptr : &it->second;
 }
 
-bool OwnershipTable::owns_all(NodeId self, const Command& c) {
+OwnershipTable::Route OwnershipTable::route(NodeId self, const Command& c) {
+  Route r;
+  // Owner frequency count; object lists are tiny, a flat array is cheapest.
+  core::SmallVec<std::pair<NodeId, int>, 8> counts;
+  bool owns_all = self != kNoNode;
+  bool unique = true;
   for (ObjectId l : c.objects) {
-    const ObjectState& st = obj(l);
-    if (st.owner != self) return false;
-    if (st.promised != st.owned_epoch) return false;  // ownership stolen
-  }
-  return true;
-}
+    const ObjectState& st = obj(l);  // the single lookup for this object
 
-NodeId OwnershipTable::unique_owner(const Command& c) {
-  NodeId owner = kNoNode;
-  for (ObjectId l : c.objects) {
-    const ObjectState& st = obj(l);
-    if (st.owner == kNoNode) return kNoNode;
-    if (owner == kNoNode) {
-      owner = st.owner;
-    } else if (owner != st.owner) {
-      return kNoNode;
+    if (st.owner != self || st.promised != st.owned_epoch) owns_all = false;
+
+    if (st.owner == kNoNode) {
+      unique = false;
+    } else if (r.unique_owner == kNoNode) {
+      r.unique_owner = st.owner;
+    } else if (r.unique_owner != st.owner) {
+      unique = false;
     }
-  }
-  return owner;
-}
 
-NodeId OwnershipTable::plurality_owner(const Command& c) {
-  // Object lists are tiny (usually < 16); a flat count is cheapest.
-  std::vector<std::pair<NodeId, int>> counts;
-  for (ObjectId l : c.objects) {
-    const NodeId owner = obj(l).owner;
-    if (owner == kNoNode) continue;
-    bool found = false;
-    for (auto& [node, count] : counts) {
-      if (node == owner) {
-        ++count;
-        found = true;
-        break;
+    if (st.owner != kNoNode) {
+      bool found = false;
+      for (auto& [node, count] : counts) {
+        if (node == st.owner) {
+          ++count;
+          found = true;
+          break;
+        }
       }
+      if (!found) counts.emplace_back(st.owner, 1);
     }
-    if (!found) counts.emplace_back(owner, 1);
+
+    if (!decided_in_state(st, c)) r.undecided.push_back(l);
   }
+  r.owns_all = owns_all;
+  if (!unique) r.unique_owner = kNoNode;
+
   NodeId best = kNoNode;
   int best_count = 0;
   for (const auto& [node, count] : counts) {
@@ -60,15 +64,28 @@ NodeId OwnershipTable::plurality_owner(const Command& c) {
       best_count = count;
     }
   }
-  return best;
+  r.plurality_owner = best;
+  return r;
+}
+
+bool OwnershipTable::decided_in_state(const ObjectState& st,
+                                      const Command& c) {
+  // An un-delivered command can only be decided above the delivery
+  // frontier: advancing the frontier past a slot requires delivering (or
+  // having delivered) the command decided there. So the scan covers just
+  // the undelivered suffix — pipeline-depth short — instead of the whole
+  // retained log.
+  const Instance from = std::max(st.log.base(), st.last_appended + 1);
+  for (Instance in = from; in < st.log.end(); ++in) {
+    const Slot* s = st.log.find(in);
+    if (s != nullptr && s->decided && s->decided->id == c.id) return true;
+  }
+  return false;
 }
 
 bool OwnershipTable::is_decided_on(const Command& c, ObjectId l) const {
   const ObjectState* st = find(l);
-  if (st == nullptr) return false;
-  for (const auto& [in, slot] : st->slots)
-    if (slot.decided && slot.decided->id == c.id) return true;
-  return false;
+  return st != nullptr && decided_in_state(*st, c);
 }
 
 bool OwnershipTable::is_decided_everywhere(const Command& c) const {
@@ -77,21 +94,27 @@ bool OwnershipTable::is_decided_everywhere(const Command& c) const {
   return true;
 }
 
-bool OwnershipTable::set_decided(ObjectId l, Instance in, const Command& c) {
-  Slot& slot = objects_[l].slots[in];
+bool OwnershipTable::set_decided(ObjectId l, Instance in, CommandPtr c) {
+  ObjectState& st = obj(l);
+  if (in < st.log.base()) return false;  // truncated: decided and delivered
+  Slot& slot = st.log.at_or_create(in);
   if (slot.decided) return false;
-  slot.decided = c;
+  slot.decided = std::move(c);
   return true;
 }
 
 Instance OwnershipTable::first_undecided(ObjectId l) const {
   const ObjectState* st = find(l);
   if (st == nullptr) return 1;
-  Instance in = st->last_appended + 1;
-  for (auto it = st->slots.find(in); it != st->slots.end() && it->first == in;
-       ++it, ++in) {
-    if (!it->second.decided) return in;
+  Instance in = std::max(st->undecided_hint, st->last_appended + 1);
+  for (;;) {
+    const Slot* s = st->log.find(in);
+    if (s == nullptr || !s->decided) break;
+    ++in;
   }
+  // Cache: everything in (last_appended, in) is decided, and decisions
+  // never retract, so later scans may start here.
+  st->undecided_hint = in;
   return in;
 }
 

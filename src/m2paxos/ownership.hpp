@@ -1,31 +1,110 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "core/command.hpp"
+#include "core/owner_map.hpp"
 #include "net/payload.hpp"
 
 namespace m2::m2p {
 
 using core::Command;
+using core::CommandPtr;
 using core::Epoch;
 using core::Instance;
 using core::ObjectId;
 
 /// Acceptor/learner state of one consensus instance ⟨l, in⟩:
-/// Rdec/Vdec of the paper plus the learned decision.
+/// Rdec/Vdec of the paper plus the learned decision. Commands are shared
+/// immutable handles — the same allocation the Accept/Decide carried.
 struct Slot {
-  Epoch accepted_epoch = 0;          // Rdec[l][in]
-  std::optional<Command> accepted;   // Vdec[l][in]
-  std::optional<Command> decided;    // Decided[l][in]
+  Epoch accepted_epoch = 0;  // Rdec[l][in]
+  CommandPtr accepted;       // Vdec[l][in]
+  CommandPtr decided;        // Decided[l][in]
+};
+
+/// Contiguous per-object slot log indexed by instance: a power-of-two ring
+/// over [base, end). Replaces the old std::map<Instance, Slot> — lookups
+/// are an index computation, appends amortized O(1), and frontier GC
+/// (truncate_below) pops delivered slots off the bottom without touching
+/// the rest. Instances between materialized slots hold default (empty)
+/// Slot values, which all readers treat exactly like the map's absent
+/// entries.
+class SlotLog {
+ public:
+  /// Smallest retained instance. Slots below are truncated: decided,
+  /// delivered, and more than the GC margin behind the frontier.
+  Instance base() const { return base_; }
+  /// One past the highest materialized instance.
+  Instance end() const { return base_ + size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// The slot at `in`, or nullptr when `in` is outside [base, end).
+  Slot* find(Instance in) {
+    if (in < base_ || in >= end()) return nullptr;
+    return &ring_[index_of(in)];
+  }
+  const Slot* find(Instance in) const {
+    if (in < base_ || in >= end()) return nullptr;
+    return &ring_[index_of(in)];
+  }
+
+  /// The slot at `in`, materializing it (and any empty gap below it) if it
+  /// is above the top. `in` must not be below base — truncated instances
+  /// are gone for good; callers guard with find()/base().
+  Slot& at_or_create(Instance in) {
+    assert(in >= base_ && "slot below the GC horizon");
+    if (in >= end()) {
+      const std::size_t need = static_cast<std::size_t>(in - base_) + 1;
+      if (need > ring_.size()) grow(need);
+      size_ = need;
+    }
+    return ring_[index_of(in)];
+  }
+
+  /// Drops every slot below `keep_from` (frontier GC).
+  void truncate_below(Instance keep_from) {
+    while (base_ < keep_from && size_ > 0) {
+      ring_[head_] = Slot{};  // release the command handles
+      head_ = (head_ + 1) & (ring_.size() - 1);
+      ++base_;
+      --size_;
+    }
+    if (size_ == 0 && base_ < keep_from) base_ = keep_from;
+  }
+
+ private:
+  std::size_t index_of(Instance in) const {
+    return (head_ + static_cast<std::size_t>(in - base_)) &
+           (ring_.size() - 1);
+  }
+  void grow(std::size_t need) {
+    std::size_t cap = ring_.empty() ? 8 : ring_.size();
+    while (cap < need) cap *= 2;
+    std::vector<Slot> next(cap);
+    for (std::size_t i = 0; i < size_; ++i)
+      next[i] = std::move(ring_[(head_ + i) & (ring_.size() - 1)]);
+    ring_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<Slot> ring_;  // power-of-two capacity
+  std::size_t head_ = 0;    // ring index of the slot at base_
+  Instance base_ = 1;       // instances are 1-based
+  std::size_t size_ = 0;
 };
 
 /// Full per-object state: one Multi-Paxos incarnation.
 struct ObjectState {
+  /// The object this state belongs to (set when the table creates the
+  /// entry). Lets hot paths queue ObjectState pointers — entries are
+  /// node-stable in the table — without a reverse hash lookup.
+  ObjectId id = 0;
+
   /// Highest epoch this node promised/observed for the object. A promise
   /// covers the whole instance suffix from `promised_from` (Multi-Paxos
   /// style), which is what makes pipelined fast-path accepts safe.
@@ -50,58 +129,90 @@ struct ObjectState {
   /// local C-struct (the paper's LastDecided[l]).
   Instance last_appended = 0;
 
-  std::map<Instance, Slot> slots;
+  /// First instance above the frontier not yet known decided — the O(1)
+  /// first_undecided cursor. Monotone (decisions never retract), so it is
+  /// only ever advanced; mutable because advancing it during a const scan
+  /// is a pure cache update.
+  mutable Instance undecided_hint = 1;
+
+  SlotLog log;
 };
 
 /// Ownership/acceptor table of one M²Paxos node: the state of every object
 /// this node has heard about, with the operations the four phases need.
 class OwnershipTable {
  public:
+  /// Routing decision for one command, computed in a single pass over its
+  /// object list (one table lookup per object).
+  struct Route {
+    /// IsOwner(self, c.LS): self owns every object at a current epoch.
+    bool owns_all = false;
+    /// GetOwners(c.LS): the identical owner of all objects, else kNoNode.
+    NodeId unique_owner = kNoNode;
+    /// Owner holding the most objects (ties: lowest node id); kNoNode when
+    /// no object has a known owner.
+    NodeId plurality_owner = kNoNode;
+    /// Objects on which the command is not (yet) decided.
+    core::ObjectList undecided;
+  };
+
   /// Installs the static partition map consulted when an object is first
-  /// seen: new ObjectState entries start owned by `fn(l)` at epoch 0. Must
-  /// be installed identically on every node (it models an agreed initial
-  /// ownership assignment, the paper's steady-state setting).
-  void set_default_owner(std::function<NodeId(ObjectId)> fn) {
-    default_owner_ = std::move(fn);
-  }
+  /// seen: new ObjectState entries start owned by `map.owner(l)` at epoch
+  /// 0. Must be installed identically on every node (it models an agreed
+  /// initial ownership assignment, the paper's steady-state setting).
+  void set_default_owner(core::OwnerMap map) { default_owner_ = map; }
 
   /// State of object `l`, created (with the default owner) if unseen.
   ObjectState& obj(ObjectId l);
   const ObjectState* find(ObjectId l) const;
 
-  /// IsOwner(self, c.LS): true iff this node owns every object of `c` and
-  /// each ownership is still current (promised epoch unchanged since it was
-  /// acquired — see ObjectState::owned_epoch).
-  bool owns_all(NodeId self, const Command& c);
+  /// One-pass ownership/decision routing for `c` (see Route). Creates
+  /// table entries for unseen objects, like the individual queries did.
+  Route route(NodeId self, const Command& c);
 
-  /// GetOwners(c.LS): the unique owner of all objects of `c`, or kNoNode if
-  /// owners differ / any is unknown.
-  NodeId unique_owner(const Command& c);
+  /// IsOwner(self, c.LS) — see Route::owns_all.
+  bool owns_all(NodeId self, const Command& c) {
+    return route(self, c).owns_all;
+  }
+  /// GetOwners(c.LS) — see Route::unique_owner.
+  NodeId unique_owner(const Command& c) {
+    return route(kNoNode, c).unique_owner;
+  }
+  /// See Route::plurality_owner.
+  NodeId plurality_owner(const Command& c) {
+    return route(kNoNode, c).plurality_owner;
+  }
 
-  /// The owner holding the most objects of `c` (kNoNode when no object has
-  /// a known owner). Forwarding to the plurality owner lets it acquire
-  /// only the few objects it lacks, instead of a minority holder stealing
-  /// a hot object (e.g. a TPC-C warehouse) from its home node.
-  NodeId plurality_owner(const Command& c);
-
-  /// True iff `c` is decided at some instance of object `l`.
+  /// True iff `c` is decided at some instance of object `l`. Scans only
+  /// the undelivered suffix: an un-delivered command can only be decided
+  /// above the delivery frontier (delivery/skip is what advances it).
   bool is_decided_on(const Command& c, ObjectId l) const;
 
   /// True iff `c` is decided on all objects it accesses.
   bool is_decided_everywhere(const Command& c) const;
 
   /// Records a decision; returns true if the slot's decision was new.
-  bool set_decided(ObjectId l, Instance in, const Command& c);
+  /// Decisions below the GC horizon are stale duplicates (truncated slots
+  /// were decided and delivered) and are ignored.
+  bool set_decided(ObjectId l, Instance in, CommandPtr c);
 
   /// First instance of `l` with no decided command, starting the scan at
   /// the delivery frontier (instances <= last_appended are all decided).
+  /// Amortized O(1) via the per-object undecided cursor.
   Instance first_undecided(ObjectId l) const;
 
   std::size_t n_objects_known() const { return objects_.size(); }
 
+  /// Table lookups performed so far (one per objects_ hash probe) —
+  /// observability for the routing micro tests.
+  std::uint64_t lookup_count() const { return lookups_; }
+
  private:
+  static bool decided_in_state(const ObjectState& st, const Command& c);
+
   std::unordered_map<ObjectId, ObjectState> objects_;
-  std::function<NodeId(ObjectId)> default_owner_;
+  core::OwnerMap default_owner_;
+  mutable std::uint64_t lookups_ = 0;
 };
 
 }  // namespace m2::m2p

@@ -38,7 +38,7 @@ std::optional<core::Command> read_command(Reader& r) {
   if (!id || !payload_bytes || !noop || !n_objects ||
       *n_objects > kMaxListLen)
     return std::nullopt;
-  std::vector<core::ObjectId> objects;
+  core::ObjectList objects;
   objects.reserve(*n_objects);
   for (std::uint64_t i = 0; i < *n_objects; ++i) {
     const auto l = r.u64();
@@ -222,7 +222,7 @@ void encode_body(Writer& w, const Payload& p) {
         w.u64(s.object);
         w.u64(s.instance);
         w.u64(s.epoch);
-        write_command(w, s.cmd);
+        write_command(w, *s.cmd);
       }
       break;
     }
@@ -246,7 +246,7 @@ void encode_body(Writer& w, const Payload& p) {
         w.u64(s.object);
         w.u64(s.instance);
         w.u64(s.epoch);
-        write_command(w, s.cmd);
+        write_command(w, *s.cmd);
       }
       break;
     }
@@ -272,7 +272,7 @@ void encode_body(Writer& w, const Payload& p) {
         w.u64(v.instance);
         w.u64(v.accepted_epoch);
         w.u8(v.decided ? 1 : 0);
-        write_command(w, v.cmd);
+        write_command(w, *v.cmd);
       }
       w.varint(m.delivered_floors.size());
       for (const auto& [obj, floor] : m.delivered_floors) {
@@ -303,7 +303,7 @@ void encode_body(Writer& w, const Payload& p) {
         w.u64(s.object);
         w.u64(s.instance);
         w.u64(s.epoch);
-        write_command(w, s.cmd);
+        write_command(w, *s.cmd);
       }
       break;
     }
@@ -331,7 +331,7 @@ bool read_attrs(Reader& r, ep::Attrs& attrs) {
   return true;
 }
 
-bool read_slots(Reader& r, std::vector<m2p::SlotValue>& slots) {
+bool read_slots(Reader& r, m2p::SlotList& slots) {
   const auto n = r.varint();
   if (!n || *n > kMaxListLen) return false;
   slots.reserve(*n);
@@ -547,7 +547,7 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
     }
     case kKindM2Paxos + 2: {
       const auto req = r.u64();
-      std::vector<m2p::SlotValue> slots;
+      m2p::SlotList slots;
       if (!req || !read_slots(r, slots)) return nullptr;
       return make_payload<m2p::Accept>(*req, std::move(slots));
     }
@@ -564,7 +564,7 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
       return m;
     }
     case kKindM2Paxos + 4: {
-      std::vector<m2p::SlotValue> slots;
+      m2p::SlotList slots;
       if (!read_slots(r, slots)) return nullptr;
       return make_payload<m2p::Decide>(std::move(slots));
     }
@@ -627,7 +627,7 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
       return make_payload<m2p::SyncRequest>(std::move(entries));
     }
     case kKindM2Paxos + 8: {
-      std::vector<m2p::SlotValue> slots;
+      m2p::SlotList slots;
       if (!read_slots(r, slots)) return nullptr;
       return make_payload<m2p::SyncReply>(std::move(slots));
     }

@@ -15,6 +15,15 @@ Time NodeCpu::earliest_core_free() const {
 }
 
 void NodeCpu::submit(Time serial_cost, Time parallel_cost, InlineFn done) {
+  const Time end = charge_internal(serial_cost, parallel_cost);
+  sim_.at(end, std::move(done));
+}
+
+void NodeCpu::charge(Time serial_cost, Time parallel_cost) {
+  charge_internal(serial_cost, parallel_cost);
+}
+
+Time NodeCpu::charge_internal(Time serial_cost, Time parallel_cost) {
   assert(serial_cost >= 0 && parallel_cost >= 0);
   const Time now = sim_.now();
 
@@ -35,8 +44,7 @@ void NodeCpu::submit(Time serial_cost, Time parallel_cost, InlineFn done) {
   *it = end;
   busy_ += serial_cost + parallel_cost;
   ++jobs_;
-
-  sim_.at(end, std::move(done));
+  return end;
 }
 
 }  // namespace m2::sim

@@ -29,6 +29,13 @@ class NodeCpu {
   /// Enqueues a job. Costs must be >= 0. `done` runs when the job completes.
   void submit(Time serial_cost, Time parallel_cost, InlineFn done);
 
+  /// submit() without a completion callback: occupies the serial resource
+  /// and a core identically, but schedules no simulator event. For
+  /// fire-and-forget accounting work (e.g. charging transmit cost to the
+  /// sender) this halves the job's event-queue traffic at identical
+  /// simulated timing.
+  void charge(Time serial_cost, Time parallel_cost);
+
   int cores() const { return static_cast<int>(core_free_at_.size()); }
 
   /// Total CPU time consumed so far (serial + parallel), for utilization
@@ -43,6 +50,9 @@ class NodeCpu {
   Time earliest_core_free() const;
 
  private:
+  /// Shared bookkeeping; returns the job's completion time.
+  Time charge_internal(Time serial_cost, Time parallel_cost);
+
   Simulator& sim_;
   std::vector<Time> core_free_at_;
   Time serial_free_at_ = 0;

@@ -38,6 +38,9 @@ class SyntheticWorkload final : public Workload {
 
   core::Command next(NodeId proposer) override;
   NodeId default_owner(core::ObjectId object) const override;
+  core::OwnerMap owner_map() const override {
+    return core::OwnerMap::divide(cfg_.objects_per_node);
+  }
 
   std::uint64_t total_objects() const {
     return cfg_.objects_per_node * static_cast<std::uint64_t>(cfg_.n_nodes);

@@ -58,6 +58,13 @@ NodeId TpccWorkload::default_owner(core::ObjectId object) const {
   return static_cast<NodeId>(w / cfg_.warehouses_per_node);
 }
 
+core::OwnerMap TpccWorkload::owner_map() const {
+  // object / kStride = warehouse, warehouse / warehouses_per_node = node,
+  // so one divide with the combined stride reproduces default_owner().
+  return core::OwnerMap::divide(
+      kStride * static_cast<core::ObjectId>(cfg_.warehouses_per_node));
+}
+
 TpccProfile TpccWorkload::pick_profile() {
   const std::uint64_t r = rng_.uniform(100);
   if (r < 45) return TpccProfile::kNewOrder;
@@ -105,7 +112,7 @@ core::Command TpccWorkload::next(NodeId proposer) {
 
 core::Command TpccWorkload::new_order(core::CommandId id, int w) {
   const int d = static_cast<int>(rng_.uniform(kDistricts));
-  std::vector<core::ObjectId> ls = {
+  core::ObjectList ls = {
       warehouse_obj(w), district_obj(w, d),
       customer_obj(w, d, static_cast<int>(rng_.uniform(kCustomerGroups)))};
   const int lines = 5 + static_cast<int>(rng_.uniform(11));  // 5..15
@@ -124,7 +131,7 @@ core::Command TpccWorkload::payment(core::CommandId id, int w) {
   // TPC-C: 15 % of payments touch a customer of another warehouse.
   const int cw = rng_.chance(0.15) ? pick_remote_warehouse(w) : w;
   const int cd = static_cast<int>(rng_.uniform(kDistricts));
-  std::vector<core::ObjectId> ls = {
+  core::ObjectList ls = {
       warehouse_obj(w), district_obj(w, d),
       customer_obj(cw, cd, static_cast<int>(rng_.uniform(kCustomerGroups)))};
   return core::Command(id, std::move(ls), 48);
@@ -132,20 +139,20 @@ core::Command TpccWorkload::payment(core::CommandId id, int w) {
 
 core::Command TpccWorkload::order_status(core::CommandId id, int w) {
   const int d = static_cast<int>(rng_.uniform(kDistricts));
-  std::vector<core::ObjectId> ls = {
+  core::ObjectList ls = {
       customer_obj(w, d, static_cast<int>(rng_.uniform(kCustomerGroups)))};
   return core::Command(id, std::move(ls), 32);
 }
 
 core::Command TpccWorkload::delivery(core::CommandId id, int w) {
-  std::vector<core::ObjectId> ls = {warehouse_obj(w)};
+  core::ObjectList ls = {warehouse_obj(w)};
   for (int d = 0; d < kDistricts; ++d) ls.push_back(district_obj(w, d));
   return core::Command(id, std::move(ls), 40);
 }
 
 core::Command TpccWorkload::stock_level(core::CommandId id, int w) {
   const int d = static_cast<int>(rng_.uniform(kDistricts));
-  std::vector<core::ObjectId> ls = {
+  core::ObjectList ls = {
       district_obj(w, d),
       stock_obj(w, static_cast<int>(rng_.uniform(kStockBuckets)))};
   return core::Command(id, std::move(ls), 36);

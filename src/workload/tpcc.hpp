@@ -47,6 +47,7 @@ class TpccWorkload final : public Workload {
 
   core::Command next(NodeId proposer) override;
   NodeId default_owner(core::ObjectId object) const override;
+  core::OwnerMap owner_map() const override;
 
   int total_warehouses() const { return cfg_.n_nodes * cfg_.warehouses_per_node; }
   const TpccConfig& config() const { return cfg_; }

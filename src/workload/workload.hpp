@@ -1,21 +1,27 @@
 #pragma once
 
 #include "core/command.hpp"
+#include "core/owner_map.hpp"
 
 namespace m2::wl {
 
 /// A command generator driving one experiment.
 ///
 /// Implementations are deterministic given their seed. `next(n)` builds the
-/// command a client at node `n` submits; `default_owner(l)` is the static
+/// command a client at node `n` submits; `owner_map()` is the static
 /// partition map used to pre-assign M²Paxos ownership (the paper evaluates
 /// the steady state where ownership is already established; cold-start
 /// acquisition is exercised separately by tests and the ablation benches).
+/// `default_owner(l)` must agree with it; it remains for tests and tools
+/// that query single objects.
 class Workload {
  public:
   virtual ~Workload() = default;
   virtual core::Command next(NodeId proposer) = 0;
   virtual NodeId default_owner(core::ObjectId object) const = 0;
+  /// Flat descriptor of the partition map, installed on every M²Paxos
+  /// replica (replaces a per-lookup virtual/std::function indirection).
+  virtual core::OwnerMap owner_map() const = 0;
 };
 
 }  // namespace m2::wl

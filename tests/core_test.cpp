@@ -24,7 +24,7 @@ TEST(CommandId, EncodesProposerAndSeq) {
 
 TEST(Command, ObjectsSortedAndDeduped) {
   const Command c = cmd(0, 1, {5, 3, 5, 1, 3});
-  EXPECT_EQ(c.objects, (std::vector<ObjectId>{1, 3, 5}));
+  EXPECT_EQ(c.objects, (core::ObjectList{1, 3, 5}));
 }
 
 TEST(Command, ConflictDetection) {

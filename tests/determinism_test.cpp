@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "m2paxos/m2paxos.hpp"
 #include "workload/synthetic.hpp"
 
 namespace m2 {
@@ -23,17 +24,20 @@ struct RunSnapshot {
   std::uint64_t proposals = 0;
   net::TrafficCounters traffic;
   std::map<std::string, std::uint64_t> bytes_by_kind;
+  std::uint64_t gc_truncated = 0;  // summed across nodes
   // Delivered command ids, in order, per node.
   std::vector<std::vector<std::uint64_t>> orders;
 };
 
-RunSnapshot run_once(std::uint64_t seed) {
+RunSnapshot run_once(std::uint64_t seed, std::uint64_t objects_per_node = 1000,
+                     std::size_t gc_margin = 1024) {
   constexpr int kNodes = 5;
-  wl::SyntheticWorkload w({kNodes, 1000, 0.8, 0.1, 16, seed});
+  wl::SyntheticWorkload w({kNodes, objects_per_node, 0.8, 0.1, 16, seed});
   auto cfg = harness::default_config(core::Protocol::kM2Paxos, kNodes, seed);
   cfg.warmup = 5 * sim::kMillisecond;
   cfg.measure = 20 * sim::kMillisecond;
   cfg.audit = true;  // also checks cross-node prefix agreement
+  cfg.cluster.gc_margin = gc_margin;
   harness::Cluster cluster(cfg, w);
   const auto r = cluster.run();
   RunSnapshot snap;
@@ -41,6 +45,9 @@ RunSnapshot run_once(std::uint64_t seed) {
   snap.proposals = r.proposals;
   snap.traffic = r.traffic;
   snap.bytes_by_kind = r.bytes_by_kind;
+  for (NodeId n = 0; n < kNodes; ++n)
+    snap.gc_truncated +=
+        cluster.replica_as<m2p::M2PaxosReplica>(n).counters().gc_truncated_slots;
   for (const auto& cs : cluster.cstructs()) {
     std::vector<std::uint64_t> order;
     order.reserve(cs.sequence().size());
@@ -71,6 +78,28 @@ TEST(Determinism, M2PaxosRunTwiceSameSeedIsIdentical) {
     EXPECT_EQ(a.orders[n], b.orders[n])
         << "node " << n << " delivered a different command order";
   }
+}
+
+// Same guard with frontier GC actively truncating: few hot objects and a
+// tiny margin keep the logs rolling over throughout the run, so the
+// truncation path (ring rebasing, pooled block recycling, late-decide
+// rejection below base) is itself pinned as deterministic.
+TEST(Determinism, M2PaxosWithFrontierGcIsIdentical) {
+  const auto a = run_once(42, /*objects_per_node=*/2, /*gc_margin=*/2);
+  const auto b = run_once(42, /*objects_per_node=*/2, /*gc_margin=*/2);
+
+  ASSERT_GT(a.committed, 0u) << "experiment must actually commit commands";
+  ASSERT_GT(a.gc_truncated, 0u) << "GC must actually truncate in this run";
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.proposals, b.proposals);
+  EXPECT_EQ(a.gc_truncated, b.gc_truncated);
+  EXPECT_EQ(a.traffic.messages_sent, b.traffic.messages_sent);
+  EXPECT_EQ(a.traffic.bytes_sent, b.traffic.bytes_sent);
+  EXPECT_EQ(a.bytes_by_kind, b.bytes_by_kind);
+  ASSERT_EQ(a.orders.size(), b.orders.size());
+  for (std::size_t n = 0; n < a.orders.size(); ++n)
+    EXPECT_EQ(a.orders[n], b.orders[n])
+        << "node " << n << " delivered a different command order";
 }
 
 // Different seeds must diverge: if they did not, the "determinism" above

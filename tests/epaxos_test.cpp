@@ -85,7 +85,7 @@ TEST(EPaxos, MultiObjectCommandsConsistent) {
   sim::Rng rng(99);
   for (int i = 1; i <= 20; ++i) {
     for (NodeId n = 0; n < 5; ++n) {
-      std::vector<core::ObjectId> ls{rng.uniform(6), rng.uniform(6)};
+      core::ObjectList ls{rng.uniform(6), rng.uniform(6)};
       t.cluster.propose(n, core::Command(core::CommandId::make(n, i), ls));
     }
   }

@@ -32,7 +32,7 @@ TEST(KvOp, DecodeRejectsGarbage) {
 TEST(KvOp, ToCommandCarriesBodyAndKey) {
   KvOp op{KvOp::Kind::kPut, 7, "v"};
   const auto c = op.to_command(core::CommandId::make(0, 1));
-  EXPECT_EQ(c.objects, (std::vector<core::ObjectId>{7}));
+  EXPECT_EQ(c.objects, (core::ObjectList{7}));
   ASSERT_NE(c.body, nullptr);
   EXPECT_EQ(c.payload_bytes, c.body->size());
 }
@@ -47,7 +47,7 @@ TEST(KvMultiPut, RoundTripAndObjects) {
   ASSERT_EQ(decoded->puts.size(), 2u);
   EXPECT_EQ(decoded->puts[1].value, "b");
   const auto c = multi.to_command(core::CommandId::make(1, 1));
-  EXPECT_EQ(c.objects, (std::vector<core::ObjectId>{1, 9}));
+  EXPECT_EQ(c.objects, (core::ObjectList{1, 9}));
 }
 
 TEST(KvStore, AppliesOperations) {

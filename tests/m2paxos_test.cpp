@@ -286,7 +286,7 @@ TEST_P(M2PaxosSweep, ConflictHeavyWorkloadConvergesConsistently) {
   for (int i = 1; i <= per_node; ++i) {
     for (NodeId n = 0; n < static_cast<NodeId>(p.n_nodes); ++n) {
       // 1-2 objects per command from a tiny hot set.
-      std::vector<core::ObjectId> ls{rng.uniform(p.objects)};
+      core::ObjectList ls{rng.uniform(p.objects)};
       if (rng.chance(0.4)) ls.push_back(rng.uniform(p.objects));
       t.cluster.propose(n, core::Command(core::CommandId::make(n, i), ls));
     }

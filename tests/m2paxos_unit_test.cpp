@@ -55,9 +55,8 @@ const net::Payload* find_last(const ScriptedContext& ctx, std::uint32_t kind) {
 
 struct Fixture {
   Fixture() : ctx(), replica(0, make_cfg(), ctx) {
-    replica.set_default_owner([](ObjectId l) {
-      return static_cast<NodeId>(l / 1000);  // node n owns [n*1000,(n+1)*1000)
-    });
+    // Node n owns [n*1000, (n+1)*1000).
+    replica.set_default_owner(core::OwnerMap::divide(1000));
   }
   static core::ClusterConfig make_cfg() {
     core::ClusterConfig cfg;
@@ -78,7 +77,7 @@ TEST(M2PaxosUnit, FastPathSendsAcceptWithOwnedEpochAndNextSlot) {
   EXPECT_EQ(accept->slots[0].object, 7u);
   EXPECT_EQ(accept->slots[0].instance, 1u);  // first slot
   EXPECT_EQ(accept->slots[0].epoch, 0u);     // preassigned epoch
-  EXPECT_EQ(accept->slots[0].cmd.id, cmd(0, 1, {7}).id);
+  EXPECT_EQ(accept->slots[0].cmd->id, cmd(0, 1, {7}).id);
 
   // Pipelined second command takes the next slot.
   f.replica.propose(cmd(0, 2, {7}));
@@ -176,7 +175,7 @@ TEST(M2PaxosUnit, AcceptorPromiseReportsVotesAndFloor) {
   EXPECT_TRUE(reply->ack);
   ASSERT_EQ(reply->votes.size(), 1u);
   EXPECT_EQ(reply->votes[0].instance, 3u);
-  EXPECT_EQ(reply->votes[0].cmd.id, c.id);
+  EXPECT_EQ(reply->votes[0].cmd->id, c.id);
   EXPECT_FALSE(reply->votes[0].decided);
   ASSERT_EQ(reply->delivered_floors.size(), 1u);
   EXPECT_EQ(reply->delivered_floors[0].second, 0u);  // nothing delivered
@@ -214,7 +213,7 @@ TEST(M2PaxosUnit, SyncRequestServesRetainedDecisions) {
       find_last(f.ctx, net::kKindM2Paxos + 8));
   ASSERT_NE(reply, nullptr);
   ASSERT_EQ(reply->slots.size(), 1u);
-  EXPECT_EQ(reply->slots[0].cmd.id, c.id);
+  EXPECT_EQ(reply->slots[0].cmd->id, c.id);
 }
 
 TEST(M2PaxosUnit, ForwardedProposeGoesToOwner) {

@@ -17,7 +17,7 @@ using test::cmd;
 
 TEST(M2Messages, AcceptCountsDistinctCommandsOnce) {
   const auto c = cmd(0, 1, {1, 2, 3});
-  std::vector<m2p::SlotValue> slots;
+  m2p::SlotList slots;
   for (core::ObjectId l : c.objects) slots.push_back({l, 1, 0, c});
   m2p::Accept multi(1, slots);
   m2p::Accept single(2, {slots[0]});

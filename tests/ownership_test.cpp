@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "m2paxos/ownership.hpp"
 #include "test_util.hpp"
 
@@ -7,6 +9,12 @@ namespace m2::m2p {
 namespace {
 
 using test::cmd;
+
+/// Shared-handle variant of test::cmd for the decision APIs.
+CommandPtr cptr(NodeId proposer, std::uint64_t seq,
+                core::ObjectList objects) {
+  return std::make_shared<const Command>(cmd(proposer, seq, std::move(objects)));
+}
 
 TEST(OwnershipTable, UnknownObjectHasNoOwner) {
   OwnershipTable t;
@@ -17,7 +25,7 @@ TEST(OwnershipTable, UnknownObjectHasNoOwner) {
 
 TEST(OwnershipTable, DefaultOwnerAppliesLazily) {
   OwnershipTable t;
-  t.set_default_owner([](ObjectId l) { return static_cast<NodeId>(l % 3); });
+  t.set_default_owner(core::OwnerMap::modulo(3));
   EXPECT_TRUE(t.owns_all(1, cmd(1, 1, {1, 4, 7})));
   EXPECT_FALSE(t.owns_all(1, cmd(1, 2, {1, 2})));
   EXPECT_EQ(t.unique_owner(cmd(0, 3, {3, 6})), 0u);
@@ -38,18 +46,54 @@ TEST(OwnershipTable, OwnershipInvalidWhenPromiseAdvances) {
   EXPECT_EQ(t.unique_owner(cmd(0, 1, {5})), 2u);
 }
 
+TEST(OwnershipTable, RouteAnswersAllQueriesInOnePass) {
+  OwnershipTable t;
+  t.set_default_owner(core::OwnerMap::modulo(3));
+  const auto c = cmd(1, 1, {1, 4, 6});  // owners 1, 1, 0
+  const auto r = t.route(1, c);
+  EXPECT_FALSE(r.owns_all);             // object 6 belongs to node 0
+  EXPECT_EQ(r.unique_owner, kNoNode);   // owners differ
+  EXPECT_EQ(r.plurality_owner, 1u);     // node 1 holds 2 of 3
+  ASSERT_EQ(r.undecided.size(), 3u);    // nothing decided yet
+}
+
+TEST(OwnershipTable, RouteDoesOneLookupPerObject) {
+  // Pins the single-pass property: routing a k-object command costs exactly
+  // k table lookups (the old owns_all + unique/plurality + undecided split
+  // probed each object three times).
+  OwnershipTable t;
+  t.set_default_owner(core::OwnerMap::modulo(3));
+  const auto c3 = cmd(1, 1, {1, 4, 7});
+  const auto before3 = t.lookup_count();
+  (void)t.route(1, c3);
+  EXPECT_EQ(t.lookup_count() - before3, 3u);
+
+  const auto c1 = cmd(1, 2, {2});
+  const auto before1 = t.lookup_count();
+  (void)t.route(1, c1);
+  EXPECT_EQ(t.lookup_count() - before1, 1u);
+}
+
+TEST(OwnershipTable, PluralityTieBreaksToLowestNode) {
+  OwnershipTable t;
+  t.obj(10).owner = 2;
+  t.obj(11).owner = 1;
+  // One object each: tie between nodes 1 and 2 goes to node 1.
+  EXPECT_EQ(t.plurality_owner(cmd(0, 1, {10, 11})), 1u);
+}
+
 TEST(OwnershipTable, FirstUndecidedSkipsDecidedPrefix) {
   OwnershipTable t;
   EXPECT_EQ(t.first_undecided(9), 1u);
-  t.set_decided(9, 1, cmd(0, 1, {9}));
-  t.set_decided(9, 2, cmd(0, 2, {9}));
+  t.set_decided(9, 1, cptr(0, 1, {9}));
+  t.set_decided(9, 2, cptr(0, 2, {9}));
   EXPECT_EQ(t.first_undecided(9), 3u);
 }
 
 TEST(OwnershipTable, FirstUndecidedFindsGap) {
   OwnershipTable t;
-  t.set_decided(9, 1, cmd(0, 1, {9}));
-  t.set_decided(9, 3, cmd(0, 3, {9}));  // hole at 2
+  t.set_decided(9, 1, cptr(0, 1, {9}));
+  t.set_decided(9, 3, cptr(0, 3, {9}));  // hole at 2
   EXPECT_EQ(t.first_undecided(9), 2u);
 }
 
@@ -62,20 +106,59 @@ TEST(OwnershipTable, FirstUndecidedStartsAtFrontier) {
 
 TEST(OwnershipTable, SetDecidedIsIdempotent) {
   OwnershipTable t;
-  EXPECT_TRUE(t.set_decided(1, 1, cmd(0, 1, {1})));
-  EXPECT_FALSE(t.set_decided(1, 1, cmd(0, 1, {1})));
+  EXPECT_TRUE(t.set_decided(1, 1, cptr(0, 1, {1})));
+  EXPECT_FALSE(t.set_decided(1, 1, cptr(0, 1, {1})));
   EXPECT_TRUE(t.is_decided_on(cmd(0, 1, {1}), 1));
 }
 
 TEST(OwnershipTable, DecidedEverywhereNeedsAllObjects) {
   OwnershipTable t;
-  const auto c = cmd(0, 1, {1, 2});
+  const auto c = cptr(0, 1, {1, 2});
   t.set_decided(1, 1, c);
-  EXPECT_TRUE(t.is_decided_on(c, 1));
-  EXPECT_FALSE(t.is_decided_on(c, 2));
-  EXPECT_FALSE(t.is_decided_everywhere(c));
+  EXPECT_TRUE(t.is_decided_on(*c, 1));
+  EXPECT_FALSE(t.is_decided_on(*c, 2));
+  EXPECT_FALSE(t.is_decided_everywhere(*c));
   t.set_decided(2, 5, c);  // positions may differ per object
-  EXPECT_TRUE(t.is_decided_everywhere(c));
+  EXPECT_TRUE(t.is_decided_everywhere(*c));
+}
+
+TEST(SlotLog, TruncateBelowDropsPrefixAndKeepsDecisions) {
+  SlotLog log;
+  for (Instance in = 1; in <= 10; ++in)
+    log.at_or_create(in).decided =
+        std::make_shared<const Command>(cmd(0, in, {1}));
+  EXPECT_EQ(log.base(), 1u);
+  EXPECT_EQ(log.end(), 11u);
+
+  log.truncate_below(7);
+  EXPECT_EQ(log.base(), 7u);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.find(6), nullptr);  // truncated
+  ASSERT_NE(log.find(7), nullptr);
+  // Retained decisions are byte-for-byte stable across the truncation.
+  EXPECT_EQ(log.find(7)->decided->id, cmd(0, 7, {1}).id);
+  EXPECT_EQ(log.find(10)->decided->id, cmd(0, 10, {1}).id);
+}
+
+TEST(SlotLog, TruncateEmptyLogJumpsBase) {
+  SlotLog log;
+  log.truncate_below(100);
+  EXPECT_EQ(log.base(), 100u);
+  EXPECT_TRUE(log.empty());
+  // New slots materialize above the jumped base; gaps default-construct.
+  log.at_or_create(105).accepted_epoch = 3;
+  EXPECT_EQ(log.end(), 106u);
+  ASSERT_NE(log.find(102), nullptr);
+  EXPECT_FALSE(log.find(102)->decided);  // gap slot == map-absent
+}
+
+TEST(OwnershipTable, SetDecidedBelowHorizonIsIgnored) {
+  OwnershipTable t;
+  ObjectState& st = t.obj(1);
+  st.log.truncate_below(50);
+  st.last_appended = 49;
+  EXPECT_FALSE(t.set_decided(1, 10, cptr(0, 1, {1})));  // below base: stale
+  EXPECT_TRUE(t.set_decided(1, 50, cptr(0, 2, {1})));
 }
 
 }  // namespace

@@ -46,7 +46,7 @@ TEST_P(ConsensusProperties, GeneralizedConsensusInvariants) {
   const int per_node = 10;
   for (int i = 1; i <= per_node; ++i) {
     for (NodeId n = 0; n < static_cast<NodeId>(p.n_nodes); ++n) {
-      std::vector<core::ObjectId> ls{rng.uniform(p.objects)};
+      core::ObjectList ls{rng.uniform(p.objects)};
       while (rng.chance(p.multi_obj) && ls.size() < 3)
         ls.push_back(rng.uniform(p.objects));
       core::Command c(core::CommandId::make(n, static_cast<std::uint64_t>(i)),

@@ -163,12 +163,12 @@ TEST(Serde, M2PaxosMessages) {
   auto c = cmd(2, 11, {3, 8});
   EXPECT_EQ(round_trip(m2p::Propose(c))->cmd.id, c.id);
   {
-    std::vector<m2p::SlotValue> slots = {{3, 1, 2, c}, {8, 4, 2, c}};
+    m2p::SlotList slots = {{3, 1, 2, c}, {8, 4, 2, c}};
     const auto back = round_trip(m2p::Accept(99, slots));
     EXPECT_EQ(back->req_id, 99u);
     ASSERT_EQ(back->slots.size(), 2u);
     EXPECT_EQ(back->slots[1].instance, 4u);
-    EXPECT_EQ(back->slots[1].cmd.id, c.id);
+    EXPECT_EQ(back->slots[1].cmd->id, c.id);
   }
   {
     m2p::AckAccept a;

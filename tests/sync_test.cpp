@@ -14,10 +14,12 @@ namespace {
 using test::cmd;
 
 struct SyncCluster {
-  explicit SyncCluster(int n, std::uint64_t seed = 1)
+  explicit SyncCluster(int n, std::uint64_t seed = 1,
+                       std::size_t gc_margin = 1024)
       : workload(wl::SyntheticConfig{n, 1000, 1.0, 0.0, 16, seed}),
         cfg(test::test_config(core::Protocol::kM2Paxos, n, seed)),
-        cluster((cfg.cluster.sync_period = 5 * sim::kMillisecond, cfg),
+        cluster((cfg.cluster.sync_period = 5 * sim::kMillisecond,
+                 cfg.cluster.gc_margin = gc_margin, cfg),
                 workload) {
     cluster.set_measuring(true);
   }
@@ -62,21 +64,90 @@ TEST(M2PaxosSync, HealthyRunSendsNoProbes) {
     EXPECT_EQ(t.replica(n).counters().sync_probes, 0u) << "node " << n;
 }
 
-TEST(M2PaxosSync, RetentionServesRecentSlotsOnly) {
-  SyncCluster t(3);
-  // Small retention: old slots are evicted from the ring.
-  // (cfg already built; retention default is large — we exercise eviction
-  // by delivering more commands than the window.)
-  const std::size_t retention = t.cfg.cluster.sync_retention;
-  EXPECT_GT(retention, 0u);
+TEST(M2PaxosSync, FrontierGcKeepsOnlyTheSyncMargin) {
+  // Tiny GC margin: slots more than 4 instances behind the delivery
+  // frontier are truncated, on every node, while delivery stays intact.
+  SyncCluster t(3, 1, /*gc_margin=*/4);
   for (int i = 1; i <= 20; ++i) t.cluster.propose(0, cmd(0, i, {0}));
   t.cluster.run_idle();
-  // All slots delivered; the retention ring holds the most recent ones and
-  // the table still contains them (retained, not pruned).
-  const auto* st = t.replica(1).table().find(0);
-  ASSERT_NE(st, nullptr);
-  EXPECT_EQ(st->last_appended, 20u);
-  EXPECT_FALSE(st->slots.empty());  // retained decided slots
+  EXPECT_TRUE(test::all_delivered(t.cluster, 20));
+  for (NodeId n = 0; n < 3; ++n) {
+    const auto* st = t.replica(n).table().find(0);
+    ASSERT_NE(st, nullptr) << "node " << n;
+    EXPECT_EQ(st->last_appended, 20u) << "node " << n;
+    // Retained window = exactly the margin below the frontier.
+    EXPECT_EQ(st->log.base(), 20u + 1 - 4) << "node " << n;
+    EXPECT_GT(t.replica(n).counters().gc_truncated_slots, 0u) << "node " << n;
+  }
+  const auto report = t.cluster.audit_consistency();
+  EXPECT_TRUE(report.ok) << report.violation;
+}
+
+TEST(M2PaxosSync, LateSyncBelowTruncationHorizonAnswersRetainedWindow) {
+  // A replica that falls behind the cluster's truncation horizon probes
+  // with a from_instance the peers have already garbage-collected. The
+  // peers must answer from their retained window (their frontier summary)
+  // — not crash, not rebind truncated slots — and the laggard must hold
+  // its frontier rather than deliver a suffix with a missing prefix.
+  SyncCluster t(3, 1, /*gc_margin=*/4);
+  t.cluster.network().set_link(0, 2, false);
+  t.cluster.network().set_link(1, 2, false);
+  for (int i = 1; i <= 30; ++i) t.cluster.propose(0, cmd(0, i, {0}));
+  t.cluster.run_for(50 * sim::kMillisecond);
+  EXPECT_EQ(t.cluster.delivered_at(0), 30u);
+  EXPECT_EQ(t.cluster.delivered_at(1), 30u);
+  for (NodeId n = 0; n < 2; ++n)
+    EXPECT_GT(t.replica(n).counters().gc_truncated_slots, 0u) << "node " << n;
+
+  t.cluster.network().set_link(0, 2, true);
+  t.cluster.network().set_link(1, 2, true);
+  // The next Decide reaches node 2 and exposes the gap, arming its sync
+  // probe — which asks for instance 1, far below the peers' log base.
+  t.cluster.propose(0, cmd(0, 31, {0}));
+  t.cluster.run_for(200 * sim::kMillisecond);
+
+  EXPECT_EQ(t.cluster.delivered_at(1), 31u);
+  EXPECT_GT(t.replica(2).counters().sync_probes, 0u);
+  // The peers taught the retained decisions above their base...
+  EXPECT_GT(t.replica(2).counters().sync_slots_learned, 0u);
+  // ...but the truncated prefix is gone everywhere, so node 2's frontier
+  // must hold at zero (prefix order forbids delivering the suffix alone).
+  EXPECT_EQ(t.cluster.delivered_at(2), 0u);
+  const auto report = t.cluster.audit_consistency();
+  EXPECT_TRUE(report.ok) << report.violation;
+}
+
+TEST(M2PaxosSync, LatePrepareBelowTruncationHorizonRespectsFloors) {
+  // An acquisition whose from_instance lies below the quorum's truncation
+  // horizon: the promise floors (delivered frontiers) must steer the new
+  // owner's writes above the truncated range — never into it — and the
+  // surviving replicas keep delivering.
+  SyncCluster t(3, 1, /*gc_margin=*/4);
+  t.cluster.network().set_link(0, 2, false);
+  t.cluster.network().set_link(1, 2, false);
+  for (int i = 1; i <= 30; ++i) t.cluster.propose(0, cmd(0, i, {0}));
+  t.cluster.run_for(50 * sim::kMillisecond);
+  t.cluster.network().set_link(0, 2, true);
+  t.cluster.network().set_link(1, 2, true);
+
+  // The owner crashes; node 2 (frontier still 0) must take over object 0
+  // with a Prepare starting at instance 1 — 26 instances below node 1's
+  // log base.
+  t.cluster.crash(0);
+  t.cluster.propose(2, cmd(2, 1, {0}));
+  t.cluster.run_for(500 * sim::kMillisecond);
+
+  EXPECT_GT(t.replica(2).counters().acquisitions, 0u);
+  // Node 1's promise carried floor 30: the command landed above it and
+  // node 1's sequence extended past its old frontier intact. (The frontier
+  // may advance past 31 — repeated takeover rounds fill their skipped
+  // slots with no-ops — but exactly one non-noop command was added.)
+  EXPECT_EQ(t.cluster.delivered_at(1), 31u);
+  const auto* st1 = t.replica(1).table().find(0);
+  ASSERT_NE(st1, nullptr);
+  EXPECT_GE(st1->last_appended, 31u);
+  const auto report = t.cluster.audit_consistency();
+  EXPECT_TRUE(report.ok) << report.violation;
 }
 
 TEST(M2PaxosSync, SyncRepairsLostDecideWithoutNewProposals) {

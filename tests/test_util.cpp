@@ -3,7 +3,7 @@
 namespace m2::test {
 
 core::Command cmd(NodeId proposer, std::uint64_t seq,
-                  std::vector<core::ObjectId> objects, std::uint32_t payload) {
+                  core::ObjectList objects, std::uint32_t payload) {
   return core::Command(core::CommandId::make(proposer, seq),
                        std::move(objects), payload);
 }

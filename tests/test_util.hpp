@@ -11,8 +11,7 @@ namespace m2::test {
 
 /// Builds a command `proposer:seq` over the given objects.
 core::Command cmd(NodeId proposer, std::uint64_t seq,
-                  std::vector<core::ObjectId> objects,
-                  std::uint32_t payload = 16);
+                  core::ObjectList objects, std::uint32_t payload = 16);
 
 /// An ExperimentConfig tuned for unit tests: small, deterministic, fast
 /// timers, auditing on.

@@ -12,11 +12,13 @@
 //   m2fuzz --protocol all --seeds 1..50 --intensity 5 --json
 //   m2fuzz --protocol m2paxos --seeds 17..17 --keep 2,5   # replay a shrink
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fuzz/fuzzer.hpp"
@@ -33,6 +35,7 @@ struct Options {
   int intensity = 3;
   long horizon_ms = 300;
   long drain_ms = 2000;
+  int jobs = 0;  // 0 = hardware_concurrency
   bool json = false;
   bool inject_bug = false;
   bool shrink = true;
@@ -50,6 +53,7 @@ struct Options {
       "  --intensity N     fault episodes per 100ms, 1..10  (default 3)\n"
       "  --horizon-ms MS   fault-injection window           (default 300)\n"
       "  --drain-ms MS     post-heal drain                  (default 2000)\n"
+      "  --jobs N          worker threads; 0 = all cores     (default 0)\n"
       "  --keep I,J,...    replay only these fault episodes\n"
       "  --inject-bug      enable the deliberate epoch-safety bug\n"
       "  --no-shrink       report failures without shrinking\n"
@@ -123,6 +127,8 @@ Options parse(int argc, char** argv) {
       opt.horizon_ms = std::atol(need_value(i));
     } else if (flag == "--drain-ms") {
       opt.drain_ms = std::atol(need_value(i));
+    } else if (flag == "--jobs") {
+      opt.jobs = std::atoi(need_value(i));
     } else if (flag == "--keep") {
       opt.keep = parse_int_list(need_value(i));
       opt.have_keep = true;
@@ -140,7 +146,7 @@ Options parse(int argc, char** argv) {
   }
   if (opt.nodes < 0 || opt.nodes == 1 || opt.nodes == 2 ||
       opt.intensity < 1 || opt.intensity > 10 || opt.horizon_ms < 1 ||
-      opt.drain_ms < 0)
+      opt.drain_ms < 0 || opt.jobs < 0)
     usage(argv[0]);
   return opt;
 }
@@ -229,71 +235,117 @@ void print_json_run(core::Protocol protocol, int nodes, std::uint64_t seed,
 
 }  // namespace
 
+/// One (protocol, seed) sweep entry plus the slot its outcome lands in.
+/// Cases are executed by a worker pool but reported strictly in sweep
+/// order (protocol, then ascending seed), so output is identical to the
+/// old sequential loop regardless of thread scheduling.
+struct SweepCase {
+  fuzz::FuzzCase fuzz_case;
+  fuzz::FuzzResult result;
+  std::vector<int> shrunk;
+  bool have_shrunk = false;
+};
+
+void run_sweep(std::vector<SweepCase>& cases, const Options& opt) {
+  // run_case (and the shrinker, which only replays cases) builds a private
+  // simulator, cluster, and RNG per invocation and the library keeps no
+  // mutable globals, so cases are embarrassingly parallel.
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::size_t jobs = opt.jobs != 0 ? static_cast<std::size_t>(opt.jobs)
+                                   : (hw != 0 ? hw : 1);
+  jobs = std::min(jobs, cases.size());
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cases.size()) return;
+      SweepCase& sc = cases[i];
+      sc.result = fuzz::run_case(sc.fuzz_case);
+      if (!sc.result.ok && opt.shrink && !opt.have_keep) {
+        sc.shrunk = fuzz::shrink_schedule(sc.fuzz_case, sc.result);
+        sc.have_shrunk = true;
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
 
-  std::uint64_t runs = 0, failures = 0;
+  std::vector<SweepCase> cases;
   for (const core::Protocol protocol : opt.protocols) {
     for (std::uint64_t seed = opt.seed_lo; seed <= opt.seed_hi; ++seed) {
-      fuzz::FuzzCase fuzz_case;
-      fuzz_case.protocol = protocol;
-      fuzz_case.n_nodes = nodes_for_seed(opt, seed);
-      fuzz_case.seed = seed;
-      fuzz_case.intensity = opt.intensity;
-      fuzz_case.horizon = opt.horizon_ms * sim::kMillisecond;
-      fuzz_case.drain = opt.drain_ms * sim::kMillisecond;
-      fuzz_case.inject_bug = opt.inject_bug;
+      SweepCase sc;
+      sc.fuzz_case.protocol = protocol;
+      sc.fuzz_case.n_nodes = nodes_for_seed(opt, seed);
+      sc.fuzz_case.seed = seed;
+      sc.fuzz_case.intensity = opt.intensity;
+      sc.fuzz_case.horizon = opt.horizon_ms * sim::kMillisecond;
+      sc.fuzz_case.drain = opt.drain_ms * sim::kMillisecond;
+      sc.fuzz_case.inject_bug = opt.inject_bug;
       if (opt.have_keep) {
-        fuzz_case.keep_episodes = opt.keep;
-        if (fuzz_case.keep_episodes.empty())
-          fuzz_case.keep_episodes.push_back(-2);  // --keep "" = no faults
+        sc.fuzz_case.keep_episodes = opt.keep;
+        if (sc.fuzz_case.keep_episodes.empty())
+          sc.fuzz_case.keep_episodes.push_back(-2);  // --keep "" = no faults
       }
+      cases.push_back(std::move(sc));
+    }
+  }
 
-      fuzz::FuzzResult result = fuzz::run_case(fuzz_case);
-      ++runs;
+  run_sweep(cases, opt);
 
-      if (opt.verbose && !opt.json) {
-        std::printf("# %s nodes=%d seed=%llu: %s (%llu committed)\n",
-                    core::to_string(protocol).c_str(), fuzz_case.n_nodes,
-                    static_cast<unsigned long long>(seed),
-                    result.ok ? "ok" : "FAIL",
-                    static_cast<unsigned long long>(result.committed));
-        std::fputs(fuzz::to_string(result.schedule).c_str(), stdout);
-      }
+  std::uint64_t runs = 0, failures = 0;
+  for (const SweepCase& sc : cases) {
+    const core::Protocol protocol = sc.fuzz_case.protocol;
+    const std::uint64_t seed = sc.fuzz_case.seed;
+    const fuzz::FuzzResult& result = sc.result;
+    ++runs;
 
-      if (result.ok) {
-        if (opt.json && opt.verbose)
-          print_json_run(protocol, fuzz_case.n_nodes, seed, result, nullptr,
-                         "");
-        continue;
-      }
-      ++failures;
+    if (opt.verbose && !opt.json) {
+      std::printf("# %s nodes=%d seed=%llu: %s (%llu committed)\n",
+                  core::to_string(protocol).c_str(), sc.fuzz_case.n_nodes,
+                  static_cast<unsigned long long>(seed),
+                  result.ok ? "ok" : "FAIL",
+                  static_cast<unsigned long long>(result.committed));
+      std::fputs(fuzz::to_string(result.schedule).c_str(), stdout);
+    }
 
-      std::vector<int> shrunk;
-      bool have_shrunk = false;
-      if (opt.shrink && !opt.have_keep) {
-        shrunk = fuzz::shrink_schedule(fuzz_case, result);
-        have_shrunk = true;
-      }
-      const std::string repro =
-          repro_command(argv[0], protocol, fuzz_case.n_nodes, seed, opt,
-                        have_shrunk ? shrunk : fuzz_case.keep_episodes);
+    if (result.ok) {
+      if (opt.json && opt.verbose)
+        print_json_run(protocol, sc.fuzz_case.n_nodes, seed, result, nullptr,
+                       "");
+      continue;
+    }
+    ++failures;
 
-      if (opt.json) {
-        print_json_run(protocol, fuzz_case.n_nodes, seed, result,
-                       have_shrunk ? &shrunk : nullptr, repro);
-      } else {
-        std::printf("FAIL %s nodes=%d seed=%llu intensity=%d\n",
-                    core::to_string(protocol).c_str(), fuzz_case.n_nodes,
-                    static_cast<unsigned long long>(seed), opt.intensity);
-        for (const auto& v : result.violations)
-          std::printf("  violation: %s\n", v.c_str());
-        if (have_shrunk)
-          std::printf("  shrunk to %zu episode(s): %s\n", shrunk.size(),
-                      episode_list(shrunk).c_str());
-        std::fputs(fuzz::to_string(result.schedule).c_str(), stdout);
-        std::printf("  repro: %s\n", repro.c_str());
-      }
+    const std::string repro =
+        repro_command(argv[0], protocol, sc.fuzz_case.n_nodes, seed, opt,
+                      sc.have_shrunk ? sc.shrunk : sc.fuzz_case.keep_episodes);
+
+    if (opt.json) {
+      print_json_run(protocol, sc.fuzz_case.n_nodes, seed, result,
+                     sc.have_shrunk ? &sc.shrunk : nullptr, repro);
+    } else {
+      std::printf("FAIL %s nodes=%d seed=%llu intensity=%d\n",
+                  core::to_string(protocol).c_str(), sc.fuzz_case.n_nodes,
+                  static_cast<unsigned long long>(seed), opt.intensity);
+      for (const auto& v : result.violations)
+        std::printf("  violation: %s\n", v.c_str());
+      if (sc.have_shrunk)
+        std::printf("  shrunk to %zu episode(s): %s\n", sc.shrunk.size(),
+                    episode_list(sc.shrunk).c_str());
+      std::fputs(fuzz::to_string(result.schedule).c_str(), stdout);
+      std::printf("  repro: %s\n", repro.c_str());
     }
   }
 
