@@ -60,7 +60,50 @@ struct ClusterConfig {
   /// M²Paxos anti-entropy (extension): period between sync probes for
   /// stuck delivery frontiers. sync_period 0 disables probing.
   sim::Time sync_period = 25 * sim::kMillisecond;
-  std::size_t sync_batch = 16;  // objects per probe
+
+  /// Protocol-level batching knobs, grouped: command batching & pipelined
+  /// accept rounds (the paper runs every throughput experiment batched;
+  /// the repo's net layer batches only envelopes). Defaults keep command
+  /// batching OFF so the latency experiments (Fig. 2) are unchanged.
+  struct Batching {
+    /// Hard cap on commands per slot batch — the inline capacity of the
+    /// pooled batch container; batch_max_commands is clamped to it.
+    static constexpr std::size_t kMaxBatchCommands = 32;
+
+    /// Enables proposer-side command accumulators: M²Paxos owners and the
+    /// Multi-Paxos leader pack multiple commands into one slot value and
+    /// amortize the quorum round across them.
+    bool enabled = false;
+    /// Adaptive close: a partial batch is flushed at most this long after
+    /// its first command was queued (bounds the latency cost at low load).
+    sim::Time batch_window = 200 * sim::kMicrosecond;
+    /// Commands per slot batch (clamped to [1, kMaxBatchCommands]).
+    std::size_t batch_max_commands = 16;
+    /// Byte budget per accept round: a flush closes once the summed
+    /// payload wire size of its commands reaches this.
+    std::size_t batch_max_bytes = 16 * 1024;
+    /// Outstanding (un-acked) batched accept rounds a proposer keeps in
+    /// flight before the accumulator holds commands back — so the batch
+    /// window never serializes on the quorum RTT. Clamped to >= 1.
+    int pipeline_depth = 4;
+    /// Anti-entropy probe width (objects per SyncRequest); predates the
+    /// command-batching knobs but is batching of the same kind.
+    std::size_t sync_batch = 16;
+
+    bool valid() const { return batch_max_commands > 0; }
+
+    /// The knobs as the protocol layers consume them: pipeline_depth
+    /// clamped to >= 1 and batch_max_commands to the container capacity.
+    Batching normalized() const {
+      Batching b = *this;
+      if (b.pipeline_depth < 1) b.pipeline_depth = 1;
+      if (b.batch_max_commands > kMaxBatchCommands)
+        b.batch_max_commands = kMaxBatchCommands;
+      if (b.batch_max_commands == 0) b.batch_max_commands = 1;
+      return b;
+    }
+  };
+  Batching batching;
 
   /// M²Paxos frontier GC: per object, slots more than this many instances
   /// below the delivery frontier are truncated from the log. The margin is
@@ -114,6 +157,7 @@ struct ClusterConfig {
   void validate() const {
     assert(n_nodes >= 1);
     assert(cores_per_node >= 1);
+    assert(batching.valid() && "batch_max_commands must be nonzero");
   }
 };
 

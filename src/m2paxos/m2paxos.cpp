@@ -87,7 +87,7 @@ void M2PaxosReplica::sync_tick() {
       const Slot* s = st.log.find(st.last_appended + 1);
       if (s != nullptr && s->decided) continue;
       entries.push_back(SyncRequest::Entry{l, st.last_appended + 1});
-      if (entries.size() >= cfg_.sync_batch) break;
+      if (entries.size() >= cfg_.batching.sync_batch) break;
     }
     if (!entries.empty()) {
       ++counters_.sync_probes;

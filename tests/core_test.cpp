@@ -81,6 +81,48 @@ TEST(ClusterConfig, EPaxosFastQuorum) {
 }
 
 // ---------------------------------------------------------------------
+// Batching knobs
+// ---------------------------------------------------------------------
+
+TEST(Batching, DefaultsAreOffAndValid) {
+  const ClusterConfig cfg;
+  EXPECT_FALSE(cfg.batching.enabled);
+  EXPECT_TRUE(cfg.batching.valid());
+  // Fig. 2 latency runs depend on batching defaulting off; normalization
+  // of a default config changes nothing.
+  const auto n = cfg.batching.normalized();
+  EXPECT_EQ(n.batch_max_commands, cfg.batching.batch_max_commands);
+  EXPECT_EQ(n.pipeline_depth, cfg.batching.pipeline_depth);
+}
+
+TEST(Batching, RejectsZeroMaxCommands) {
+  ClusterConfig::Batching b;
+  b.batch_max_commands = 0;
+  EXPECT_FALSE(b.valid());
+  // normalized() still yields something usable (the validate() assert is
+  // the configuration error; normalization is the belt to its suspenders).
+  EXPECT_EQ(b.normalized().batch_max_commands, 1u);
+}
+
+TEST(Batching, NormalizationClamps) {
+  ClusterConfig::Batching b;
+  b.pipeline_depth = 0;
+  b.batch_max_commands = 1000;
+  const auto n = b.normalized();
+  EXPECT_EQ(n.pipeline_depth, 1);
+  EXPECT_EQ(n.batch_max_commands, ClusterConfig::Batching::kMaxBatchCommands);
+  b.pipeline_depth = -3;
+  EXPECT_EQ(b.normalized().pipeline_depth, 1);
+}
+
+TEST(Batching, SyncBatchLivesInTheSubStruct) {
+  ClusterConfig cfg;
+  EXPECT_EQ(cfg.batching.sync_batch, 16u);
+  cfg.batching.sync_batch = 4;
+  EXPECT_TRUE(cfg.batching.valid());
+}
+
+// ---------------------------------------------------------------------
 // CStruct and the consistency checkers
 // ---------------------------------------------------------------------
 

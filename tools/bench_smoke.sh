@@ -49,4 +49,18 @@ run_bench() {
 run_bench micro_sim 5 BENCH_sim.json
 run_bench micro_protocol 60 BENCH_protocol.json
 
+# The protocol bench must report the batched fast-path mix: its absence
+# means the mix silently stopped running, which would unpin the batching
+# perf gate.
+python3 - "$out/BENCH_protocol.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for key in ("speedup_batched_fast_path",):
+    assert key in doc, f"BENCH_protocol.json missing {key}"
+for key in ("batched_fast_path_decided_per_sec",
+            "batched_fast_path_allocs_per_decided",
+            "batched_fast_path_decided"):
+    assert key in doc["current"], f"BENCH_protocol.json current missing {key}"
+EOF
+
 echo "bench_smoke: OK"
