@@ -94,6 +94,39 @@ std::size_t wire_size_of(const std::vector<Command>& cmds);
 /// proposal, so sharing is safe.
 using CommandPtr = std::shared_ptr<const Command>;
 
+/// Ordered multi-command batch decided as ONE consensus slot value: the
+/// proposer-side accumulators (M²Paxos owners, the Multi-Paxos leader)
+/// pack up to kCapacity commands into a single accept round, amortizing
+/// quorum bookkeeping, slot-log writes, and frontier scans across the
+/// batch. Members are delivered in batch order on every replica.
+///
+/// Inline capacity covers Config::Batching::kMaxBatchCommands exactly: a
+/// batch must never spill its SmallVec (spills go through raw operator
+/// new, which would break the zero-steady-state-allocation discipline;
+/// the batch block itself is pooled via pool_make_shared).
+struct CommandBatch {
+  static constexpr std::size_t kCapacity = 32;
+  SmallVec<CommandPtr, kCapacity> cmds;
+
+  /// Per-batch wire framing: member count + per-member length prefix.
+  static constexpr std::size_t kFramingBytes = 4;
+
+  /// Serialized size of the members beyond the head. The head command is
+  /// carried (and size-accounted) by the enclosing slot/message exactly as
+  /// an unbatched value would be; the tail rides behind it.
+  std::size_t tail_wire_size() const {
+    std::size_t bytes = 0;
+    for (std::size_t i = 1; i < cmds.size(); ++i)
+      bytes += cmds[i]->wire_size();
+    return bytes;
+  }
+};
+
+/// Shared immutable batch handle; null wherever a slot holds a plain
+/// single-command value. Invariant: a SlotValue carrying a batch has
+/// cmd == batch->cmds.front().
+using CommandBatchPtr = std::shared_ptr<const CommandBatch>;
+
 }  // namespace m2::core
 
 template <>

@@ -110,6 +110,7 @@ FuzzResult run_case(const FuzzCase& fuzz_case) {
   cfg.cluster.cores_per_node = 4;
   cfg.cluster.forward_timeout = 20 * sim::kMillisecond;
   cfg.cluster.test_unsafe_epochs = fuzz_case.inject_bug;
+  cfg.cluster.batching.enabled = fuzz_case.batching;
   cfg.network.batching = false;
   cfg.load.clients_per_node = fuzz_case.clients_per_node;
   cfg.load.think_time = 2 * sim::kMillisecond;

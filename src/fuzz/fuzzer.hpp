@@ -28,6 +28,10 @@ struct FuzzCase {
   /// Deliberately break M²Paxos epoch safety (ClusterConfig::
   /// test_unsafe_epochs) to validate the auditor's detection path.
   bool inject_bug = false;
+  /// Run with protocol-level command batching enabled (default knobs with
+  /// batching.enabled = true), exercising multi-command slot values,
+  /// pipelined accept rounds, and batched recovery under faults.
+  bool batching = false;
   /// When non-empty, replay exactly these actions instead of the schedule
   /// generated from `seed` (used by the shrinker and --keep replays).
   std::vector<FaultAction> schedule_override;

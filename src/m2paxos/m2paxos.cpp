@@ -11,7 +11,19 @@ namespace m2::m2p {
 
 namespace {
 
-/// Wire size of a slot list: headers plus each distinct command once.
+// The batching knobs clamp to the batch container's inline capacity —
+// a batch must never spill its SmallVec (raw-heap spill would break the
+// zero-steady-state-allocation discipline).
+static_assert(core::ClusterConfig::Batching::kMaxBatchCommands <=
+                  core::CommandBatch::kCapacity,
+              "batch knob cap exceeds the batch container capacity");
+
+/// Slots a batched accept round may carry: the SlotList inline capacity
+/// (one multi-command slot per object touched by the flush).
+constexpr std::size_t kMaxSlotsPerBatchRound = 8;
+
+/// Wire size of a slot list: headers plus each distinct command once,
+/// plus the batch tail (framing + tail members) of batched slots.
 std::size_t slots_wire_size(const SlotList& slots) {
   std::size_t bytes = 0;
   core::SmallVec<std::uint64_t, 8> seen;
@@ -21,6 +33,7 @@ std::size_t slots_wire_size(const SlotList& slots) {
       seen.push_back(s.cmd->id.value);
       bytes += s.cmd->wire_size();
     }
+    bytes += s.batch_tail_wire_size();
   }
   return bytes;
 }
@@ -40,13 +53,18 @@ std::size_t Decide::wire_size() const {
 std::size_t AckPrepare::wire_size() const {
   std::size_t bytes =
       8 + 4 + 1 + 24 * hints.size() + 16 * delivered_floors.size();
-  for (const auto& v : votes) bytes += 25 + v.cmd->wire_size();
+  for (const auto& v : votes) {
+    bytes += 25 + v.cmd->wire_size();
+    if (v.batch != nullptr)
+      bytes += core::CommandBatch::kFramingBytes + v.batch->tail_wire_size();
+  }
   return bytes;
 }
 
 M2PaxosReplica::M2PaxosReplica(NodeId id, const core::ClusterConfig& cfg,
                                core::Context& ctx)
     : core::Replica(id, cfg, ctx),
+      bcfg_(cfg.batching.normalized()),
       pending_(64, core::PoolAlloc<char>(pool_)),
       accepts_(64, core::PoolAlloc<char>(pool_)),
       prepares_(16, core::PoolAlloc<char>(pool_)),
@@ -54,7 +72,8 @@ M2PaxosReplica::M2PaxosReplica(NodeId id, const core::ClusterConfig& cfg,
       delivered_fifo_(core::PoolAlloc<char>(pool_)),
       dirty_objects_(core::PoolAlloc<char>(pool_)),
       stuck_objects_(16, core::PoolAlloc<char>(pool_)),
-      repair_cooldown_(16, core::PoolAlloc<char>(pool_)) {}
+      repair_cooldown_(16, core::PoolAlloc<char>(pool_)),
+      batch_queue_(core::PoolAlloc<char>(pool_)) {}
 
 // ---------------------------------------------------------------------
 // Anti-entropy (extension, DESIGN.md §5a)
@@ -78,31 +97,40 @@ void M2PaxosReplica::sync_tick() {
   sync_timer_ = sim::kInvalidEvent;
   if (crashed_) return;
   if (!stuck_objects_.empty()) {
-    // Probe a random peer for the frontier slots we are missing. Only
-    // objects whose frontier slot is undecided need help — a decided
-    // frontier is waiting on other objects, which have their own entries.
-    std::vector<SyncRequest::Entry> entries;
-    for (const ObjectId l : stuck_objects_) {
-      ObjectState& st = table_.obj(l);
-      const Slot* s = st.log.find(st.last_appended + 1);
-      if (s != nullptr && s->decided) continue;
-      entries.push_back(SyncRequest::Entry{l, st.last_appended + 1});
-      if (entries.size() >= cfg_.batching.sync_batch) break;
-    }
-    if (!entries.empty()) {
-      ++counters_.sync_probes;
-      NodeId peer = static_cast<NodeId>(
-          ctx_.rng().uniform(static_cast<std::uint64_t>(cfg_.n_nodes - 1)));
-      if (peer >= id_) ++peer;
-      ctx_.send(peer, net::make_payload<SyncRequest>(std::move(entries)));
-    }
+    NodeId peer = static_cast<NodeId>(
+        ctx_.rng().uniform(static_cast<std::uint64_t>(cfg_.n_nodes - 1)));
+    if (peer >= id_) ++peer;
+    send_sync_probe(peer);
     start_sync_timer();
   }
 }
 
+bool M2PaxosReplica::send_sync_probe(NodeId peer) {
+  // Probe a peer for the frontier slots we are missing. Only objects
+  // whose frontier slot is undecided need help — a decided frontier is
+  // waiting on other objects, which have their own entries.
+  SyncRequest::EntryList entries;
+  for (const ObjectId l : stuck_objects_) {
+    ObjectState& st = table_.obj(l);
+    const Slot* s = st.log.find(st.last_appended + 1);
+    if (s != nullptr && s->decided) continue;
+    entries.push_back(SyncRequest::Entry{l, st.last_appended + 1});
+    if (entries.size() >= cfg_.batching.sync_batch) break;
+  }
+  if (entries.empty()) return false;
+  ++counters_.sync_probes;
+  ctx_.send(peer, pooled<SyncRequest>(std::move(entries)));
+  return true;
+}
+
 void M2PaxosReplica::handle_sync_request(NodeId from, const SyncRequest& msg) {
+  // Replies are bounded to the SlotList inline capacity: the payload block
+  // stays pool-sized and allocation-free, and a laggard far behind simply
+  // re-probes each sync period for the next chunk.
+  constexpr std::size_t kMaxSyncReplySlots = 8;
   SlotList slots;
   for (const auto& e : msg.entries) {
+    if (slots.size() >= kMaxSyncReplySlots) break;
     const ObjectState* st = table_.find(e.object);
     if (st == nullptr) continue;
     // Instances below the log base were truncated by frontier GC; the
@@ -110,27 +138,37 @@ void M2PaxosReplica::handle_sync_request(NodeId from, const SyncRequest& msg) {
     // peer further behind sees the decisions it can get and learns the
     // rest from other peers or the floors piggybacked on promises.
     for (Instance in = std::max(e.from_instance, st->log.base());
-         in < st->log.end(); ++in) {
+         in < st->log.end() && slots.size() < kMaxSyncReplySlots; ++in) {
       const Slot* s = st->log.find(in);
       if (s == nullptr || !s->decided) continue;
-      slots.emplace_back(e.object, in, Epoch{0}, s->decided);
+      slots.emplace_back(e.object, in, Epoch{0}, s->decided,
+                         s->decided_batch);
     }
   }
   if (!slots.empty())
-    ctx_.send(from, net::make_payload<SyncReply>(std::move(slots)));
+    ctx_.send(from, pooled<SyncReply>(std::move(slots)));
 }
 
-void M2PaxosReplica::handle_sync_reply(const SyncReply& msg) {
+void M2PaxosReplica::handle_sync_reply(NodeId from, const SyncReply& msg) {
+  bool learned = false;
   for (const auto& s : msg.slots) {
     ObjectState& st = table_.obj(s.object);
     const Slot* have = st.log.find(s.instance);
     if (s.instance > st.last_appended &&
         (have == nullptr || !have->decided)) {
       ++counters_.sync_slots_learned;
-      decide_slot(s.object, s.instance, s.cmd);
+      learned = true;
+      decide_slot(s.object, s.instance, s.cmd, s.batch);
     }
   }
   try_deliver();
+  // Replies are capped at a pool-friendly slot count, so a deep laggard
+  // needs many round trips. Chain them: as long as a reply taught us
+  // something and a frontier is still stuck, re-probe the same peer right
+  // away — catch-up is then bound by round trips, not sync periods. A
+  // reply with nothing new breaks the chain (no progress ping-pong) and
+  // the jittered timer takes over again.
+  if (learned && !stuck_objects_.empty()) send_sync_probe(from);
 }
 
 void M2PaxosReplica::preassign_owner(ObjectId l, NodeId owner) {
@@ -152,9 +190,15 @@ void M2PaxosReplica::on_crash() {
   crashed_ = true;
   for (auto& [id, pc] : pending_) ctx_.cancel_timer(pc.watchdog);
   pending_.clear();
+  for (auto& [req, round] : accepts_) ctx_.cancel_timer(round.timer);
   accepts_.clear();
   prepares_.clear();
   repair_cooldown_.clear();
+  batch_queue_.clear();
+  batch_queued_bytes_ = 0;
+  batch_inflight_ = 0;
+  ctx_.cancel_timer(batch_timer_);
+  batch_timer_ = sim::kInvalidEvent;
   ctx_.cancel_timer(sync_timer_);
   sync_timer_ = sim::kInvalidEvent;
   ctx_.cancel_timer(crossing_timer_);
@@ -175,6 +219,16 @@ core::ObjectList M2PaxosReplica::undecided_objects(
 }
 
 void M2PaxosReplica::prewarm_commands(std::size_t n) {
+  // Every pooled bin — payload control blocks, container nodes, batch
+  // values — drifts to rare new simultaneous-live maxima, and each new
+  // maximum costs one heap block. Pre-extend all bins with slack so a new
+  // maximum lands on a freelist instead.
+  for (std::size_t bytes = 16; bytes <= 1024; bytes += 16)
+    pool_->reserve(bytes, n / 8 + 16);
+  // Hash-map bucket arrays are not pooled (they exceed the pool's bin
+  // range); pre-size the per-command map past any mid-window population
+  // maximum so it never rehashes inside a counted window.
+  pending_.reserve(2 * n);
   // Allocate-then-release: every block lands on the command bin's
   // freelist. The scratch vector itself is heap-allocated, which is why
   // this runs before — never inside — an allocation-counted window.
@@ -271,6 +325,15 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
   arm_watchdog(pc);
 
   if (rt.owns_all) {
+    // Batching qualifies exactly the clean single-object fast path: first
+    // attempt, no prior slot assignment to retransmit. Retries and
+    // multi-object commands keep their own rounds — their failure handling
+    // (per-object retransmission, forced recovery) stays unchanged.
+    if (bcfg_.enabled && pc.attempts == 0 && pc.assigned_slots.empty() &&
+        pc.cmd->objects.size() == 1 && !pc.cmd->noop) {
+      enqueue_batch(pc);
+      return;
+    }
     ++counters_.fast_path_rounds;
     start_fast_accept(pc, objects);
     return;
@@ -392,13 +455,188 @@ void M2PaxosReplica::start_fast_accept(PendingCommand& pc,
 }
 
 // ---------------------------------------------------------------------
+// Batching (Config::Batching; off by default)
+// ---------------------------------------------------------------------
+
+void M2PaxosReplica::enqueue_batch(PendingCommand& pc) {
+  pc.in_flight = true;  // the accumulator owns the command until flushed
+  batch_queue_.push_back(pc.cmd->id);
+  batch_queued_bytes_ += pc.cmd->wire_size();
+  if (batch_queue_.size() >= bcfg_.batch_max_commands ||
+      batch_queued_bytes_ >= bcfg_.batch_max_bytes) {
+    flush_batches(/*force=*/true);  // a full batch closes immediately
+  } else if (batch_timer_ == sim::kInvalidEvent) {
+    // Adaptive window: a partial batch waits at most batch_window after
+    // its first command before closing (bounds the latency cost).
+    batch_timer_ = ctx_.set_timer(bcfg_.batch_window, [this] {
+      batch_timer_ = sim::kInvalidEvent;
+      flush_batches(/*force=*/true);
+    });
+  }
+}
+
+void M2PaxosReplica::flush_batches(bool force) {
+  while (batch_inflight_ < bcfg_.pipeline_depth && !batch_queue_.empty() &&
+         (force || batch_queue_.size() >= bcfg_.batch_max_commands ||
+          batch_queued_bytes_ >= bcfg_.batch_max_bytes)) {
+    if (!send_batched_round()) break;
+  }
+  if (batch_queue_.empty()) {
+    batch_queued_bytes_ = 0;
+    ctx_.cancel_timer(batch_timer_);
+    batch_timer_ = sim::kInvalidEvent;
+  } else if (batch_timer_ == sim::kInvalidEvent) {
+    // Leftovers (pipeline full, or a round closed early on a cap): re-arm
+    // the window so they are never stranded waiting for the next enqueue.
+    batch_timer_ = ctx_.set_timer(bcfg_.batch_window, [this] {
+      batch_timer_ = sim::kInvalidEvent;
+      flush_batches(/*force=*/true);
+    });
+  }
+}
+
+bool M2PaxosReplica::send_batched_round() {
+  // One open multi-command slot per object, built by draining the FIFO
+  // until a cap closes the round (slot count, per-slot batch size, or
+  // round bytes) — the head-of-line command that hit the cap starts the
+  // next round, preserving per-object queue order.
+  struct OpenSlot {
+    ObjectId object;
+    Instance instance;
+    Epoch epoch;
+    std::shared_ptr<core::CommandBatch> batch;
+  };
+  core::SmallVec<OpenSlot, kMaxSlotsPerBatchRound> open;
+  core::SmallVec<core::CommandId, 8> diverted;
+  std::size_t round_bytes = 0;
+
+  while (!batch_queue_.empty()) {
+    const core::CommandId id = batch_queue_.front();
+    auto pit = pending_.find(id);
+    if (pit == pending_.end()) {  // already decided/delivered elsewhere
+      batch_queue_.pop_front();
+      continue;
+    }
+    PendingCommand& pc = pit->second;
+    if (!pc.in_flight || pc.attempts > 0 || !pc.assigned_slots.empty()) {
+      // A watchdog rerouted the command while it sat queued; its own
+      // round (or the next coordinate) owns it now.
+      batch_queue_.pop_front();
+      continue;
+    }
+    const ObjectId l = pc.cmd->objects.front();
+
+    OpenSlot* slot = nullptr;
+    for (auto& o : open) {
+      if (o.object == l) {
+        slot = &o;
+        break;
+      }
+    }
+    const std::size_t bytes = pc.cmd->wire_size();
+    if (slot == nullptr) {
+      ObjectState& st = table_.obj(l);
+      if (st.owner != id_ || st.promised != st.owned_epoch) {
+        // Ownership lost while queued: reroute through coordination.
+        pc.in_flight = false;
+        diverted.push_back(id);
+        batch_queue_.pop_front();
+        continue;
+      }
+      if (open.size() == kMaxSlotsPerBatchRound) break;
+      if (!open.empty() && round_bytes + bytes > bcfg_.batch_max_bytes) break;
+      const Instance in = std::max(st.next_slot, st.last_appended + 1);
+      st.next_slot = in + 1;
+      open.push_back(OpenSlot{l, in, st.owned_epoch,
+                              core::pool_make_shared<core::CommandBatch>(
+                                  pool_)});
+      slot = &open.back();
+    } else {
+      if (slot->batch->cmds.size() >= bcfg_.batch_max_commands) break;
+      if (round_bytes + bytes > bcfg_.batch_max_bytes) break;
+    }
+    slot->batch->cmds.push_back(pc.cmd);
+    round_bytes += bytes;
+    batch_queued_bytes_ -= std::min(batch_queued_bytes_, bytes);
+    batch_queue_.pop_front();
+  }
+
+  const bool sent = !open.empty();
+  if (sent) {
+    SlotList slots;
+    slots.reserve(open.size());
+    for (auto& o : open) {
+      counters_.batched_commands += o.batch->cmds.size();
+      const core::CommandPtr head = o.batch->cmds.front();
+      // Degenerate single-member batches travel as plain slot values.
+      core::CommandBatchPtr batch =
+          o.batch->cmds.size() > 1 ? std::move(o.batch) : nullptr;
+      slots.push_back(SlotValue(o.object, o.instance, o.epoch, head, batch));
+      // Per-member retransmission anchor: a watchdog retry re-sends the
+      // whole batched slot (idempotent at the acceptors) instead of
+      // assigning a fresh slot and leaving this one as a frontier hole.
+      if (batch != nullptr) {
+        for (const core::CommandPtr& m : batch->cmds) {
+          auto mit = pending_.find(m->id);
+          if (mit != pending_.end()) {
+            mit->second.assigned_slots.clear();
+            mit->second.assigned_slots.push_back(slots.back());
+          }
+        }
+      } else {
+        auto mit = pending_.find(head->id);
+        if (mit != pending_.end()) {
+          mit->second.assigned_slots.clear();
+          mit->second.assigned_slots.push_back(slots.back());
+        }
+      }
+    }
+    ++counters_.batched_rounds;
+    ++batch_inflight_;
+    const std::uint64_t req = send_accept(core::CommandId{}, std::move(slots));
+    // Lost-round backstop: if the quorum never answers, free the pipeline
+    // slot and hand the members back to their own retry path.
+    auto rit = accepts_.find(req);
+    rit->second.timer = ctx_.set_timer(cfg_.forward_timeout, [this, req] {
+      auto it = accepts_.find(req);
+      if (it == accepts_.end() || it->second.done) return;
+      it->second.timer = sim::kInvalidEvent;
+      SlotList slots = std::move(it->second.slots);
+      accepts_.erase(it);
+      --batch_inflight_;
+      for (const auto& s : slots) {
+        if (s.batch != nullptr) {
+          for (const core::CommandPtr& m : s.batch->cmds) retry_later(m->id);
+        } else {
+          retry_later(s.cmd->id);
+        }
+      }
+      flush_batches(/*force=*/false);
+    });
+  }
+  for (const core::CommandId id : diverted) coordinate(id);
+  return sent;
+}
+
+void M2PaxosReplica::settle_round_command(core::CommandId id) {
+  auto pit = pending_.find(id);
+  if (pit == pending_.end()) return;
+  pit->second.in_flight = false;
+  maybe_report_commit(*pit->second.cmd);
+  if (!undecided_objects(*pit->second.cmd).empty()) coordinate(id);
+}
+
+// ---------------------------------------------------------------------
 // Accept phase (Algorithm 2)
 // ---------------------------------------------------------------------
 
-void M2PaxosReplica::send_accept(core::CommandId for_cmd, SlotList slots) {
+std::uint64_t M2PaxosReplica::send_accept(core::CommandId for_cmd,
+                                          SlotList slots) {
   const std::uint64_t req = next_req_++;
-  accepts_.emplace(req, AcceptRound{slots, for_cmd, {}, false});
+  accepts_.emplace(req, AcceptRound{slots, for_cmd, {}, false,
+                                    sim::kInvalidEvent});
   ctx_.broadcast(pooled<Accept>(req, std::move(slots)), true);
+  return req;
 }
 
 void M2PaxosReplica::handle_accept(NodeId from, const Accept& msg) {
@@ -407,7 +645,9 @@ void M2PaxosReplica::handle_accept(NodeId from, const Accept& msg) {
   // pointers the apply pass reuses. cfg_.test_unsafe_epochs skips the
   // promise check — the deliberately broken build the fuzzing auditor
   // must catch (stale owners keep winning quorums and rebinding slots).
-  core::SmallVec<ObjectState*, 4> states;
+  // Inline capacity matches kMaxSlotsPerBatchRound: batched rounds carry up
+  // to 8 slots, and a spill here would put an allocation on every accept.
+  core::SmallVec<ObjectState*, 8> states;
   for (const auto& s : msg.slots) {
     ObjectState& st = table_.obj(s.object);
     if (!cfg_.test_unsafe_epochs && s.epoch < st.promised) {
@@ -436,6 +676,7 @@ void M2PaxosReplica::handle_accept(NodeId from, const Accept& msg) {
       if (s.epoch >= slot.accepted_epoch) {
         slot.accepted_epoch = s.epoch;
         slot.accepted = s.cmd;
+        slot.accepted_batch = s.batch;
       }
     }
   } else {
@@ -457,8 +698,26 @@ void M2PaxosReplica::handle_ack_accept(NodeId /*from*/, const AckAccept& msg) {
     ++counters_.accept_nacks;
     apply_hints(msg.hints);
     const core::CommandId cmd = round.for_cmd;
+    ctx_.cancel_timer(round.timer);
+    const bool batched = !cmd.valid();
+    SlotList slots = std::move(round.slots);
     accepts_.erase(it);
-    if (cmd.valid()) retry_later(cmd);
+    if (batched) {
+      // Batched flush round: every member retries individually (attempts
+      // > 0 disqualifies them from re-batching; the assigned-slot anchor
+      // makes the retries retransmit the same batched slot, idempotently).
+      --batch_inflight_;
+      for (const auto& s : slots) {
+        if (s.batch != nullptr) {
+          for (const core::CommandPtr& m : s.batch->cmds) retry_later(m->id);
+        } else {
+          retry_later(s.cmd->id);
+        }
+      }
+      flush_batches(/*force=*/false);
+    } else if (cmd.valid()) {
+      retry_later(cmd);
+    }
     return;
   }
 
@@ -473,8 +732,22 @@ void M2PaxosReplica::handle_ack_accept(NodeId /*from*/, const AckAccept& msg) {
   // Quorum of ACKs: decide every slot locally and broadcast the decision.
   SlotList slots = std::move(round.slots);
   const core::CommandId cmd = round.for_cmd;
+  ctx_.cancel_timer(round.timer);
   accepts_.erase(it);
-  for (const auto& s : slots) decide_slot(s.object, s.instance, s.cmd);
+  for (const auto& s : slots)
+    decide_slot(s.object, s.instance, s.cmd, s.batch);
+  if (!cmd.valid()) {
+    // Batched flush round: settle every member of every slot, then let
+    // the freed pipeline slot pull the next batch.
+    for (const auto& s : slots) {
+      if (s.batch != nullptr) {
+        for (const core::CommandPtr& m : s.batch->cmds)
+          settle_round_command(m->id);
+      } else {
+        settle_round_command(s.cmd->id);
+      }
+    }
+  }
   ctx_.broadcast(pooled<Decide>(std::move(slots)), false);
   if (cmd.valid()) {
     auto pit = pending_.find(cmd);
@@ -485,6 +758,9 @@ void M2PaxosReplica::handle_ack_accept(NodeId /*from*/, const AckAccept& msg) {
       // some objects, re-coordinate for the remaining objects.
       if (!undecided_objects(*pit->second.cmd).empty()) coordinate(cmd);
     }
+  } else {
+    --batch_inflight_;
+    flush_batches(/*force=*/false);
   }
   try_deliver();
 }
@@ -494,8 +770,16 @@ void M2PaxosReplica::handle_ack_accept(NodeId /*from*/, const AckAccept& msg) {
 // ---------------------------------------------------------------------
 
 void M2PaxosReplica::handle_decide(const Decide& msg) {
-  for (const auto& s : msg.slots) decide_slot(s.object, s.instance, s.cmd);
-  for (const auto& s : msg.slots) maybe_report_commit(*s.cmd);
+  for (const auto& s : msg.slots)
+    decide_slot(s.object, s.instance, s.cmd, s.batch);
+  for (const auto& s : msg.slots) {
+    if (s.batch != nullptr) {
+      for (const core::CommandPtr& m : s.batch->cmds)
+        maybe_report_commit(*m);
+    } else {
+      maybe_report_commit(*s.cmd);
+    }
+  }
   try_deliver();
 }
 
@@ -508,7 +792,8 @@ void M2PaxosReplica::maybe_report_commit(const core::Command& c) {
 }
 
 void M2PaxosReplica::decide_slot(ObjectId l, Instance in,
-                                 const core::CommandPtr& c) {
+                                 const core::CommandPtr& c,
+                                 const core::CommandBatchPtr& batch) {
   ObjectState& st = table_.obj(l);
   // Below the base the slot was decided, delivered, and truncated by
   // frontier GC; a late decide is a stale duplicate.
@@ -519,6 +804,7 @@ void M2PaxosReplica::decide_slot(ObjectId l, Instance in,
       // Broken-build mode: rebind silently so the auditor — not a process
       // abort — is what reports the violation.
       slot.decided = c;
+      slot.decided_batch = batch;
       ctx_.decided(l, in, *c);
       return;
     }
@@ -526,6 +812,7 @@ void M2PaxosReplica::decide_slot(ObjectId l, Instance in,
     return;
   }
   slot.decided = c;
+  slot.decided_batch = batch;
   ctx_.decided(l, in, *c);
   ++counters_.decided_slots;
   dirty_objects_.push_back(&st);
@@ -552,17 +839,59 @@ void M2PaxosReplica::deliver_command(const core::CommandPtr& c,
   // Advance the frontier of every object where c sits exactly at the
   // frontier (on crossing resolution, c may occupy a later slot of some
   // object; that slot is skipped when the frontier reaches it).
+  //
+  // A batched frontier slot can be advanced through its head here: repair
+  // rounds may park `c` in a *foreign* object's log, and its delivery from
+  // that log lands in this loop rather than in try_deliver's batch unroll.
+  // Skipping the slot by head identity alone would orphan the tail members
+  // (never delivered locally, but delivered everywhere else — an order
+  // inversion once they are re-proposed), so collect the batch and unroll
+  // the remaining members after c's own delivery callback below, keeping
+  // the observer-visible order identical to the normal unroll (head before
+  // tail).
+  core::CommandBatchPtr tail_batch;
   for (ObjectId l2 : c->objects) {
     ObjectState& st2 =
         (hint != nullptr && hint->id == l2) ? *hint : table_.obj(l2);
     const Slot* s2 = st2.log.find(st2.last_appended + 1);
     if (s2 != nullptr && s2->decided && s2->decided->id == c->id) {
+      // Only a single-object command can head a batch, so at most one
+      // batched slot is advanced per delivery.
+      if (s2->decided_batch != nullptr) tail_batch = s2->decided_batch;
       ++st2.last_appended;
       st2.next_slot = std::max(st2.next_slot, st2.last_appended + 1);
       gc_object(st2);
       if (!stuck_objects_.empty()) stuck_objects_.erase(l2);
       dirty_objects_.push_back(&st2);
     }
+  }
+  auto pit = pending_.find(c->id);
+  if (pit != pending_.end()) {
+    if (!pit->second.commit_reported) ctx_.committed(*c);
+    ctx_.cancel_timer(pit->second.watchdog);
+    pending_.erase(pit);
+  }
+  ctx_.deliver(*c);
+  if (tail_batch != nullptr) {
+    for (const core::CommandPtr& m : tail_batch->cmds) {
+      if (delivered_ids_.count(m->id) > 0) continue;
+      deliver_batch_member(m);
+    }
+  }
+}
+
+void M2PaxosReplica::deliver_batch_member(const core::CommandPtr& c) {
+  // deliver_command minus the frontier advance: the caller advances the
+  // batch's slot frontier once after unrolling every member.
+  delivered_ids_.insert(c->id);
+  delivered_fifo_.push_back(c->id);
+  while (delivered_fifo_.size() > cfg_.delivered_id_window) {
+    delivered_ids_.erase(delivered_fifo_.front());
+    delivered_fifo_.pop_front();
+  }
+  if (!c->noop) {
+    if (cfg_.record_delivered) delivered_seq_.push_back(*c);
+    ++counters_.delivered;
   }
   auto pit = pending_.find(c->id);
   if (pit != pending_.end()) {
@@ -606,6 +935,24 @@ void M2PaxosReplica::try_deliver() {
         // truncate the very slot holding it. A handle copy, not a deep
         // command copy.
         const core::CommandPtr c = s->decided;
+
+        const core::CommandBatchPtr batch = s->decided_batch;
+        if (batch != nullptr) {
+          // Batched slot: every member is a single-object command on `l`,
+          // so the whole batch is deliverable the moment its slot reaches
+          // the frontier — no cross-object wait. Unroll in batch order
+          // (per-member dedup guards members retried individually after a
+          // round timeout), then advance the frontier once for the slot.
+          for (const core::CommandPtr& m : batch->cmds) {
+            if (delivered_ids_.count(m->id) > 0) continue;
+            deliver_batch_member(m);
+          }
+          ++st.last_appended;
+          st.next_slot = std::max(st.next_slot, st.last_appended + 1);
+          gc_object(st);
+          stuck_objects_.erase(l);
+          continue;
+        }
 
         if (delivered_ids_.count(c->id) > 0) {
           // Duplicate decision of an already-delivered command (possible
@@ -847,9 +1194,11 @@ void M2PaxosReplica::handle_prepare(NodeId from, const Prepare& msg) {
         if (slot.decided) {
           reply->votes.emplace_back(e.object, in, slot.accepted_epoch, true,
                                     slot.decided);
+          reply->votes.back().batch = slot.decided_batch;
         } else if (slot.accepted) {
           reply->votes.emplace_back(e.object, in, slot.accepted_epoch, false,
                                     slot.accepted);
+          reply->votes.back().batch = slot.accepted_batch;
         }
       }
     }
@@ -949,8 +1298,15 @@ void M2PaxosReplica::finish_acquisition(PrepareRound round) {
     for (Instance in = from; in <= max_voted; ++in) {
       auto bit = best.find({e.object, in});
       if (bit != best.end()) {
-        slots.emplace_back(e.object, in, e.epoch, bit->second->cmd);
+        // Re-accept the whole slot value: for a batched vote, dropping the
+        // tail would decide the head alone and lose the tail members.
+        slots.emplace_back(e.object, in, e.epoch, bit->second->cmd,
+                           bit->second->batch);
         if (bit->second->cmd->id == round.cmd->id) cmd_placed = true;
+        if (bit->second->batch != nullptr) {
+          for (const core::CommandPtr& m : bit->second->batch->cmds)
+            if (m->id == round.cmd->id) cmd_placed = true;
+        }
       } else {
         slots.emplace_back(e.object, in, e.epoch, make_noop(e.object));
         ++counters_.noops_filled;
@@ -1056,7 +1412,7 @@ void M2PaxosReplica::on_message(NodeId from, const net::Payload& payload) {
       handle_sync_request(from, static_cast<const SyncRequest&>(payload));
       break;
     case net::kKindM2Paxos + 8:
-      handle_sync_reply(static_cast<const SyncReply&>(payload));
+      handle_sync_reply(from, static_cast<const SyncReply&>(payload));
       break;
     default:
       break;  // not ours (e.g. heartbeats)

@@ -33,6 +33,8 @@ struct M2Counters {
   std::uint64_t sync_slots_learned = 0; // decisions learned via sync
   std::uint64_t fallbacks = 0;          // routed via the conflict leader
   std::uint64_t gc_truncated_slots = 0; // slots dropped by frontier GC
+  std::uint64_t batched_rounds = 0;     // accept rounds sent by the batcher
+  std::uint64_t batched_commands = 0;   // commands those rounds carried
 };
 
 /// M²Paxos replica: Generalized Consensus via per-object Multi-Paxos
@@ -131,9 +133,14 @@ class M2PaxosReplica final : public core::Replica {
   };
   struct AcceptRound {
     SlotList slots;
+    /// The single command this round was coordinated for; invalid for
+    /// batched flush rounds, which settle every member per slot instead.
     core::CommandId for_cmd;
     core::SmallVec<NodeId, 8> ackers;  // deduplicated (network may duplicate)
     bool done = false;
+    /// Batched rounds only: frees the pipeline slot if the quorum never
+    /// answers (members are retried individually by their own watchdogs).
+    sim::EventId timer = sim::kInvalidEvent;
   };
   struct PrepareRound {
     core::CommandPtr cmd;
@@ -173,19 +180,40 @@ class M2PaxosReplica final : public core::Replica {
   // --- Coordination phase (Algorithm 1) -----------------------------
   void coordinate(core::CommandId id);
   void start_fast_accept(PendingCommand& pc, const core::ObjectList& objects);
+  // --- Batching (Config::Batching; off by default) --------------------
+  /// Queues a single-object fast-path command on the replica-wide batch
+  /// accumulator instead of starting its own accept round.
+  void enqueue_batch(PendingCommand& pc);
+  /// Closes and sends batched accept rounds while the pipeline has room.
+  /// `force` flushes partial batches (window expiry / pipeline drain);
+  /// without it only full batches close.
+  void flush_batches(bool force);
+  /// Builds one accept round from the queue front (grouping commands by
+  /// object into multi-command slots) and sends it. Returns false when
+  /// nothing sendable was queued.
+  bool send_batched_round();
+  /// Settles one batch member after its slot decided: clears in_flight,
+  /// reports the commit, and re-coordinates if somehow still undecided.
+  void settle_round_command(core::CommandId id);
   // --- Accept phase (Algorithm 2) ------------------------------------
-  void send_accept(core::CommandId for_cmd, SlotList slots);
+  /// Returns the round's req id (batched flushes attach a backstop timer).
+  std::uint64_t send_accept(core::CommandId for_cmd, SlotList slots);
   void handle_accept(NodeId from, const Accept& msg);
   void handle_ack_accept(NodeId from, const AckAccept& msg);
   // --- Decision phase (Algorithm 3) -----------------------------------
   void handle_decide(const Decide& msg);
-  void decide_slot(ObjectId l, Instance in, const core::CommandPtr& c);
+  void decide_slot(ObjectId l, Instance in, const core::CommandPtr& c,
+                   const core::CommandBatchPtr& batch = nullptr);
   void maybe_report_commit(const core::Command& c);
   void try_deliver();
   /// Appends `c` to the local C-struct and advances frontiers. `hint`, if
   /// non-null, is the already-looked-up state of one of c's objects (the
   /// common single-object command then needs no table lookup at all).
   void deliver_command(const core::CommandPtr& c, ObjectState* hint);
+  /// Ledger half of delivery for one batch member: dedup bookkeeping,
+  /// C-struct append, pending cleanup, deliver callback — no frontier
+  /// advance (the batch delivery loop advances it once per slot).
+  void deliver_batch_member(const core::CommandPtr& c);
   /// Arms the one-shot crossing-resolution timer (rate limiting: the
   /// wait-cycle search is O(waiting frontiers) and must not run per
   /// message; running it late only delays delivery, never changes it).
@@ -208,7 +236,8 @@ class M2PaxosReplica final : public core::Replica {
   void start_sync_timer();
   void sync_tick();
   void handle_sync_request(NodeId from, const SyncRequest& msg);
-  void handle_sync_reply(const SyncReply& msg);
+  void handle_sync_reply(NodeId from, const SyncReply& msg);
+  bool send_sync_probe(NodeId peer);
 
   // --- plumbing ---------------------------------------------------------
   void handle_propose(const Propose& msg);
@@ -225,6 +254,8 @@ class M2PaxosReplica final : public core::Replica {
   void gc_object(ObjectState& st);
 
   core::PoolRef pool_ = core::make_pool();
+  /// cfg_.batching as consumed (pipeline_depth/batch_max_commands clamped).
+  core::ClusterConfig::Batching bcfg_;
   OwnershipTable table_;
   PooledMap<core::CommandId, PendingCommand> pending_;
   PooledMap<std::uint64_t, AcceptRound> accepts_;
@@ -241,6 +272,13 @@ class M2PaxosReplica final : public core::Replica {
   /// Earliest time another delivery-repair acquisition may target each
   /// object (see coordinate(); repairs are deduplicated per object).
   PooledMap<ObjectId, sim::Time> repair_cooldown_;
+  /// Batch accumulator (replica-wide): queued fast-path commands awaiting
+  /// a flush, FIFO. Entries are command ids — stale ones (rerouted,
+  /// delivered, ownership lost) are skipped at flush time.
+  PooledDeque<core::CommandId> batch_queue_;
+  std::size_t batch_queued_bytes_ = 0;
+  int batch_inflight_ = 0;  // outstanding batched accept rounds
+  sim::EventId batch_timer_ = sim::kInvalidEvent;  // window close
   bool delivering_ = false;  // reentrancy guard for try_deliver
   std::uint64_t next_req_ = 1;
   std::uint64_t noop_seq_ = 0;

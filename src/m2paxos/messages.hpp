@@ -12,6 +12,7 @@
 namespace m2::m2p {
 
 using core::Command;
+using core::CommandBatchPtr;
 using core::CommandPtr;
 using core::Epoch;
 using core::Instance;
@@ -27,10 +28,20 @@ struct SlotValue {
   Instance instance = 0;
   Epoch epoch = 0;
   CommandPtr cmd;
+  /// Multi-command slot value: when set, the slot decides the whole batch
+  /// (cmd is its head, cmd == batch->cmds.front()) and delivery unrolls
+  /// the members in batch order. Null for plain single-command slots.
+  CommandBatchPtr batch;
 
   SlotValue() = default;
   SlotValue(ObjectId o, Instance in, Epoch e, CommandPtr c)
       : object(o), instance(in), epoch(e), cmd(std::move(c)) {}
+  SlotValue(ObjectId o, Instance in, Epoch e, CommandPtr c, CommandBatchPtr b)
+      : object(o),
+        instance(in),
+        epoch(e),
+        cmd(std::move(c)),
+        batch(std::move(b)) {}
   /// Wraps a by-value command into a fresh shared handle (decode paths and
   /// tests; protocol hot paths pass CommandPtr through).
   SlotValue(ObjectId o, Instance in, Epoch e, Command c)
@@ -40,11 +51,19 @@ struct SlotValue {
         cmd(std::make_shared<const Command>(std::move(c))) {}
 
   static constexpr std::size_t kHeaderBytes = 24;  // object+instance+epoch
+
+  /// Wire bytes of the batch tail riding behind the head command (0 for
+  /// single-command slots).
+  std::size_t batch_tail_wire_size() const {
+    if (batch == nullptr) return 0;
+    return core::CommandBatch::kFramingBytes + batch->tail_wire_size();
+  }
 };
 
-/// Slot list of an Accept/Decide: inline capacity 4 (fast-path rounds
-/// carry one slot per object of one command).
-using SlotList = core::SmallVec<SlotValue, 4>;
+/// Slot list of an Accept/Decide: inline capacity 8 — fast-path rounds
+/// carry one slot per object of one command, and a batched flush packs up
+/// to 8 per-object slots into one round without spilling.
+using SlotList = core::SmallVec<SlotValue, 8>;
 
 /// Forwarding of a command to the node owning all its objects (§IV-B).
 struct Propose final : net::Payload {
@@ -134,6 +153,9 @@ struct AckPrepare final : net::Payload {
     Epoch accepted_epoch = 0;
     bool decided = false;
     CommandPtr cmd;
+    /// Batched votes carry the whole slot value: a recovery that re-accepts
+    /// the head without its tail would lose the tail members for good.
+    CommandBatchPtr batch;
 
     Vote() = default;
     Vote(ObjectId o, Instance in, Epoch e, bool dec, CommandPtr c)
@@ -174,8 +196,11 @@ struct SyncRequest final : net::Payload {
     ObjectId object = 0;
     Instance from_instance = 1;
   };
-  explicit SyncRequest(std::vector<Entry> e) : entries(std::move(e)) {}
-  std::vector<Entry> entries;
+  /// Inline capacity covers the default sync_batch (16), so probes built
+  /// on the steady-state sync path never heap-allocate.
+  using EntryList = core::SmallVec<Entry, 16>;
+  explicit SyncRequest(EntryList e) : entries(std::move(e)) {}
+  EntryList entries;
 
   std::uint32_t kind() const override { return net::kKindM2Paxos + 7; }
   std::size_t wire_size() const override { return 16 * entries.size(); }
@@ -192,7 +217,8 @@ struct SyncReply final : net::Payload {
   std::size_t wire_size() const override {
     std::size_t bytes = 0;
     for (const auto& s : slots)
-      bytes += SlotValue::kHeaderBytes + s.cmd->wire_size();
+      bytes += SlotValue::kHeaderBytes + s.cmd->wire_size() +
+               s.batch_tail_wire_size();
     return bytes;
   }
   const char* name() const override { return "M2.SyncReply"; }

@@ -78,7 +78,12 @@ bool OwnershipTable::decided_in_state(const ObjectState& st,
   const Instance from = std::max(st.log.base(), st.last_appended + 1);
   for (Instance in = from; in < st.log.end(); ++in) {
     const Slot* s = st.log.find(in);
-    if (s != nullptr && s->decided && s->decided->id == c.id) return true;
+    if (s == nullptr || !s->decided) continue;
+    if (s->decided->id == c.id) return true;
+    if (s->decided_batch != nullptr) {
+      for (const CommandPtr& m : s->decided_batch->cmds)
+        if (m->id == c.id) return true;
+    }
   }
   return false;
 }

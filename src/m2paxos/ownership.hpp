@@ -24,6 +24,12 @@ struct Slot {
   Epoch accepted_epoch = 0;  // Rdec[l][in]
   CommandPtr accepted;       // Vdec[l][in]
   CommandPtr decided;        // Decided[l][in]
+  /// Batched slot values: the full batch behind the head command held in
+  /// accepted/decided (null for single-command slots). Retained alongside
+  /// the head so recovery votes and anti-entropy replies can reproduce the
+  /// whole slot value, and delivery can unroll the members.
+  core::CommandBatchPtr accepted_batch;
+  core::CommandBatchPtr decided_batch;
 };
 
 /// Contiguous per-object slot log indexed by instance: a power-of-two ring

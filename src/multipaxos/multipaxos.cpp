@@ -15,11 +15,21 @@ Ballot next_ballot_for(NodeId node, Ballot above, int n_nodes) {
   return b;
 }
 
+/// Whether `id` is a member of the slot value (head, tail).
+bool slot_holds(const Command& head, const std::vector<Command>& tail,
+                CommandId id) {
+  if (head.id == id) return true;
+  for (const auto& t : tail)
+    if (t.id == id) return true;
+  return false;
+}
+
 }  // namespace
 
 MultiPaxosReplica::MultiPaxosReplica(NodeId id, const core::ClusterConfig& cfg,
                                      core::Context& ctx)
-    : core::Replica(id, cfg, ctx), fd_(id, cfg, ctx) {
+    : core::Replica(id, cfg, ctx), bcfg_(cfg.batching.normalized()),
+      fd_(id, cfg, ctx) {
   fd_.set_on_leader_change([this](NodeId new_leader) {
     if (crashed_) return;
     if (new_leader == id_ && leader_ != id_) {
@@ -41,6 +51,13 @@ void MultiPaxosReplica::on_crash() {
   for (auto& [id, pc] : pending_) ctx_.cancel_timer(pc.timer);
   pending_.clear();
   preparing_ = false;
+  batch_buf_.clear();
+  batch_queued_.clear();
+  batch_bytes_ = 0;
+  batch_inflight_ = 0;
+  my_batched_slots_.clear();
+  ctx_.cancel_timer(batch_timer_);
+  batch_timer_ = sim::kInvalidEvent;
 }
 
 void MultiPaxosReplica::on_recover() {
@@ -124,12 +141,13 @@ void MultiPaxosReplica::lead(const Command& c) {
   // assigned a second slot.
   if (delivered_ids_.count(c.id) > 0) {
     // Already delivered here; the proposer retried, so its Commit must
-    // have been lost — replay it.
+    // have been lost — replay it (the whole slot value for batched slots).
     auto rit = recent_commits_.find(c.id);
     if (rit != recent_commits_.end())
-      ctx_.broadcast(net::make_payload<Commit>(rit->second.first,
-                                               rit->second.second),
-                     false);
+      ctx_.broadcast(
+          net::make_payload<Commit>(rit->second.slot, rit->second.head,
+                                    rit->second.tail),
+          false);
     return;
   }
   auto ait = assigned_.find(c.id);
@@ -137,24 +155,98 @@ void MultiPaxosReplica::lead(const Command& c) {
     auto sit = slots_.find(ait->second);
     if (sit != slots_.end()) {
       const SlotState& st = sit->second;
-      if (st.committed && st.committed->id == c.id) {
-        ctx_.broadcast(net::make_payload<Commit>(sit->first, *st.committed),
+      if (st.committed && slot_holds(*st.committed, st.committed_tail, c.id)) {
+        ctx_.broadcast(net::make_payload<Commit>(sit->first, *st.committed,
+                                                 st.committed_tail),
                        false);
         return;
       }
-      if (st.accepted && st.accepted->id == c.id &&
-          st.accepted_ballot == ballot_) {
-        ctx_.broadcast(net::make_payload<Accept>(ballot_, sit->first, c), true);
+      if (st.accepted && st.accepted_ballot == ballot_ &&
+          slot_holds(*st.accepted, st.accepted_tail, c.id)) {
+        ctx_.broadcast(net::make_payload<Accept>(ballot_, sit->first,
+                                                 *st.accepted,
+                                                 st.accepted_tail),
+                       true);
         return;
       }
     }
     assigned_.erase(ait);  // stale (delivered/pruned or lost to a new ballot)
     if (delivered_ids_.count(c.id) > 0) return;
   }
+  if (bcfg_.enabled && !c.noop) {
+    enqueue_batch(c);
+    return;
+  }
   const std::uint64_t slot = next_slot_++;
   assigned_.emplace(c.id, slot);
   ++counters_.slots_led;
   ctx_.broadcast(net::make_payload<Accept>(ballot_, slot, c), true);
+}
+
+void MultiPaxosReplica::enqueue_batch(const Command& c) {
+  if (batch_queued_.count(c.id) > 0) return;  // retry while still queued
+  batch_queued_.insert(c.id);
+  batch_buf_.push_back(c);
+  batch_bytes_ += c.wire_size();
+  if (batch_buf_.size() >= bcfg_.batch_max_commands ||
+      batch_bytes_ >= bcfg_.batch_max_bytes) {
+    flush_batch(/*force=*/true);
+  } else if (batch_timer_ == sim::kInvalidEvent) {
+    batch_timer_ = ctx_.set_timer(bcfg_.batch_window, [this] {
+      batch_timer_ = sim::kInvalidEvent;
+      flush_batch(/*force=*/true);
+    });
+  }
+}
+
+void MultiPaxosReplica::flush_batch(bool force) {
+  if (leader_ != id_ || preparing_) {
+    // Leadership moved with commands still queued: drop them — every
+    // member's proposer retry re-forwards it to the current leader.
+    for (const auto& c : batch_buf_) batch_queued_.erase(c.id);
+    batch_buf_.clear();
+    batch_bytes_ = 0;
+    return;
+  }
+  while (!batch_buf_.empty() && batch_inflight_ < bcfg_.pipeline_depth &&
+         (force || batch_buf_.size() >= bcfg_.batch_max_commands ||
+          batch_bytes_ >= bcfg_.batch_max_bytes)) {
+    const std::size_t take =
+        std::min(batch_buf_.size(), bcfg_.batch_max_commands);
+    Command head = std::move(batch_buf_.front());
+    batch_buf_.pop_front();
+    std::vector<Command> tail;
+    tail.reserve(take - 1);
+    for (std::size_t i = 1; i < take; ++i) {
+      tail.push_back(std::move(batch_buf_.front()));
+      batch_buf_.pop_front();
+    }
+    const std::uint64_t slot = next_slot_++;
+    batch_queued_.erase(head.id);
+    assigned_.emplace(head.id, slot);
+    batch_bytes_ -= head.wire_size();
+    for (const auto& t : tail) {
+      batch_queued_.erase(t.id);
+      assigned_.emplace(t.id, slot);
+      batch_bytes_ -= t.wire_size();
+    }
+    ++counters_.slots_led;
+    ++counters_.batched_slots;
+    counters_.batched_commands += take;
+    my_batched_slots_.insert(slot);
+    ++batch_inflight_;
+    ctx_.broadcast(net::make_payload<Accept>(ballot_, slot, std::move(head),
+                                             std::move(tail)),
+                   true);
+  }
+  // Pipeline full (or partial batch held back): the window timer closes
+  // the remainder; commits re-enter here as in-flight slots settle.
+  if (!batch_buf_.empty() && batch_timer_ == sim::kInvalidEvent) {
+    batch_timer_ = ctx_.set_timer(bcfg_.batch_window, [this] {
+      batch_timer_ = sim::kInvalidEvent;
+      flush_batch(/*force=*/true);
+    });
+  }
 }
 
 void MultiPaxosReplica::handle_accepted(const Accepted& msg) {
@@ -168,9 +260,10 @@ void MultiPaxosReplica::handle_accepted(const Accepted& msg) {
   if (static_cast<int>(st.ackers.size()) < cfg_.classic_quorum()) return;
   if (!st.accepted) return;  // quorum acks but our own accept not processed yet
   const Command cmd = *st.accepted;
-  commit_slot(msg.slot, cmd);
+  const std::vector<Command> tail = st.accepted_tail;
+  commit_slot(msg.slot, cmd, tail);
   ++counters_.commits;
-  ctx_.broadcast(net::make_payload<Commit>(msg.slot, cmd), false);
+  ctx_.broadcast(net::make_payload<Commit>(msg.slot, cmd, tail), false);
 }
 
 // --------------------------------------------------------------------
@@ -189,6 +282,7 @@ void MultiPaxosReplica::handle_accept(NodeId from, const Accept& msg) {
     if (msg.ballot >= st.accepted_ballot) {
       st.accepted_ballot = msg.ballot;
       st.accepted = msg.cmd;
+      st.accepted_tail = msg.tail;
     }
     reply->ack = true;
   } else {
@@ -209,10 +303,12 @@ void MultiPaxosReplica::handle_prepare(NodeId from, const Prepare& msg) {
     for (auto it = slots_.lower_bound(msg.from_slot); it != slots_.end(); ++it) {
       const SlotState& st = it->second;
       if (st.committed) {
-        reply->votes.push_back(Promise::Vote{it->first, UINT64_MAX, *st.committed});
+        reply->votes.push_back(Promise::Vote{it->first, UINT64_MAX,
+                                             *st.committed,
+                                             st.committed_tail});
       } else if (st.accepted) {
-        reply->votes.push_back(
-            Promise::Vote{it->first, st.accepted_ballot, *st.accepted});
+        reply->votes.push_back(Promise::Vote{it->first, st.accepted_ballot,
+                                             *st.accepted, st.accepted_tail});
       }
     }
   } else {
@@ -228,6 +324,7 @@ void MultiPaxosReplica::handle_prepare(NodeId from, const Prepare& msg) {
 void MultiPaxosReplica::start_leader_change() {
   ballot_ = next_ballot_for(id_, std::max(promised_, ballot_), cfg_.n_nodes);
   preparing_ = true;
+  flush_batch(/*force=*/true);  // preparing: drops any queued accumulator
   promise_safe_start_ = last_delivered_ + 1;
   promise_ackers_.clear();
   promise_votes_.clear();
@@ -281,21 +378,25 @@ void MultiPaxosReplica::become_leader() {
       std::max(promise_safe_start_, last_delivered_ + 1);
   for (const auto& [slot, vote] : best) {
     if (slot < safe_start && vote->vballot == UINT64_MAX)
-      commit_slot(slot, vote->cmd);
+      commit_slot(slot, vote->cmd, vote->tail);
   }
 
-  // Re-propose surviving votes; fill holes with no-ops so delivery cannot
-  // stall behind slots whose value was lost with the old leader.
+  // Re-propose surviving votes (whole slot values — a batched vote's tail
+  // rides along); fill holes with no-ops so delivery cannot stall behind
+  // slots whose value was lost with the old leader.
   for (std::uint64_t slot = safe_start; slot <= max_slot; ++slot) {
     auto it = best.find(slot);
     Command cmd;
+    std::vector<Command> tail;
     if (it != best.end()) {
       cmd = it->second->cmd;
+      tail = it->second->tail;
     } else {
       cmd = Command(CommandId::make(id_, (1ULL << 40) + slot), {}, 0);
       cmd.noop = true;
     }
-    ctx_.broadcast(net::make_payload<Accept>(ballot_, slot, std::move(cmd)),
+    ctx_.broadcast(net::make_payload<Accept>(ballot_, slot, std::move(cmd),
+                                             std::move(tail)),
                    true);
   }
   next_slot_ = std::max(max_slot + 1, safe_start);
@@ -310,29 +411,43 @@ void MultiPaxosReplica::become_leader() {
 // --------------------------------------------------------------------
 
 void MultiPaxosReplica::handle_commit(const Commit& msg) {
-  commit_slot(msg.slot, msg.cmd);
+  commit_slot(msg.slot, msg.cmd, msg.tail);
 }
 
-void MultiPaxosReplica::commit_slot(std::uint64_t slot, const Command& cmd) {
+void MultiPaxosReplica::commit_slot(std::uint64_t slot, const Command& cmd,
+                                    const std::vector<Command>& tail) {
   SlotState& st = slots_[slot];
   if (st.committed) {
     assert(st.committed->id == cmd.id && "two commands committed in one slot");
     return;
   }
   st.committed = cmd;
-  // Single log: slot key is ⟨object 0, log index⟩.
+  st.committed_tail = tail;
+  // Single log: slot key is ⟨object 0, log index⟩; a batched slot decides
+  // once with its head (the tail rides inside the slot value).
   ctx_.decided(0, slot, cmd);
   assigned_.erase(cmd.id);
+  for (const auto& t : tail) assigned_.erase(t.id);
   if (leader_ == id_) {
-    recent_commits_[cmd.id] = {slot, cmd};
+    const RecentCommit rec{slot, cmd, tail};
+    recent_commits_[cmd.id] = rec;
+    for (const auto& t : tail) recent_commits_[t.id] = rec;
     // Bound the replay window alongside the delivered-id window.
     if (recent_commits_.size() > cfg_.delivered_id_window)
       recent_commits_.clear();
   }
-  auto pit = pending_.find(cmd.id);
-  if (pit != pending_.end() && !pit->second.commit_reported) {
-    pit->second.commit_reported = true;
-    ctx_.committed(cmd);
+  auto report = [this](const Command& c) {
+    auto pit = pending_.find(c.id);
+    if (pit != pending_.end() && !pit->second.commit_reported) {
+      pit->second.commit_reported = true;
+      ctx_.committed(c);
+    }
+  };
+  report(cmd);
+  for (const auto& t : tail) report(t);
+  if (my_batched_slots_.erase(slot) > 0) {
+    --batch_inflight_;
+    flush_batch(/*force=*/false);  // a pipeline slot freed up
   }
   try_deliver();
 }
@@ -341,27 +456,34 @@ void MultiPaxosReplica::try_deliver() {
   for (;;) {
     auto it = slots_.find(last_delivered_ + 1);
     if (it == slots_.end() || !it->second.committed) return;
-    const Command c = *it->second.committed;
+    const Command head = *it->second.committed;
+    const std::vector<Command> tail = std::move(it->second.committed_tail);
     ++last_delivered_;
     slots_.erase(it);  // slots below the delivery frontier are never re-read
 
-    if (delivered_ids_.count(c.id) > 0) continue;  // duplicate via retry
-    delivered_ids_.insert(c.id);
-    delivered_fifo_.push_back(c.id);
-    while (delivered_fifo_.size() > cfg_.delivered_id_window) {
-      delivered_ids_.erase(delivered_fifo_.front());
-      delivered_fifo_.pop_front();
-    }
-    if (!c.noop) {
-      if (cfg_.record_delivered) delivered_seq_.push_back(c);
-      ++counters_.delivered;
-      auto pit = pending_.find(c.id);
-      if (pit != pending_.end()) {
-        ctx_.cancel_timer(pit->second.timer);
-        pending_.erase(pit);
+    // Unroll the slot value in batch order (head, then tail); per-member
+    // dedup guards duplicates via retries.
+    auto deliver_one = [this](const Command& c) {
+      if (delivered_ids_.count(c.id) > 0) return;
+      delivered_ids_.insert(c.id);
+      delivered_fifo_.push_back(c.id);
+      while (delivered_fifo_.size() > cfg_.delivered_id_window) {
+        delivered_ids_.erase(delivered_fifo_.front());
+        delivered_fifo_.pop_front();
       }
-      ctx_.deliver(c);
-    }
+      if (!c.noop) {
+        if (cfg_.record_delivered) delivered_seq_.push_back(c);
+        ++counters_.delivered;
+        auto pit = pending_.find(c.id);
+        if (pit != pending_.end()) {
+          ctx_.cancel_timer(pit->second.timer);
+          pending_.erase(pit);
+        }
+        ctx_.deliver(c);
+      }
+    };
+    deliver_one(head);
+    for (const auto& t : tail) deliver_one(t);
   }
 }
 

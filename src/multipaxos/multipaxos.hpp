@@ -56,6 +56,10 @@ struct Promise final : net::Payload {
     std::uint64_t slot = 0;
     Ballot vballot = 0;
     Command cmd;
+    /// Batch tail of the voted slot value (empty for plain slots). A new
+    /// leader must re-propose the whole batch; the head alone would drop
+    /// the tail members.
+    std::vector<Command> tail;
   };
   Ballot ballot = 0;
   NodeId acceptor = kNoNode;
@@ -65,21 +69,36 @@ struct Promise final : net::Payload {
   std::uint32_t kind() const override { return net::kKindMultiPaxos + 3; }
   std::size_t wire_size() const override {
     std::size_t bytes = 8 + 4 + 1 + 8;
-    for (const auto& v : votes) bytes += 16 + v.cmd.wire_size();
+    for (const auto& v : votes) {
+      bytes += 16 + v.cmd.wire_size();
+      for (const auto& t : v.tail) bytes += t.wire_size();
+    }
     return bytes;
   }
   const char* name() const override { return "MP.Promise"; }
 };
 
-/// Phase-2a: leader proposes `cmd` in `slot` at `ballot`.
+/// Phase-2a: leader proposes `cmd` in `slot` at `ballot`. With command
+/// batching, `tail` carries the commands riding behind `cmd` in the same
+/// slot (the slot value is the whole batch, head first); empty otherwise.
 struct Accept final : net::Payload {
   Accept(Ballot b, std::uint64_t s, Command c)
       : ballot(b), slot(s), cmd(std::move(c)) {}
+  Accept(Ballot b, std::uint64_t s, Command c, std::vector<Command> t)
+      : ballot(b), slot(s), cmd(std::move(c)), tail(std::move(t)) {}
   Ballot ballot;
   std::uint64_t slot;
   Command cmd;
+  std::vector<Command> tail;
   std::uint32_t kind() const override { return net::kKindMultiPaxos + 4; }
-  std::size_t wire_size() const override { return 16 + cmd.wire_size(); }
+  std::size_t wire_size() const override {
+    std::size_t bytes = 16 + cmd.wire_size();
+    if (!tail.empty()) {
+      bytes += 4;  // batch framing
+      for (const auto& t : tail) bytes += t.wire_size();
+    }
+    return bytes;
+  }
   const char* name() const override { return "MP.Accept"; }
 };
 
@@ -95,12 +114,23 @@ struct Accepted final : net::Payload {
 };
 
 /// Learn message broadcast by the leader once a slot reaches quorum.
+/// `tail` mirrors the Accept's batch tail for batched slots.
 struct Commit final : net::Payload {
   Commit(std::uint64_t s, Command c) : slot(s), cmd(std::move(c)) {}
+  Commit(std::uint64_t s, Command c, std::vector<Command> t)
+      : slot(s), cmd(std::move(c)), tail(std::move(t)) {}
   std::uint64_t slot;
   Command cmd;
+  std::vector<Command> tail;
   std::uint32_t kind() const override { return net::kKindMultiPaxos + 6; }
-  std::size_t wire_size() const override { return 8 + cmd.wire_size(); }
+  std::size_t wire_size() const override {
+    std::size_t bytes = 8 + cmd.wire_size();
+    if (!tail.empty()) {
+      bytes += 4;  // batch framing
+      for (const auto& t : tail) bytes += t.wire_size();
+    }
+    return bytes;
+  }
   const char* name() const override { return "MP.Commit"; }
 };
 
@@ -115,6 +145,10 @@ struct MpCounters {
   std::uint64_t delivered = 0;
   std::uint64_t leader_changes = 0;
   std::uint64_t retries = 0;
+  /// Command batching: multi-command slots led, and total commands placed
+  /// through them (both 0 with batching off).
+  std::uint64_t batched_slots = 0;
+  std::uint64_t batched_commands = 0;
 };
 
 /// Classic Multi-Paxos with a designated leader (the paper's baseline).
@@ -154,6 +188,11 @@ class MultiPaxosReplica final : public core::Replica {
     Ballot accepted_ballot = 0;  // highest ballot a value was accepted at
     std::optional<Command> accepted;
     std::optional<Command> committed;
+    // Batch tails of the accepted/committed slot value (empty for plain
+    // single-command slots); kept so promises, retransmissions, and
+    // delivery all see the whole batch.
+    std::vector<Command> accepted_tail;
+    std::vector<Command> committed_tail;
     std::vector<NodeId> ackers;  // leader-side phase-2 acks (deduplicated)
   };
   struct PendingCommand {
@@ -165,12 +204,15 @@ class MultiPaxosReplica final : public core::Replica {
 
   void handle_propose(const Command& c);
   void lead(const Command& c);
+  void enqueue_batch(const Command& c);
+  void flush_batch(bool force);
   void handle_prepare(NodeId from, const Prepare& msg);
   void handle_promise(const Promise& msg);
   void handle_accept(NodeId from, const Accept& msg);
   void handle_accepted(const Accepted& msg);
   void handle_commit(const Commit& msg);
-  void commit_slot(std::uint64_t slot, const Command& cmd);
+  void commit_slot(std::uint64_t slot, const Command& cmd,
+                   const std::vector<Command>& tail = {});
   void try_deliver();
   void start_leader_change();
   void become_leader();
@@ -190,10 +232,28 @@ class MultiPaxosReplica final : public core::Replica {
   std::vector<NodeId> promise_ackers_;  // deduplicated
   std::vector<Promise::Vote> promise_votes_;
   std::unordered_map<CommandId, std::uint64_t> assigned_;  // cmd -> slot
-  /// Recently committed (cmd -> slot, cmd) pairs kept so the leader can
-  /// replay a Commit lost on the wire (bounded by delivered_id_window).
-  std::unordered_map<CommandId, std::pair<std::uint64_t, Command>>
-      recent_commits_;
+  /// Recently committed slot values kept so the leader can replay a Commit
+  /// lost on the wire (bounded by delivered_id_window). Batched slots map
+  /// every member id to the same record — a replay must carry the whole
+  /// batch.
+  struct RecentCommit {
+    std::uint64_t slot = 0;
+    Command head;
+    std::vector<Command> tail;
+  };
+  std::unordered_map<CommandId, RecentCommit> recent_commits_;
+
+  // Leader-side command batching (cfg.batching; off by default). Fresh
+  // commands accumulate in FIFO order and flush as one multi-command slot
+  // when the batch fills (max_commands/max_bytes), the window expires, or
+  // a pipeline slot frees up.
+  core::ClusterConfig::Batching bcfg_;
+  std::deque<Command> batch_buf_;
+  std::unordered_set<CommandId> batch_queued_;  // ids in batch_buf_
+  std::size_t batch_bytes_ = 0;
+  int batch_inflight_ = 0;  // my batched slots awaiting commit
+  std::unordered_set<std::uint64_t> my_batched_slots_;
+  sim::EventId batch_timer_ = sim::kInvalidEvent;
 
   // Learner state.
   std::uint64_t last_delivered_ = 0;

@@ -70,6 +70,59 @@ std::optional<core::Command> read_command(Reader& r) {
 
 namespace {
 
+// Batch tail riding behind a slot/vote head command: a varint member count
+// (0 for plain single-command values) followed by the tail commands. The
+// head is always the batch's first member, so head + tail reconstructs the
+// whole CommandBatch on decode.
+void write_batch_tail(Writer& w, const core::CommandBatchPtr& batch) {
+  if (batch == nullptr || batch->cmds.size() <= 1) {
+    w.varint(0);
+    return;
+  }
+  w.varint(batch->cmds.size() - 1);
+  for (std::size_t i = 1; i < batch->cmds.size(); ++i)
+    write_command(w, *batch->cmds[i]);
+}
+
+bool read_batch_tail(Reader& r, const core::CommandPtr& head,
+                     core::CommandBatchPtr& out) {
+  const auto n = r.varint();
+  if (!n || *n >= core::CommandBatch::kCapacity) return false;
+  if (*n == 0) {
+    out = nullptr;
+    return true;
+  }
+  auto batch = std::make_shared<core::CommandBatch>();
+  batch->cmds.push_back(head);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto cmd = read_command(r);
+    if (!cmd) return false;
+    batch->cmds.push_back(
+        std::make_shared<const core::Command>(std::move(*cmd)));
+  }
+  out = std::move(batch);
+  return true;
+}
+
+// Multi-Paxos batch tails: by-value command vectors behind an Accept,
+// Commit, or Promise vote head (varint count, 0 for plain slots).
+void write_tail(Writer& w, const std::vector<core::Command>& tail) {
+  w.varint(tail.size());
+  for (const auto& t : tail) write_command(w, t);
+}
+
+bool read_tail(Reader& r, std::vector<core::Command>& tail) {
+  const auto n = r.varint();
+  if (!n || *n > kMaxListLen) return false;
+  tail.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto cmd = read_command(r);
+    if (!cmd) return false;
+    tail.push_back(std::move(*cmd));
+  }
+  return true;
+}
+
 void encode_body(Writer& w, const Payload& p) {
   switch (p.kind()) {
     // --- common -----------------------------------------------------
@@ -98,6 +151,7 @@ void encode_body(Writer& w, const Payload& p) {
         w.u64(v.slot);
         w.u64(v.vballot);
         write_command(w, v.cmd);
+        write_tail(w, v.tail);
       }
       break;
     }
@@ -106,6 +160,7 @@ void encode_body(Writer& w, const Payload& p) {
       w.u64(m.ballot);
       w.u64(m.slot);
       write_command(w, m.cmd);
+      write_tail(w, m.tail);
       break;
     }
     case kKindMultiPaxos + 5: {
@@ -120,6 +175,7 @@ void encode_body(Writer& w, const Payload& p) {
       const auto& m = static_cast<const mp::Commit&>(p);
       w.u64(m.slot);
       write_command(w, m.cmd);
+      write_tail(w, m.tail);
       break;
     }
 
@@ -223,6 +279,7 @@ void encode_body(Writer& w, const Payload& p) {
         w.u64(s.instance);
         w.u64(s.epoch);
         write_command(w, *s.cmd);
+        write_batch_tail(w, s.batch);
       }
       break;
     }
@@ -247,6 +304,7 @@ void encode_body(Writer& w, const Payload& p) {
         w.u64(s.instance);
         w.u64(s.epoch);
         write_command(w, *s.cmd);
+        write_batch_tail(w, s.batch);
       }
       break;
     }
@@ -273,6 +331,7 @@ void encode_body(Writer& w, const Payload& p) {
         w.u64(v.accepted_epoch);
         w.u8(v.decided ? 1 : 0);
         write_command(w, *v.cmd);
+        write_batch_tail(w, v.batch);
       }
       w.varint(m.delivered_floors.size());
       for (const auto& [obj, floor] : m.delivered_floors) {
@@ -304,6 +363,7 @@ void encode_body(Writer& w, const Payload& p) {
         w.u64(s.instance);
         w.u64(s.epoch);
         write_command(w, *s.cmd);
+        write_batch_tail(w, s.batch);
       }
       break;
     }
@@ -342,7 +402,11 @@ bool read_slots(Reader& r, m2p::SlotList& slots) {
     if (!object || !instance || !epoch) return false;
     auto cmd = read_command(r);
     if (!cmd) return false;
-    slots.push_back(m2p::SlotValue{*object, *instance, *epoch, std::move(*cmd)});
+    auto head = std::make_shared<const core::Command>(std::move(*cmd));
+    core::CommandBatchPtr batch;
+    if (!read_batch_tail(r, head, batch)) return false;
+    slots.push_back(m2p::SlotValue{*object, *instance, *epoch,
+                                   std::move(head), std::move(batch)});
   }
   return true;
 }
@@ -400,7 +464,10 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
         if (!slot || !vballot) return nullptr;
         auto cmd = read_command(r);
         if (!cmd) return nullptr;
-        m->votes.push_back(mp::Promise::Vote{*slot, *vballot, std::move(*cmd)});
+        std::vector<core::Command> tail;
+        if (!read_tail(r, tail)) return nullptr;
+        m->votes.push_back(mp::Promise::Vote{*slot, *vballot, std::move(*cmd),
+                                             std::move(tail)});
       }
       return m;
     }
@@ -409,8 +476,11 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
       const auto slot = r.u64();
       if (!ballot || !slot) return nullptr;
       auto cmd = read_command(r);
-      return cmd ? make_payload<mp::Accept>(*ballot, *slot, std::move(*cmd))
-                 : nullptr;
+      if (!cmd) return nullptr;
+      std::vector<core::Command> tail;
+      if (!read_tail(r, tail)) return nullptr;
+      return make_payload<mp::Accept>(*ballot, *slot, std::move(*cmd),
+                                      std::move(tail));
     }
     case kKindMultiPaxos + 5: {
       auto m = std::make_shared<mp::Accepted>();
@@ -429,7 +499,11 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
       const auto slot = r.u64();
       if (!slot) return nullptr;
       auto cmd = read_command(r);
-      return cmd ? make_payload<mp::Commit>(*slot, std::move(*cmd)) : nullptr;
+      if (!cmd) return nullptr;
+      std::vector<core::Command> tail;
+      if (!read_tail(r, tail)) return nullptr;
+      return make_payload<mp::Commit>(*slot, std::move(*cmd),
+                                      std::move(tail));
     }
 
     // --- Generalized Paxos ---------------------------------------------
@@ -600,8 +674,13 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
         if (!object || !instance || !epoch || !decided) return nullptr;
         auto cmd = read_command(r);
         if (!cmd) return nullptr;
-        m->votes.push_back(m2p::AckPrepare::Vote{
-            *object, *instance, *epoch, *decided != 0, std::move(*cmd)});
+        auto head = std::make_shared<const core::Command>(std::move(*cmd));
+        core::CommandBatchPtr batch;
+        if (!read_batch_tail(r, head, batch)) return nullptr;
+        m->votes.push_back(m2p::AckPrepare::Vote{*object, *instance, *epoch,
+                                                 *decided != 0,
+                                                 std::move(head)});
+        m->votes.back().batch = std::move(batch);
       }
       const auto nf = r.varint();
       if (!nf || *nf > kMaxListLen) return nullptr;
@@ -617,7 +696,7 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
     case kKindM2Paxos + 7: {
       const auto n = r.varint();
       if (!n || *n > kMaxListLen) return nullptr;
-      std::vector<m2p::SyncRequest::Entry> entries;
+      m2p::SyncRequest::EntryList entries;
       for (std::uint64_t i = 0; i < *n; ++i) {
         const auto object = r.u64();
         const auto from = r.u64();

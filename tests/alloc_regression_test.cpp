@@ -68,12 +68,16 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace m2 {
 namespace {
 
-int run() {
+/// Runs one mix to steady state and counts allocations over a measurement
+/// window. `mutate` adjusts the workload/experiment configs (the batched
+/// mix flips the protocol-batching knobs and shrinks the object set so the
+/// accumulator actually fills).
+int run_mix(const char* name,
+            void (*mutate)(wl::SyntheticConfig&, harness::ExperimentConfig&)) {
   wl::SyntheticConfig wl_cfg;
   wl_cfg.n_nodes = 3;
   wl_cfg.objects_per_node = 1024;
   wl_cfg.locality = 1.0;  // every command touches one locally-owned object
-  wl::SyntheticWorkload workload(wl_cfg);
 
   harness::ExperimentConfig cfg;
   cfg.protocol = core::Protocol::kM2Paxos;
@@ -87,6 +91,8 @@ int run() {
   // pool) before the measurement window, as they would be in any
   // long-running deployment.
   cfg.cluster.gc_margin = 16;
+  if (mutate != nullptr) mutate(wl_cfg, cfg);
+  wl::SyntheticWorkload workload(wl_cfg);
 
   harness::Cluster cluster(cfg, workload);
   cluster.start_clients();
@@ -112,25 +118,41 @@ int run() {
   const std::uint64_t decided = cluster.delivered_at(0) - decided_before;
   cluster.stop_clients();
 
-  std::printf("alloc_regression: %llu decided, %llu steady-state allocations\n",
-              static_cast<unsigned long long>(decided),
+  std::printf("alloc_regression[%s]: %llu decided, %llu steady-state "
+              "allocations\n",
+              name, static_cast<unsigned long long>(decided),
               static_cast<unsigned long long>(allocs));
   if (decided < 1000) {
-    std::fprintf(stderr, "FAIL: expected >= 1000 decided commands, got %llu\n",
-                 static_cast<unsigned long long>(decided));
+    std::fprintf(stderr,
+                 "FAIL[%s]: expected >= 1000 decided commands, got %llu\n",
+                 name, static_cast<unsigned long long>(decided));
     return 1;
   }
   if (allocs != 0) {
     std::fprintf(stderr,
-                 "FAIL: steady-state fast path allocated %llu times over %llu "
-                 "decided commands (expected zero; rerun with M2_ALLOC_TRACE=1 "
-                 "for backtraces)\n",
-                 static_cast<unsigned long long>(allocs),
+                 "FAIL[%s]: steady-state fast path allocated %llu times over "
+                 "%llu decided commands (expected zero; rerun with "
+                 "M2_ALLOC_TRACE=1 for backtraces)\n",
+                 name, static_cast<unsigned long long>(allocs),
                  static_cast<unsigned long long>(decided));
     return 1;
   }
-  std::printf("PASS: zero steady-state allocations per decided command\n");
+  std::printf("PASS[%s]: zero steady-state allocations per decided command\n",
+              name);
   return 0;
+}
+
+int run() {
+  int rc = run_mix("fast_path", nullptr);
+  // Batched mix: protocol-level command batching over a hot object set, so
+  // the steady state exercises multi-command slot values, pooled batch
+  // blocks, and pipelined accept rounds — all of which must recycle.
+  rc |= run_mix("batched", [](wl::SyntheticConfig& wl_cfg,
+                              harness::ExperimentConfig& cfg) {
+    wl_cfg.objects_per_node = 128;
+    cfg.cluster.batching.enabled = true;
+  });
+  return rc;
 }
 
 }  // namespace

@@ -208,7 +208,7 @@ TEST(M2PaxosUnit, SyncRequestServesRetainedDecisions) {
   const auto c = cmd(1, 1, {1500});
   f.replica.on_message(1, Decide({{1500, 1, 0, c}}));
   f.ctx.sent.clear();
-  f.replica.on_message(2, SyncRequest({{1500, 1}}));
+  f.replica.on_message(2, SyncRequest(SyncRequest::EntryList{{1500, 1}}));
   const auto* reply = static_cast<const SyncReply*>(
       find_last(f.ctx, net::kKindM2Paxos + 8));
   ASSERT_NE(reply, nullptr);

@@ -93,7 +93,7 @@ TEST(GpMessages, FastAckCarriesCstructSuffix) {
 TEST(MpMessages, PromiseGrowsWithVotes) {
   mp::Promise p;
   const auto empty = p.wire_size();
-  p.votes.push_back({1, 1, cmd(0, 1, {1})});
+  p.votes.push_back({1, 1, cmd(0, 1, {1}), {}});
   EXPECT_GT(p.wire_size(), empty + 16);
 }
 

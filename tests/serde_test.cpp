@@ -77,7 +77,7 @@ TEST(Serde, MultiPaxosMessages) {
     p.acceptor = 1;
     p.ack = true;
     p.first_undelivered = 6;
-    p.votes.push_back({7, 2, c});
+    p.votes.push_back({7, 2, c, {}});
     const auto back = round_trip(p);
     EXPECT_EQ(back->first_undelivered, 6u);
     ASSERT_EQ(back->votes.size(), 1u);
@@ -205,13 +205,98 @@ TEST(Serde, M2PaxosMessages) {
     EXPECT_EQ(back->delivered_floors[0].second, 9u);
   }
   {
-    const auto back = round_trip(m2p::SyncRequest({{3, 5}}));
+    const auto back =
+        round_trip(m2p::SyncRequest(m2p::SyncRequest::EntryList{{3, 5}}));
     ASSERT_EQ(back->entries.size(), 1u);
     EXPECT_EQ(back->entries[0].from_instance, 5u);
   }
   {
     const auto back = round_trip(m2p::SyncReply({{3, 5, 0, c}}));
     ASSERT_EQ(back->slots.size(), 1u);
+  }
+}
+
+TEST(Serde, M2PaxosBatchTails) {
+  // Multi-command slot values: the batch tail rides behind the head in
+  // Accept/Decide/SyncReply slots and in AckPrepare votes, and the decoded
+  // batch must satisfy the head invariant (cmd == batch->cmds.front()).
+  const auto head = std::make_shared<const core::Command>(cmd(1, 1, {7}));
+  const auto t1 = std::make_shared<const core::Command>(cmd(1, 2, {7}));
+  const auto t2 = std::make_shared<const core::Command>(cmd(2, 9, {7}));
+  auto batch = std::make_shared<core::CommandBatch>();
+  batch->cmds.push_back(head);
+  batch->cmds.push_back(t1);
+  batch->cmds.push_back(t2);
+
+  auto check_slots = [&](const auto& slots) {
+    ASSERT_EQ(slots.size(), 2u);
+    ASSERT_NE(slots[0].batch, nullptr);
+    ASSERT_EQ(slots[0].batch->cmds.size(), 3u);
+    EXPECT_EQ(slots[0].cmd->id, head->id);
+    EXPECT_EQ(slots[0].batch->cmds[0]->id, head->id);
+    EXPECT_EQ(slots[0].batch->cmds[1]->id, t1->id);
+    EXPECT_EQ(slots[0].batch->cmds[2]->id, t2->id);
+    EXPECT_EQ(slots[1].batch, nullptr) << "plain slot must stay plain";
+  };
+
+  m2p::SlotList slots;
+  slots.emplace_back(7, 3, 2, head, batch);
+  slots.emplace_back(8, 1, 2, head, nullptr);
+  {
+    const auto back = round_trip(m2p::Accept(99, slots));
+    check_slots(back->slots);
+  }
+  {
+    const auto back = round_trip(m2p::Decide(slots));
+    check_slots(back->slots);
+  }
+  {
+    const auto back = round_trip(m2p::SyncReply(slots));
+    check_slots(back->slots);
+  }
+  {
+    m2p::AckPrepare a;
+    a.req_id = 7;
+    a.acceptor = 0;
+    a.ack = true;
+    a.votes.push_back({7, 3, 4, true, *head});
+    a.votes.back().batch = batch;
+    const auto back = round_trip(a);
+    ASSERT_EQ(back->votes.size(), 1u);
+    ASSERT_NE(back->votes[0].batch, nullptr);
+    ASSERT_EQ(back->votes[0].batch->cmds.size(), 3u);
+    EXPECT_EQ(back->votes[0].batch->cmds[2]->id, t2->id);
+    EXPECT_EQ(back->votes[0].cmd->id, back->votes[0].batch->cmds[0]->id);
+  }
+}
+
+TEST(Serde, MultiPaxosBatchTails) {
+  auto h = cmd(0, 1, {3});
+  auto t1 = cmd(0, 2, {3});
+  auto t2 = cmd(1, 5, {3});
+  const std::vector<core::Command> tail = {t1, t2};
+  {
+    const auto back = round_trip(mp::Accept(3, 8, h, tail));
+    EXPECT_EQ(back->cmd.id, h.id);
+    ASSERT_EQ(back->tail.size(), 2u);
+    EXPECT_EQ(back->tail[0].id, t1.id);
+    EXPECT_EQ(back->tail[1].id, t2.id);
+  }
+  {
+    const auto back = round_trip(mp::Commit(8, h, tail));
+    ASSERT_EQ(back->tail.size(), 2u);
+    EXPECT_EQ(back->tail[1].id, t2.id);
+  }
+  {
+    mp::Promise p;
+    p.ballot = 3;
+    p.acceptor = 1;
+    p.ack = true;
+    p.votes.push_back({7, 2, h, tail});
+    const auto back = round_trip(p);
+    ASSERT_EQ(back->votes.size(), 1u);
+    ASSERT_EQ(back->votes[0].tail.size(), 2u);
+    EXPECT_EQ(back->votes[0].tail[0].id, t1.id);
   }
 }
 
@@ -256,6 +341,24 @@ TEST(Serde, MalformedInputNeverCrashes) {
     mutated[rng.uniform(mutated.size())] ^=
         static_cast<std::uint8_t>(1 << rng.uniform(8));
     decode_payload(mutated);  // any result is fine; no crash, no UB
+  }
+  // Same sweeps over a batched slot value (the batch-tail framing adds a
+  // count + per-member commands that truncation/flipping must not trip on).
+  const auto hp = std::make_shared<const core::Command>(cmd(2, 11, {3}));
+  const auto tp = std::make_shared<const core::Command>(cmd(2, 12, {3}));
+  auto batch = std::make_shared<core::CommandBatch>();
+  batch->cmds.push_back(hp);
+  batch->cmds.push_back(tp);
+  m2p::SlotList bslots;
+  bslots.emplace_back(3, 1, 2, hp, batch);
+  const auto batched = encode_payload(m2p::Accept(99, bslots));
+  for (std::size_t len = 0; len < batched.size(); ++len)
+    EXPECT_EQ(decode_payload(batched.data(), len), nullptr) << "len " << len;
+  for (int i = 0; i < 500; ++i) {
+    auto mutated = batched;
+    mutated[rng.uniform(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 << rng.uniform(8));
+    decode_payload(mutated);
   }
 }
 

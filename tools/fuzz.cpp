@@ -38,6 +38,7 @@ struct Options {
   int jobs = 0;  // 0 = hardware_concurrency
   bool json = false;
   bool inject_bug = false;
+  bool batching = false;
   bool shrink = true;
   bool verbose = false;
   std::vector<int> keep;
@@ -55,6 +56,7 @@ struct Options {
       "  --drain-ms MS     post-heal drain                  (default 2000)\n"
       "  --jobs N          worker threads; 0 = all cores     (default 0)\n"
       "  --keep I,J,...    replay only these fault episodes\n"
+      "  --batching        enable protocol-level command batching\n"
       "  --inject-bug      enable the deliberate epoch-safety bug\n"
       "  --no-shrink       report failures without shrinking\n"
       "  --json            machine-readable output (one object per run)\n"
@@ -132,6 +134,8 @@ Options parse(int argc, char** argv) {
     } else if (flag == "--keep") {
       opt.keep = parse_int_list(need_value(i));
       opt.have_keep = true;
+    } else if (flag == "--batching") {
+      opt.batching = true;
     } else if (flag == "--inject-bug") {
       opt.inject_bug = true;
     } else if (flag == "--no-shrink") {
@@ -199,6 +203,7 @@ std::string repro_command(const char* argv0, core::Protocol protocol,
   cmd += " --intensity " + std::to_string(opt.intensity);
   if (opt.horizon_ms != 300)
     cmd += " --horizon-ms " + std::to_string(opt.horizon_ms);
+  if (opt.batching) cmd += " --batching";
   if (opt.inject_bug) cmd += " --inject-bug";
   if (!keep.empty()) cmd += " --keep " + episode_list(keep);
   return cmd;
@@ -293,6 +298,7 @@ int main(int argc, char** argv) {
       sc.fuzz_case.horizon = opt.horizon_ms * sim::kMillisecond;
       sc.fuzz_case.drain = opt.drain_ms * sim::kMillisecond;
       sc.fuzz_case.inject_bug = opt.inject_bug;
+      sc.fuzz_case.batching = opt.batching;
       if (opt.have_keep) {
         sc.fuzz_case.keep_episodes = opt.keep;
         if (sc.fuzz_case.keep_episodes.empty())
