@@ -32,6 +32,7 @@
 #include "bench_common.hpp"
 #include "harness/cluster.hpp"
 #include "m2paxos/m2paxos.hpp"
+#include "stats/export.hpp"
 #include "workload/synthetic.hpp"
 
 // ---------------------------------------------------------------------
@@ -133,6 +134,7 @@ struct MixResult {
   double allocs_per_decided = 0;  // steady-state heap allocs / decided cmd
   std::uint64_t decided = 0;
   std::uint64_t steady_allocations = 0;
+  stats::MetricsRegistry metrics;  // merged across nodes at end of mix
 };
 
 harness::ExperimentConfig mix_config() {
@@ -159,9 +161,11 @@ harness::ExperimentConfig mix_config() {
 /// `batching`, when non-null, overrides the protocol-batching knobs.
 MixResult run_mix(wl::Workload& workload, sim::Time sim_warmup,
                   sim::Time sim_measure,
-                  const core::ClusterConfig::Batching* batching = nullptr) {
+                  const core::ClusterConfig::Batching* batching = nullptr,
+                  bool metrics_enabled = true) {
   harness::ExperimentConfig cfg = mix_config();
   if (batching != nullptr) cfg.cluster.batching = *batching;
+  cfg.cluster.metrics.enabled = metrics_enabled;
   harness::Cluster cluster(cfg, workload);
   cluster.start_clients();
   cluster.run_for(sim_warmup);
@@ -171,13 +175,16 @@ MixResult run_mix(wl::Workload& workload, sim::Time sim_warmup,
   for (NodeId n = 0; n < static_cast<NodeId>(cluster.n_nodes()); ++n)
     cluster.replica_as<m2p::M2PaxosReplica>(n).prewarm_commands(4096);
 
+  // Constructed before the counted window: the embedded MetricsRegistry
+  // allocates its histogram storage, which must not be billed to the
+  // steady state.
+  MixResult r;
   const std::uint64_t decided_before = cluster.delivered_at(0);
   const std::uint64_t allocs_before = g_allocations.load();
   WallTimer timer;
   cluster.run_for(sim_measure);
   const double dt = timer.elapsed_seconds();
 
-  MixResult r;
   r.decided = cluster.delivered_at(0) - decided_before;
   r.steady_allocations = g_allocations.load() - allocs_before;
   r.decided_per_sec = static_cast<double>(r.decided) / dt;
@@ -185,6 +192,7 @@ MixResult run_mix(wl::Workload& workload, sim::Time sim_warmup,
       r.decided ? static_cast<double>(r.steady_allocations) /
                       static_cast<double>(r.decided)
                 : -1.0;
+  r.metrics = cluster.merged_metrics();
   cluster.stop_clients();
   return r;
 }
@@ -285,49 +293,79 @@ int bench_main() {
   }
   print_mix("batched_fast", batched, kBaselineBatchedFastPath);
 
-  JsonWriter baseline;
-  baseline.string("note",
-                  "pre-overhaul (std::map slot logs, vector object sets, "
-                  "deep-copied commands), reference machine");
-  baseline.number("fast_path_decided_per_sec", kBaselineFastPath);
-  baseline.number("forwarding_decided_per_sec", kBaselineForwarding);
-  baseline.number("acquisition_decided_per_sec", kBaselineAcquisition);
-  baseline.number("fast_path_allocs_per_decided", kBaselineFastAllocs);
-  baseline.number("batched_fast_path_decided_per_sec",
-                  kBaselineBatchedFastPath);
+  // Metrics kill-switch overhead: rerun the fast-path mix with the runtime
+  // switch off (Config::Metrics{false} — no registries are built, every
+  // m_* helper short-circuits on a null pointer) and compare wall-clock
+  // rates. Informational, not a gate: single-run wall-clock noise on CI
+  // runners exceeds the ~2% effect being measured. docs/performance.md
+  // records the number from the reference machine.
+  const MixResult fast_off =
+      run_mix(fast_wl, sim_warmup, sim_measure, nullptr, false);
+  const double metrics_overhead_pct =
+      fast_off.decided_per_sec > 0
+          ? (fast_off.decided_per_sec - fast.decided_per_sec) /
+                fast_off.decided_per_sec * 100.0
+          : 0.0;
+  std::printf("metrics overhead: %9.0f decided/sec off vs %9.0f on "
+              "(%+.1f%% with metrics enabled)\n",
+              fast_off.decided_per_sec, fast.decided_per_sec,
+              -metrics_overhead_pct);
 
-  JsonWriter current;
-  current.number("fast_path_decided_per_sec", fast.decided_per_sec);
-  current.number("forwarding_decided_per_sec", fwd.decided_per_sec);
-  current.number("acquisition_decided_per_sec", acq.decided_per_sec);
-  current.number("fast_path_allocs_per_decided", fast.allocs_per_decided);
-  current.number("forwarding_allocs_per_decided", fwd.allocs_per_decided);
-  current.number("acquisition_allocs_per_decided", acq.allocs_per_decided);
-  current.number("batched_fast_path_decided_per_sec", batched.decided_per_sec);
-  current.number("batched_fast_path_allocs_per_decided",
-                 batched.allocs_per_decided);
-  current.integer("fast_path_decided", fast.decided);
-  current.integer("forwarding_decided", fwd.decided);
-  current.integer("acquisition_decided", acq.decided);
-  current.integer("batched_fast_path_decided", batched.decided);
-  current.integer("batched_fast_path_best_window_us",
-                  static_cast<std::uint64_t>(best_window / sim::kMicrosecond));
-  current.integer("batched_fast_path_best_max_commands", best_max_cmds);
-  current.integer("batched_fast_path_best_pipeline_depth",
-                  static_cast<std::uint64_t>(best_depth));
+  stats::Json baseline = stats::Json::object();
+  baseline.set("note",
+               "pre-overhaul (std::map slot logs, vector object sets, "
+               "deep-copied commands), reference machine");
+  baseline.set("fast_path_decided_per_sec", kBaselineFastPath);
+  baseline.set("forwarding_decided_per_sec", kBaselineForwarding);
+  baseline.set("acquisition_decided_per_sec", kBaselineAcquisition);
+  baseline.set("fast_path_allocs_per_decided", kBaselineFastAllocs);
+  baseline.set("batched_fast_path_decided_per_sec", kBaselineBatchedFastPath);
 
-  JsonWriter doc;
-  doc.string("bench", "micro_protocol");
-  doc.integer("quick", quick ? 1 : 0);
-  doc.object("baseline", baseline);
-  doc.object("current", current);
-  doc.number("speedup_fast_path", fast.decided_per_sec / kBaselineFastPath);
-  doc.number("speedup_forwarding", fwd.decided_per_sec / kBaselineForwarding);
-  doc.number("speedup_acquisition",
-             acq.decided_per_sec / kBaselineAcquisition);
-  doc.number("speedup_batched_fast_path",
-             batched.decided_per_sec / kBaselineBatchedFastPath);
-  if (!doc.write_file("BENCH_protocol.json")) return 1;
+  stats::Json results = stats::Json::object();
+  results.set("fast_path_decided_per_sec", fast.decided_per_sec);
+  results.set("forwarding_decided_per_sec", fwd.decided_per_sec);
+  results.set("acquisition_decided_per_sec", acq.decided_per_sec);
+  results.set("fast_path_allocs_per_decided", fast.allocs_per_decided);
+  results.set("forwarding_allocs_per_decided", fwd.allocs_per_decided);
+  results.set("acquisition_allocs_per_decided", acq.allocs_per_decided);
+  results.set("batched_fast_path_decided_per_sec", batched.decided_per_sec);
+  results.set("batched_fast_path_allocs_per_decided",
+              batched.allocs_per_decided);
+  results.set("speedup_fast_path", fast.decided_per_sec / kBaselineFastPath);
+  results.set("speedup_forwarding", fwd.decided_per_sec / kBaselineForwarding);
+  results.set("speedup_acquisition",
+              acq.decided_per_sec / kBaselineAcquisition);
+  results.set("speedup_batched_fast_path",
+              batched.decided_per_sec / kBaselineBatchedFastPath);
+  results.set("fast_path_decided", static_cast<std::int64_t>(fast.decided));
+  results.set("forwarding_decided", static_cast<std::int64_t>(fwd.decided));
+  results.set("acquisition_decided", static_cast<std::int64_t>(acq.decided));
+  results.set("batched_fast_path_decided",
+              static_cast<std::int64_t>(batched.decided));
+  results.set("batched_fast_path_best_window_us",
+              static_cast<std::int64_t>(best_window / sim::kMicrosecond));
+  results.set("batched_fast_path_best_max_commands",
+              static_cast<std::int64_t>(best_max_cmds));
+  results.set("batched_fast_path_best_pipeline_depth",
+              static_cast<std::int64_t>(best_depth));
+  results.set("metrics_overhead_pct", metrics_overhead_pct);
+
+  // One merged registry across the four instrumented mixes — the bench's
+  // whole protocol-metric surface in one "metrics" section.
+  stats::MetricsRegistry all_metrics;
+  all_metrics.merge(fast.metrics);
+  all_metrics.merge(fwd.metrics);
+  all_metrics.merge(acq.metrics);
+  all_metrics.merge(batched.metrics);
+
+  stats::Json doc = stats::make_bench_doc("micro_protocol", quick);
+  doc.set("baseline", std::move(baseline));
+  doc.set("results", std::move(results));
+  doc.set("metrics", stats::export_registry(all_metrics));
+  if (!stats::write_json_file("BENCH_protocol.json", doc)) {
+    std::fprintf(stderr, "cannot write BENCH_protocol.json\n");
+    return 1;
+  }
   std::printf("wrote BENCH_protocol.json\n");
 
   // Sanity: every mix must have made real progress.

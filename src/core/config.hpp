@@ -105,6 +105,15 @@ struct ClusterConfig {
   };
   Batching batching;
 
+  /// Observability kill switch. When disabled the harness creates no
+  /// MetricsRegistry, Context::metrics() stays nullptr, and every
+  /// instrumentation helper reduces to one pointer test. (A compile-time
+  /// switch, -DM2_DISABLE_METRICS, removes even that branch.)
+  struct Metrics {
+    bool enabled = true;
+  };
+  Metrics metrics;
+
   /// M²Paxos frontier GC: per object, slots more than this many instances
   /// below the delivery frontier are truncated from the log. The margin is
   /// the per-object catch-up window anti-entropy can serve; peers further

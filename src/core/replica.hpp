@@ -7,6 +7,7 @@
 #include "sim/inline_fn.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "stats/metrics.hpp"
 
 namespace m2::core {
 
@@ -72,6 +73,12 @@ class Context {
     (void)owner;
     (void)acquired;
   }
+
+  /// Per-node metrics registry, or nullptr when observability is off
+  /// (Config::Metrics runtime kill switch). Replicas cache the pointer at
+  /// construction; a null registry makes every instrumentation helper a
+  /// single predictable branch.
+  virtual stats::MetricsRegistry* metrics() { return nullptr; }
 };
 
 /// Base class of all four protocol replicas.
@@ -83,7 +90,11 @@ class Context {
 class Replica {
  public:
   Replica(NodeId id, const ClusterConfig& cfg, Context& ctx)
-      : id_(id), cfg_(cfg), ctx_(ctx) {}
+      : id_(id), cfg_(cfg), ctx_(ctx) {
+#ifndef M2_DISABLE_METRICS
+    metrics_ = ctx.metrics();
+#endif
+  }
   virtual ~Replica() = default;
 
   Replica(const Replica&) = delete;
@@ -110,9 +121,46 @@ class Replica {
   Context& ctx() { return ctx_; }
   const Context& ctx() const { return ctx_; }
 
+  // --- instrumentation helpers -------------------------------------------
+  // No-ops when the registry is absent (runtime kill switch); compiled to
+  // nothing under -DM2_DISABLE_METRICS. Hot-path safe: inc/set/record on a
+  // live registry touch fixed arrays only and never allocate.
+#ifdef M2_DISABLE_METRICS
+  void m_inc(stats::Counter, std::uint64_t = 1) {}
+  void m_set(stats::Gauge, std::int64_t) {}
+  void m_record(stats::Histo, std::int64_t) {}
+  void m_span_commit(stats::Path, sim::Time) {}
+  void m_span_deliver(stats::Path, sim::Time) {}
+  static constexpr bool metrics_on() { return false; }
+#else
+  void m_inc(stats::Counter c, std::uint64_t by = 1) {
+    if (metrics_ != nullptr) metrics_->inc(c, by);
+  }
+  void m_set(stats::Gauge g, std::int64_t v) {
+    if (metrics_ != nullptr) metrics_->set(g, v);
+  }
+  void m_record(stats::Histo h, std::int64_t v) {
+    if (metrics_ != nullptr) metrics_->record(h, v);
+  }
+  /// Propose→commit span at the proposer; `proposed_at` < 0 means the
+  /// command was never stamped locally (e.g. learned remotely) — skip.
+  void m_span_commit(stats::Path p, sim::Time proposed_at) {
+    if (metrics_ != nullptr && proposed_at >= 0) {
+      metrics_->inc(stats::committed_counter(p));
+      metrics_->record(stats::commit_histo(p), ctx_.now() - proposed_at);
+    }
+  }
+  void m_span_deliver(stats::Path p, sim::Time proposed_at) {
+    if (metrics_ != nullptr && proposed_at >= 0)
+      metrics_->record(stats::deliver_histo(p), ctx_.now() - proposed_at);
+  }
+  bool metrics_on() const { return metrics_ != nullptr; }
+#endif
+
   NodeId id_;
   ClusterConfig cfg_;
   Context& ctx_;
+  stats::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace m2::core

@@ -130,6 +130,7 @@ void EPaxosReplica::propose(const Command& c) {
   st.attrs = compute_attrs(c, r);
   st.status = Status::kPreAccepted;
   st.merged = st.attrs;
+  st.proposed_at = ctx_.now();
 
   const auto peers = fast_quorum_peers();
   if (peers.empty()) {
@@ -139,6 +140,8 @@ void EPaxosReplica::propose(const Command& c) {
   }
   auto msg = net::make_payload<PreAccept>(r, c, st.attrs);
   counters_.dep_bytes_sent += 8 * st.attrs.deps.size() * peers.size();
+  m_inc(stats::Counter::kDepBytesSent,
+        8 * st.attrs.deps.size() * peers.size());
   for (NodeId p : peers) ctx_.send(p, msg);
 }
 
@@ -156,6 +159,7 @@ void EPaxosReplica::handle_preaccept(NodeId from, const PreAccept& msg) {
   reply->changed = changed;
   reply->attrs = st.attrs;
   counters_.dep_bytes_sent += 8 * st.attrs.deps.size();
+  m_inc(stats::Counter::kDepBytesSent, 8 * st.attrs.deps.size());
   ctx_.send(from, std::move(reply));
 }
 
@@ -187,6 +191,7 @@ void EPaxosReplica::handle_preaccept_reply(const PreAcceptReply& msg) {
     const core::Command cmd = st.cmd;
     const Attrs attrs = st.attrs;
     ++counters_.fast_commits;
+    m_inc(stats::Counter::kFastPathRounds);
     commit(msg.inst, cmd, attrs);
     ctx_.broadcast(net::make_payload<CommitMsg>(msg.inst, cmd, attrs), false);
   } else {
@@ -194,9 +199,12 @@ void EPaxosReplica::handle_preaccept_reply(const PreAcceptReply& msg) {
     std::sort(st.merged.deps.begin(), st.merged.deps.end());
     st.status = Status::kAccepted;
     st.attrs = st.merged;
+    st.path = stats::Path::kSlow;
     st.accept_repliers.clear();
     counters_.dep_bytes_sent +=
         8 * st.attrs.deps.size() * static_cast<std::size_t>(cfg_.n_nodes - 1);
+    m_inc(stats::Counter::kDepBytesSent,
+          8 * st.attrs.deps.size() * static_cast<std::size_t>(cfg_.n_nodes - 1));
     ctx_.broadcast(net::make_payload<AcceptMsg>(msg.inst, st.cmd, st.attrs),
                    false);
   }
@@ -254,9 +262,15 @@ void EPaxosReplica::commit(InstRef r, const Command& cmd, Attrs attrs) {
   st.attrs = std::move(attrs);
   st.status = Status::kCommitted;
   // Instance space is per command leader: slot key is ⟨leader, instance⟩.
+  m_inc(stats::Counter::kDecidedSlots);
+  m_record(stats::Histo::kSlotLogDepth,
+           static_cast<std::int64_t>(instances_.size()));
   ctx_.decided(inst_replica(r), inst_slot(r), cmd);
   // Commit latency is measured at the command leader (EPaxos semantics).
-  if (inst_replica(r) == id_ && !cmd.noop) ctx_.committed(cmd);
+  if (inst_replica(r) == id_ && !cmd.noop) {
+    m_span_commit(st.path, st.proposed_at);
+    ctx_.committed(cmd);
+  }
   for (ObjectId l : cmd.objects) note_access(l, r);
   try_execute(r);
 
@@ -294,6 +308,7 @@ void EPaxosReplica::try_execute(InstRef r) {
   ExecResult plan = plan_execution(g, r);
   if (plan.blocked) {
     ++counters_.exec_blocked;
+    m_inc(stats::Counter::kExecBlocked);
     auto& waiters = exec_waiters_[plan.blocked_on];
     if (std::find(waiters.begin(), waiters.end(), r) == waiters.end())
       waiters.push_back(r);
@@ -305,6 +320,8 @@ void EPaxosReplica::try_execute(InstRef r) {
     st.status = Status::kExecuted;
     ++delivered_count_;
     ++counters_.delivered;
+    m_inc(stats::Counter::kDelivered);
+    m_span_deliver(st.path, st.proposed_at);
     if (cfg_.record_delivered) delivered_seq_.push_back(st.cmd);
     ctx_.deliver(st.cmd);
   }

@@ -149,6 +149,10 @@ class EPaxosReplica final : public core::Replica {
     bool all_unchanged = true;
     Attrs merged;
     std::vector<NodeId> accept_repliers;
+    // Metrics (command-leader side only; -1 on purely-accepting replicas).
+    // Path degrades to "slow" when the pre-accept votes disagree.
+    sim::Time proposed_at = -1;
+    stats::Path path = stats::Path::kFast;
   };
 
   InstState& inst(InstRef r) { return instances_[r]; }

@@ -39,6 +39,7 @@ void GenPaxosReplica::propose(const Command& c) {
   auto [it, inserted] = pending_.try_emplace(c.id, PendingCommand{});
   if (!inserted) return;
   it->second.cmd = c;
+  it->second.proposed_at = ctx_.now();
   arm_retry(c.id);
   ctx_.broadcast(net::make_payload<FastPropose>(c), true);
 }
@@ -56,10 +57,12 @@ void GenPaxosReplica::arm_retry(CommandId id) {
     auto pit = pending_.find(id);
     if (pit == pending_.end()) return;
     ++counters_.retries;
+    m_inc(stats::Counter::kRetries);
     ++pit->second.attempts;
     // Retry through the leader: after a timeout assume collision (or a
     // lost message; the leader replays the Sequence if already done).
     pit->second.handed_to_leader = true;
+    pit->second.path = stats::Path::kSlow;
     ctx_.send(leader_, net::make_payload<ResolveReq>(pit->second.cmd));
     arm_retry(id);
   });
@@ -95,13 +98,17 @@ void GenPaxosReplica::handle_fast_ack(const FastAck& msg) {
 
   if (pc.mismatch) {
     ++counters_.collisions;
+    m_inc(stats::Counter::kCollisions);
     pc.handed_to_leader = true;
+    pc.path = stats::Path::kSlow;
     ctx_.send(leader_, net::make_payload<ResolveReq>(pc.cmd));
   } else {
     ++counters_.fast_agreements;
+    m_inc(stats::Counter::kFastPathRounds);
     pc.handed_to_leader = true;
     if (!pc.commit_reported) {
       pc.commit_reported = true;
+      m_span_commit(pc.path, pc.proposed_at);
       ctx_.committed(pc.cmd);  // two communication delays
     }
     ctx_.send(leader_, net::make_payload<CommitNotify>(pc.cmd));
@@ -196,6 +203,9 @@ void GenPaxosReplica::leader_sequence(const Command& cmd) {
   recent_sequences_.emplace(cmd.id, std::make_pair(index, cmd));
   seq_log_.emplace(index, cmd);
   // Single sequencer log: slot key is ⟨object 0, sequence index⟩.
+  m_inc(stats::Counter::kDecidedSlots);
+  m_record(stats::Histo::kSlotLogDepth,
+           static_cast<std::int64_t>(seq_log_.size()));
   ctx_.decided(0, index, cmd);
   try_deliver();
   ctx_.broadcast(net::make_payload<Sequence>(index, cmd), false);
@@ -207,7 +217,12 @@ void GenPaxosReplica::leader_sequence(const Command& cmd) {
 
 void GenPaxosReplica::handle_sequence(const Sequence& msg) {
   const auto [it, inserted] = seq_log_.emplace(msg.index, msg.cmd);
-  if (inserted) ctx_.decided(0, msg.index, msg.cmd);
+  if (inserted) {
+    m_inc(stats::Counter::kDecidedSlots);
+    m_record(stats::Histo::kSlotLogDepth,
+             static_cast<std::int64_t>(seq_log_.size()));
+    ctx_.decided(0, msg.index, msg.cmd);
+  }
   try_deliver();
 }
 
@@ -227,10 +242,15 @@ void GenPaxosReplica::try_deliver() {
       delivered_fifo_.pop_front();
     }
     ++counters_.delivered;
+    m_inc(stats::Counter::kDelivered);
     if (cfg_.record_delivered) delivered_seq_.push_back(c);
     auto pit = pending_.find(c.id);
     if (pit != pending_.end()) {
-      if (!pit->second.commit_reported) ctx_.committed(c);
+      if (!pit->second.commit_reported) {
+        m_span_commit(pit->second.path, pit->second.proposed_at);
+        ctx_.committed(c);
+      }
+      m_span_deliver(pit->second.path, pit->second.proposed_at);
       ctx_.cancel_timer(pit->second.timer);
       pending_.erase(pit);
     }

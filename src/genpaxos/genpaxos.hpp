@@ -155,6 +155,10 @@ class GenPaxosReplica final : public core::Replica {
     bool commit_reported = false;
     std::vector<FastAck::Pred> first_preds;  // reference vote
     sim::EventId timer = sim::kInvalidEvent;
+    // Metrics: local propose time; path degrades to "slow" when the command
+    // is handed to the leader (collision or timeout).
+    sim::Time proposed_at = -1;
+    stats::Path path = stats::Path::kFast;
   };
   struct SlowRound {
     Command cmd;

@@ -29,8 +29,11 @@ std::unique_ptr<core::Replica> make_replica(core::Protocol protocol, NodeId id,
 /// Context implementation bridging one replica to the DES substrates.
 class NodeContext final : public core::Context {
  public:
-  NodeContext(Cluster& cluster, NodeId id)
-      : cluster_(cluster), id_(id), rng_(cluster.sim_.rng().split()) {}
+  NodeContext(Cluster& cluster, NodeId id, stats::MetricsRegistry* metrics)
+      : cluster_(cluster), id_(id), metrics_(metrics),
+        rng_(cluster.sim_.rng().split()) {}
+
+  stats::MetricsRegistry* metrics() override { return metrics_; }
 
   sim::Time now() const override { return cluster_.sim_.now(); }
   sim::Rng& rng() override { return rng_; }
@@ -83,6 +86,7 @@ class NodeContext final : public core::Context {
 
   Cluster& cluster_;
   NodeId id_;
+  stats::MetricsRegistry* metrics_;
   sim::Rng rng_;
 };
 
@@ -96,8 +100,13 @@ Cluster::Cluster(ExperimentConfig cfg, wl::Workload& workload)
   cstructs_.resize(static_cast<std::size_t>(n));
   cfg_.cluster.record_delivered = cfg_.audit;
 
+  if (cfg_.cluster.metrics.enabled) {
+    for (int i = 0; i < n; ++i)
+      metrics_.push_back(std::make_unique<stats::MetricsRegistry>());
+  }
   for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
-    contexts_.push_back(std::make_unique<NodeContext>(*this, i));
+    contexts_.push_back(
+        std::make_unique<NodeContext>(*this, i, node_metrics(i)));
     replicas_.push_back(
         make_replica(cfg_.protocol, i, cfg_.cluster, *contexts_.back()));
     wire_node(i);
@@ -213,6 +222,21 @@ void Cluster::reset_measurement() {
   skipped_ = 0;
   latency_.reset();
   network_->reset_counters();
+  // Metrics cover the measurement window only, like every other counter.
+  for (auto& m : metrics_) m->reset();
+}
+
+stats::MetricsRegistry Cluster::merged_metrics() const {
+  stats::MetricsRegistry merged;
+  for (const auto& m : metrics_) merged.merge(*m);
+  if (!metrics_.empty()) {
+    merged.set(stats::Gauge::kEventQueueDepth,
+               static_cast<std::int64_t>(sim_.queue_depth()));
+    std::int64_t pending = 0;
+    for (const auto in : inflight_) pending += static_cast<std::int64_t>(in);
+    merged.set(stats::Gauge::kPendingCommands, pending);
+  }
+  return merged;
 }
 
 ExperimentResult Cluster::run() {
@@ -242,6 +266,7 @@ ExperimentResult Cluster::run() {
     busy += sim::to_seconds(cpu->busy_time()) /
             (sim::to_seconds(sim_.now()) * cpu->cores());
   r.avg_cpu_utilization = busy / static_cast<double>(cpus_.size());
+  r.metrics = merged_metrics();
   return r;
 }
 

@@ -12,6 +12,7 @@
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
 #include "stats/histogram.hpp"
+#include "stats/metrics.hpp"
 #include "trace/trace.hpp"
 #include "workload/workload.hpp"
 
@@ -57,6 +58,9 @@ struct ExperimentResult {
   std::map<std::string, std::uint64_t> bytes_by_kind;
   double bytes_per_command = 0;
   double avg_cpu_utilization = 0;  // busy fraction across nodes/cores
+  /// Protocol/sim metrics merged across nodes (counters and gauges sum,
+  /// histograms merge); empty when Config::Metrics is disabled.
+  stats::MetricsRegistry metrics;
 };
 
 class ClientSet;
@@ -129,6 +133,14 @@ class Cluster {
   std::uint64_t delivered_at(NodeId n) const { return delivered_[n]; }
   sim::NodeCpu& cpu(NodeId n) { return *cpus_[n]; }
 
+  /// Per-node registry; nullptr when Config::Metrics is disabled.
+  stats::MetricsRegistry* node_metrics(NodeId n) {
+    return metrics_.empty() ? nullptr : metrics_[n].get();
+  }
+  /// Cluster-wide view: sum of counters/gauges, merged histograms, with the
+  /// sim-layer gauges (event-queue depth, in-flight commands) snapshotted.
+  stats::MetricsRegistry merged_metrics() const;
+
   /// Flight recorder: enable, then dump on failure (tests).
   trace::Recorder& recorder() { return recorder_; }
 
@@ -154,6 +166,9 @@ class Cluster {
   sim::Simulator sim_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<sim::NodeCpu>> cpus_;
+  /// Created before contexts_: each NodeContext hands its node's registry
+  /// to the replica at construction. Empty when metrics are disabled.
+  std::vector<std::unique_ptr<stats::MetricsRegistry>> metrics_;
   std::vector<std::unique_ptr<core::Context>> contexts_;
   std::vector<std::unique_ptr<core::Replica>> replicas_;
   std::unique_ptr<ClientSet> clients_;

@@ -119,6 +119,7 @@ bool M2PaxosReplica::send_sync_probe(NodeId peer) {
   }
   if (entries.empty()) return false;
   ++counters_.sync_probes;
+  m_inc(stats::Counter::kSyncProbes);
   ctx_.send(peer, pooled<SyncRequest>(std::move(entries)));
   return true;
 }
@@ -157,6 +158,7 @@ void M2PaxosReplica::handle_sync_reply(NodeId from, const SyncReply& msg) {
     if (s.instance > st.last_appended &&
         (have == nullptr || !have->decided)) {
       ++counters_.sync_slots_learned;
+      m_inc(stats::Counter::kSyncSlotsLearned);
       learned = true;
       decide_slot(s.object, s.instance, s.cmd, s.batch);
     }
@@ -250,6 +252,9 @@ void M2PaxosReplica::gc_object(ObjectState& st) {
   const std::size_t before = st.log.size();
   st.log.truncate_below(keep_from);
   counters_.gc_truncated_slots += before - st.log.size();
+  m_inc(stats::Counter::kGcTruncatedSlots, before - st.log.size());
+  m_record(stats::Histo::kSlotLogDepth,
+           static_cast<std::int64_t>(st.log.size()));
 }
 
 // ---------------------------------------------------------------------
@@ -264,6 +269,7 @@ void M2PaxosReplica::propose(const core::Command& c) {
   // The one deep copy on the path: from here the command travels as a
   // shared immutable handle through Accept/slots/Decide on every replica.
   it->second.cmd = pooled<core::Command>(c);
+  it->second.proposed_at = ctx_.now();
   coordinate(c.id);
 }
 
@@ -316,8 +322,11 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
                 return false;
               }),
           blocked.end());
-      if (!blocked.empty())
+      if (!blocked.empty()) {
+        m_inc(stats::Counter::kRepairRounds);
+        self->second.path = stats::Path::kSlow;
         start_acquisition(self->second, blocked, /*force_prepare_all=*/true);
+      }
     }
     return;
   }
@@ -335,6 +344,7 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
       return;
     }
     ++counters_.fast_path_rounds;
+    m_inc(stats::Counter::kFastPathRounds);
     start_fast_accept(pc, objects);
     return;
   }
@@ -346,6 +356,8 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
   if (cfg_.acquisition_fallback_after > 0 &&
       pc.attempts >= cfg_.acquisition_fallback_after && id_ != 0) {
     ++counters_.fallbacks;
+    m_inc(stats::Counter::kFallbacks);
+    pc.path = stats::Path::kSlow;
     ctx_.send(0, pooled<Propose>(*pc.cmd));
     return;
   }
@@ -360,10 +372,13 @@ void M2PaxosReplica::coordinate(core::CommandId id) {
   const NodeId owner = rt.plurality_owner;
   if (owner != kNoNode && owner != id_ && pc.attempts < 3) {
     ++counters_.forwarded;
+    m_inc(stats::Counter::kForwarded);
+    pc.path = stats::Path::kForwarded;
     ctx_.send(owner, pooled<Propose>(*pc.cmd));
     return;
   }
 
+  pc.path = stats::Path::kSlow;
   start_acquisition(pc, objects);
 }
 
@@ -416,6 +431,7 @@ void M2PaxosReplica::arm_watchdog(PendingCommand& pc) {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     ++counters_.timeouts;
+    m_inc(stats::Counter::kTimeouts);
     ++it->second.attempts;
     it->second.in_flight = false;  // abandon whatever round was stuck
     coordinate(id);
@@ -440,6 +456,7 @@ void M2PaxosReplica::start_fast_accept(PendingCommand& pc,
       }
     }
     if (prior != nullptr) {
+      m_inc(stats::Counter::kRetransmissions);
       slots.push_back(*prior);
       continue;
     }
@@ -464,12 +481,16 @@ void M2PaxosReplica::enqueue_batch(PendingCommand& pc) {
   batch_queued_bytes_ += pc.cmd->wire_size();
   if (batch_queue_.size() >= bcfg_.batch_max_commands ||
       batch_queued_bytes_ >= bcfg_.batch_max_bytes) {
+    m_inc(batch_queue_.size() >= bcfg_.batch_max_commands
+              ? stats::Counter::kBatchFlushFull
+              : stats::Counter::kBatchFlushBytes);
     flush_batches(/*force=*/true);  // a full batch closes immediately
   } else if (batch_timer_ == sim::kInvalidEvent) {
     // Adaptive window: a partial batch waits at most batch_window after
     // its first command before closing (bounds the latency cost).
     batch_timer_ = ctx_.set_timer(bcfg_.batch_window, [this] {
       batch_timer_ = sim::kInvalidEvent;
+      m_inc(stats::Counter::kBatchFlushWindow);
       flush_batches(/*force=*/true);
     });
   }
@@ -490,6 +511,7 @@ void M2PaxosReplica::flush_batches(bool force) {
     // the window so they are never stranded waiting for the next enqueue.
     batch_timer_ = ctx_.set_timer(bcfg_.batch_window, [this] {
       batch_timer_ = sim::kInvalidEvent;
+      m_inc(stats::Counter::kBatchFlushWindow);
       flush_batches(/*force=*/true);
     });
   }
@@ -567,6 +589,9 @@ bool M2PaxosReplica::send_batched_round() {
     slots.reserve(open.size());
     for (auto& o : open) {
       counters_.batched_commands += o.batch->cmds.size();
+      m_inc(stats::Counter::kBatchedCommands, o.batch->cmds.size());
+      m_record(stats::Histo::kBatchOccupancy,
+               static_cast<std::int64_t>(o.batch->cmds.size()));
       const core::CommandPtr head = o.batch->cmds.front();
       // Degenerate single-member batches travel as plain slot values.
       core::CommandBatchPtr batch =
@@ -592,6 +617,7 @@ bool M2PaxosReplica::send_batched_round() {
       }
     }
     ++counters_.batched_rounds;
+    m_inc(stats::Counter::kBatchedRounds);
     ++batch_inflight_;
     const std::uint64_t req = send_accept(core::CommandId{}, std::move(slots));
     // Lost-round backstop: if the quorum never answers, free the pipeline
@@ -696,6 +722,7 @@ void M2PaxosReplica::handle_ack_accept(NodeId /*from*/, const AckAccept& msg) {
 
   if (!msg.ack) {
     ++counters_.accept_nacks;
+    m_inc(stats::Counter::kAcceptNacks);
     apply_hints(msg.hints);
     const core::CommandId cmd = round.for_cmd;
     ctx_.cancel_timer(round.timer);
@@ -714,6 +741,7 @@ void M2PaxosReplica::handle_ack_accept(NodeId /*from*/, const AckAccept& msg) {
           retry_later(s.cmd->id);
         }
       }
+      if (!batch_queue_.empty()) m_inc(stats::Counter::kBatchFlushPipeline);
       flush_batches(/*force=*/false);
     } else if (cmd.valid()) {
       retry_later(cmd);
@@ -760,6 +788,7 @@ void M2PaxosReplica::handle_ack_accept(NodeId /*from*/, const AckAccept& msg) {
     }
   } else {
     --batch_inflight_;
+    if (!batch_queue_.empty()) m_inc(stats::Counter::kBatchFlushPipeline);
     flush_batches(/*force=*/false);
   }
   try_deliver();
@@ -788,6 +817,7 @@ void M2PaxosReplica::maybe_report_commit(const core::Command& c) {
   if (it == pending_.end() || it->second.commit_reported) return;
   if (!table_.is_decided_everywhere(c)) return;
   it->second.commit_reported = true;
+  m_span_commit(it->second.path, it->second.proposed_at);
   ctx_.committed(c);
 }
 
@@ -815,6 +845,9 @@ void M2PaxosReplica::decide_slot(ObjectId l, Instance in,
   slot.decided_batch = batch;
   ctx_.decided(l, in, *c);
   ++counters_.decided_slots;
+  m_inc(stats::Counter::kDecidedSlots);
+  m_record(stats::Histo::kSlotLogDepth,
+           static_cast<std::int64_t>(st.log.size()));
   dirty_objects_.push_back(&st);
   if (in > st.last_appended + 1) {
     // Decision gap: an earlier decision for this object was missed (lost
@@ -835,6 +868,7 @@ void M2PaxosReplica::deliver_command(const core::CommandPtr& c,
   if (!c->noop) {
     if (cfg_.record_delivered) delivered_seq_.push_back(*c);
     ++counters_.delivered;
+    m_inc(stats::Counter::kDelivered);
   }
   // Advance the frontier of every object where c sits exactly at the
   // frontier (on crossing resolution, c may occupy a later slot of some
@@ -867,7 +901,11 @@ void M2PaxosReplica::deliver_command(const core::CommandPtr& c,
   }
   auto pit = pending_.find(c->id);
   if (pit != pending_.end()) {
-    if (!pit->second.commit_reported) ctx_.committed(*c);
+    if (!pit->second.commit_reported) {
+      m_span_commit(pit->second.path, pit->second.proposed_at);
+      ctx_.committed(*c);
+    }
+    m_span_deliver(pit->second.path, pit->second.proposed_at);
     ctx_.cancel_timer(pit->second.watchdog);
     pending_.erase(pit);
   }
@@ -892,10 +930,15 @@ void M2PaxosReplica::deliver_batch_member(const core::CommandPtr& c) {
   if (!c->noop) {
     if (cfg_.record_delivered) delivered_seq_.push_back(*c);
     ++counters_.delivered;
+    m_inc(stats::Counter::kDelivered);
   }
   auto pit = pending_.find(c->id);
   if (pit != pending_.end()) {
-    if (!pit->second.commit_reported) ctx_.committed(*c);
+    if (!pit->second.commit_reported) {
+      m_span_commit(pit->second.path, pit->second.proposed_at);
+      ctx_.committed(*c);
+    }
+    m_span_deliver(pit->second.path, pit->second.proposed_at);
     ctx_.cancel_timer(pit->second.watchdog);
     pending_.erase(pit);
   }
@@ -1154,11 +1197,13 @@ void M2PaxosReplica::start_acquisition(PendingCommand& pc,
     return;
   }
   ++counters_.acquisitions;
+  m_inc(stats::Counter::kAcquisitions);
   const std::uint64_t req = next_req_++;
   PrepareRound round;
   round.cmd = pc.cmd;
   round.entries = entries;
   round.owned_objects = std::move(owned);
+  round.started_at = ctx_.now();
   prepares_.emplace(req, std::move(round));
   pc.in_flight = true;
   ctx_.broadcast(net::make_payload<Prepare>(req, std::move(entries)), true);
@@ -1219,6 +1264,7 @@ void M2PaxosReplica::handle_ack_prepare(NodeId /*from*/, const AckPrepare& msg) 
 
   if (!msg.ack) {
     ++counters_.prepare_nacks;
+    m_inc(stats::Counter::kPrepareNacks);
     apply_hints(msg.hints);
     const core::CommandId cmd = round.cmd->id;
     prepares_.erase(it);
@@ -1243,6 +1289,10 @@ void M2PaxosReplica::handle_ack_prepare(NodeId /*from*/, const AckPrepare& msg) 
 }
 
 void M2PaxosReplica::finish_acquisition(PrepareRound round) {
+  // Quorum of promises in hand: the ownership transition is decided here,
+  // even though the re-accepts below still have to run.
+  if (round.started_at >= 0)
+    m_record(stats::Histo::kAcquisitionNs, ctx_.now() - round.started_at);
   // SELECT (Algorithm 4): per slot keep the vote with the highest accepted
   // epoch; a decided vote always wins.
   std::map<std::pair<ObjectId, Instance>, const AckPrepare::Vote*> best;
@@ -1310,6 +1360,7 @@ void M2PaxosReplica::finish_acquisition(PrepareRound round) {
       } else {
         slots.emplace_back(e.object, in, e.epoch, make_noop(e.object));
         ++counters_.noops_filled;
+        m_inc(stats::Counter::kNoopsFilled);
       }
     }
     if (cmd_placed) {
@@ -1356,6 +1407,7 @@ void M2PaxosReplica::retry_later(core::CommandId id) {
   pc.in_flight = false;
   ++pc.attempts;
   ++counters_.retries;
+  m_inc(stats::Counter::kRetries);
 
   const int shift = std::min(pc.attempts, 6);
   const sim::Time base = std::min(cfg_.retry_backoff_max,

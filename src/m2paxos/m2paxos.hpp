@@ -130,6 +130,10 @@ class M2PaxosReplica final : public core::Replica {
     /// Slots assigned by a previous fast accept; reused on retry so a lost
     /// round is retransmitted instead of leaving a hole at the old slot.
     SlotList assigned_slots;
+    // Metrics: local propose time and the decision path taken (degrades
+    // fast → forwarded/slow at the corresponding coordinate() branch).
+    sim::Time proposed_at = -1;
+    stats::Path path = stats::Path::kFast;
   };
   struct AcceptRound {
     SlotList slots;
@@ -155,6 +159,8 @@ class M2PaxosReplica final : public core::Replica {
     std::vector<ObjectId> owned_objects;
     core::SmallVec<NodeId, 8> ackers;  // deduplicated
     std::vector<AckPrepare::Vote> votes;
+    /// Metrics: when the acquisition round was started (kAcquisitionNs).
+    sim::Time started_at = -1;
   };
 
   /// Hash containers on the per-command hot path draw their nodes from the

@@ -92,6 +92,7 @@ void MultiPaxosReplica::propose(const Command& c) {
   auto [it, inserted] = pending_.try_emplace(c.id);
   if (!inserted) return;
   it->second.cmd = c;
+  it->second.proposed_at = ctx_.now();
   arm_retry(c);
   handle_propose(c);
 }
@@ -112,6 +113,7 @@ void MultiPaxosReplica::arm_retry(const Command& c) {
     auto pit = pending_.find(id);
     if (pit == pending_.end()) return;
     ++counters_.retries;
+    m_inc(stats::Counter::kRetries);
     ++pit->second.attempts;
     if (fd_.is_suspected(leader_)) leader_ = fd_.leader();
     arm_retry(pit->second.cmd);
@@ -126,6 +128,9 @@ void MultiPaxosReplica::handle_propose(const Command& c) {
     lead(c);
   } else if (leader_ != id_) {
     ++counters_.proposals_forwarded;
+    m_inc(stats::Counter::kForwarded);
+    if (auto pit = pending_.find(c.id); pit != pending_.end())
+      pit->second.path = stats::Path::kForwarded;
     ctx_.send(leader_, net::make_payload<ClientPropose>(c));
   }
   // If we are mid-prepare, the proposer-side retry timer re-submits later.
@@ -143,11 +148,13 @@ void MultiPaxosReplica::lead(const Command& c) {
     // Already delivered here; the proposer retried, so its Commit must
     // have been lost — replay it (the whole slot value for batched slots).
     auto rit = recent_commits_.find(c.id);
-    if (rit != recent_commits_.end())
+    if (rit != recent_commits_.end()) {
+      m_inc(stats::Counter::kRetransmissions);
       ctx_.broadcast(
           net::make_payload<Commit>(rit->second.slot, rit->second.head,
                                     rit->second.tail),
           false);
+    }
     return;
   }
   auto ait = assigned_.find(c.id);
@@ -156,6 +163,7 @@ void MultiPaxosReplica::lead(const Command& c) {
     if (sit != slots_.end()) {
       const SlotState& st = sit->second;
       if (st.committed && slot_holds(*st.committed, st.committed_tail, c.id)) {
+        m_inc(stats::Counter::kRetransmissions);
         ctx_.broadcast(net::make_payload<Commit>(sit->first, *st.committed,
                                                  st.committed_tail),
                        false);
@@ -163,6 +171,7 @@ void MultiPaxosReplica::lead(const Command& c) {
       }
       if (st.accepted && st.accepted_ballot == ballot_ &&
           slot_holds(*st.accepted, st.accepted_tail, c.id)) {
+        m_inc(stats::Counter::kRetransmissions);
         ctx_.broadcast(net::make_payload<Accept>(ballot_, sit->first,
                                                  *st.accepted,
                                                  st.accepted_tail),
@@ -190,10 +199,14 @@ void MultiPaxosReplica::enqueue_batch(const Command& c) {
   batch_bytes_ += c.wire_size();
   if (batch_buf_.size() >= bcfg_.batch_max_commands ||
       batch_bytes_ >= bcfg_.batch_max_bytes) {
+    m_inc(batch_buf_.size() >= bcfg_.batch_max_commands
+              ? stats::Counter::kBatchFlushFull
+              : stats::Counter::kBatchFlushBytes);
     flush_batch(/*force=*/true);
   } else if (batch_timer_ == sim::kInvalidEvent) {
     batch_timer_ = ctx_.set_timer(bcfg_.batch_window, [this] {
       batch_timer_ = sim::kInvalidEvent;
+      m_inc(stats::Counter::kBatchFlushWindow);
       flush_batch(/*force=*/true);
     });
   }
@@ -233,6 +246,9 @@ void MultiPaxosReplica::flush_batch(bool force) {
     ++counters_.slots_led;
     ++counters_.batched_slots;
     counters_.batched_commands += take;
+    m_inc(stats::Counter::kBatchedRounds);
+    m_inc(stats::Counter::kBatchedCommands, take);
+    m_record(stats::Histo::kBatchOccupancy, static_cast<std::int64_t>(take));
     my_batched_slots_.insert(slot);
     ++batch_inflight_;
     ctx_.broadcast(net::make_payload<Accept>(ballot_, slot, std::move(head),
@@ -357,6 +373,7 @@ void MultiPaxosReplica::become_leader() {
   preparing_ = false;
   leader_ = id_;
   ++counters_.leader_changes;
+  m_inc(stats::Counter::kLeaderChanges);
 
   // Highest-ballot vote per slot (committed votes carry UINT64_MAX).
   std::map<std::uint64_t, const Promise::Vote*> best;
@@ -394,6 +411,7 @@ void MultiPaxosReplica::become_leader() {
     } else {
       cmd = Command(CommandId::make(id_, (1ULL << 40) + slot), {}, 0);
       cmd.noop = true;
+      m_inc(stats::Counter::kNoopsFilled);
     }
     ctx_.broadcast(net::make_payload<Accept>(ballot_, slot, std::move(cmd),
                                              std::move(tail)),
@@ -425,6 +443,9 @@ void MultiPaxosReplica::commit_slot(std::uint64_t slot, const Command& cmd,
   st.committed_tail = tail;
   // Single log: slot key is ⟨object 0, log index⟩; a batched slot decides
   // once with its head (the tail rides inside the slot value).
+  m_inc(stats::Counter::kDecidedSlots);
+  m_record(stats::Histo::kSlotLogDepth,
+           static_cast<std::int64_t>(slots_.size()));
   ctx_.decided(0, slot, cmd);
   assigned_.erase(cmd.id);
   for (const auto& t : tail) assigned_.erase(t.id);
@@ -440,6 +461,7 @@ void MultiPaxosReplica::commit_slot(std::uint64_t slot, const Command& cmd,
     auto pit = pending_.find(c.id);
     if (pit != pending_.end() && !pit->second.commit_reported) {
       pit->second.commit_reported = true;
+      m_span_commit(pit->second.path, pit->second.proposed_at);
       ctx_.committed(c);
     }
   };
@@ -447,6 +469,7 @@ void MultiPaxosReplica::commit_slot(std::uint64_t slot, const Command& cmd,
   for (const auto& t : tail) report(t);
   if (my_batched_slots_.erase(slot) > 0) {
     --batch_inflight_;
+    if (!batch_buf_.empty()) m_inc(stats::Counter::kBatchFlushPipeline);
     flush_batch(/*force=*/false);  // a pipeline slot freed up
   }
   try_deliver();
@@ -474,8 +497,10 @@ void MultiPaxosReplica::try_deliver() {
       if (!c.noop) {
         if (cfg_.record_delivered) delivered_seq_.push_back(c);
         ++counters_.delivered;
+        m_inc(stats::Counter::kDelivered);
         auto pit = pending_.find(c.id);
         if (pit != pending_.end()) {
+          m_span_deliver(pit->second.path, pit->second.proposed_at);
           ctx_.cancel_timer(pit->second.timer);
           pending_.erase(pit);
         }

@@ -200,6 +200,10 @@ class MultiPaxosReplica final : public core::Replica {
     bool commit_reported = false;
     int attempts = 0;  // drives exponential retry backoff
     sim::EventId timer = sim::kInvalidEvent;
+    // Metrics: local propose time and the decision path the command took
+    // (leader-local slots are "fast", forwarded ones "forwarded").
+    sim::Time proposed_at = -1;
+    stats::Path path = stats::Path::kFast;
   };
 
   void handle_propose(const Command& c);

@@ -73,6 +73,9 @@ class Simulator {
 
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Live (scheduled, uncancelled) events — the sim-layer backlog gauge.
+  std::size_t queue_depth() const { return queue_.size(); }
+
  private:
   Time now_ = 0;
   EventQueue queue_;

@@ -1,0 +1,152 @@
+#include "stats/bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace m2::stats {
+
+namespace {
+
+bool contains(std::string_view key, std::string_view needle) {
+  return key.find(needle) != std::string_view::npos;
+}
+
+/// The flat numeric map a bench document carries. m2bench-v1 uses
+/// "results"; the pre-schema emitters used "current".
+const Json* result_map(const Json& doc) {
+  if (const Json* r = doc.find("results"); r != nullptr && r->is_object())
+    return r;
+  if (const Json* r = doc.find("current"); r != nullptr && r->is_object())
+    return r;
+  return nullptr;
+}
+
+int severity_rank(DiffSeverity s) { return static_cast<int>(s); }
+
+}  // namespace
+
+MetricDirection classify_metric(std::string_view key) {
+  if (contains(key, "alloc")) return MetricDirection::kAllocGate;
+  if (contains(key, "per_sec") || contains(key, "throughput") ||
+      contains(key, "speedup"))
+    return MetricDirection::kHigherIsBetter;
+  if (contains(key, "_ns") || contains(key, "latency") ||
+      contains(key, "p50") || contains(key, "p90") || contains(key, "p99") ||
+      contains(key, "p999"))
+    return MetricDirection::kLowerIsBetter;
+  return MetricDirection::kInfo;
+}
+
+DiffReport diff_bench_docs(const Json& baseline, const Json& fresh,
+                           const DiffThresholds& thresholds) {
+  DiffReport report;
+  const Json* base_map = result_map(baseline);
+  const Json* fresh_map = result_map(fresh);
+  if (base_map == nullptr || fresh_map == nullptr) {
+    // Nothing comparable: surface it as a failure so CI never passes on a
+    // malformed or empty baseline.
+    report.worst = DiffSeverity::kFail;
+    return report;
+  }
+
+  for (const auto& [key, base_val] : base_map->items()) {
+    if (!base_val.is_number()) continue;
+    const Json* fresh_val = fresh_map->find(key);
+    if (fresh_val == nullptr || !fresh_val->is_number()) {
+      report.only_in_baseline.push_back(key);
+      continue;
+    }
+    DiffEntry e;
+    e.key = key;
+    e.baseline = base_val.number();
+    e.fresh = fresh_val->number();
+    e.direction = classify_metric(key);
+
+    switch (e.direction) {
+      case MetricDirection::kHigherIsBetter:
+        if (e.baseline > 0)
+          e.regression_pct = (e.baseline - e.fresh) / e.baseline * 100.0;
+        break;
+      case MetricDirection::kLowerIsBetter:
+        if (e.baseline > 0)
+          e.regression_pct = (e.fresh - e.baseline) / e.baseline * 100.0;
+        break;
+      case MetricDirection::kAllocGate:
+      case MetricDirection::kInfo:
+        break;
+    }
+
+    if (e.direction == MetricDirection::kAllocGate) {
+      // Machine-independent hard gate: any real increase fails outright.
+      if (e.fresh > e.baseline + thresholds.alloc_slack)
+        e.severity = DiffSeverity::kFail;
+    } else if (e.direction != MetricDirection::kInfo) {
+      if (e.regression_pct >= thresholds.fail_pct)
+        e.severity = DiffSeverity::kFail;
+      else if (e.regression_pct >= thresholds.warn_pct)
+        e.severity = DiffSeverity::kWarn;
+    }
+    if (severity_rank(e.severity) > severity_rank(report.worst))
+      report.worst = e.severity;
+    report.entries.push_back(std::move(e));
+  }
+
+  for (const auto& [key, val] : fresh_map->items()) {
+    if (!val.is_number()) continue;
+    const Json* in_base = base_map->find(key);
+    if (in_base == nullptr || !in_base->is_number())
+      report.only_in_fresh.push_back(key);
+  }
+
+  std::stable_sort(report.entries.begin(), report.entries.end(),
+                   [](const DiffEntry& a, const DiffEntry& b) {
+                     if (a.severity != b.severity)
+                       return severity_rank(a.severity) >
+                              severity_rank(b.severity);
+                     return a.regression_pct > b.regression_pct;
+                   });
+  return report;
+}
+
+std::string format_report(const DiffReport& report,
+                          const DiffThresholds& thresholds) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "%-44s %14s %14s %9s  %s\n", "metric", "baseline", "fresh",
+                "delta%", "verdict");
+  out += line;
+  for (const auto& e : report.entries) {
+    const char* verdict = "ok";
+    if (e.severity == DiffSeverity::kFail) verdict = "FAIL";
+    else if (e.severity == DiffSeverity::kWarn) verdict = "warn";
+    else if (e.direction == MetricDirection::kInfo) verdict = "info";
+    // delta% shown as regression (positive = worse) for gated metrics,
+    // raw relative change for informational ones.
+    double delta = e.regression_pct;
+    if (e.direction == MetricDirection::kInfo ||
+        e.direction == MetricDirection::kAllocGate) {
+      delta = e.baseline != 0
+                  ? (e.fresh - e.baseline) / std::abs(e.baseline) * 100.0
+                  : 0.0;
+    }
+    std::snprintf(line, sizeof line, "%-44s %14.6g %14.6g %+8.1f%%  %s\n",
+                  e.key.c_str(), e.baseline, e.fresh, delta, verdict);
+    out += line;
+  }
+  for (const auto& k : report.only_in_baseline)
+    out += "  missing in fresh run: " + k + "\n";
+  for (const auto& k : report.only_in_fresh)
+    out += "  new metric (no baseline): " + k + "\n";
+  std::snprintf(line, sizeof line,
+                "thresholds: warn %.0f%%, fail %.0f%% -- worst: %s\n",
+                thresholds.warn_pct, thresholds.fail_pct,
+                report.worst == DiffSeverity::kFail   ? "FAIL"
+                : report.worst == DiffSeverity::kWarn ? "warn"
+                                                      : "ok");
+  out += line;
+  return out;
+}
+
+}  // namespace m2::stats

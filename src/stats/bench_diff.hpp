@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/json.hpp"
+
+namespace m2::stats {
+
+/// How a metric key is judged by the perf gate. Classification is by key
+/// naming convention (docs/observability.md lists the rules); unknown keys
+/// are informational and never gate.
+enum class MetricDirection {
+  kHigherIsBetter,  // throughput, speedups
+  kLowerIsBetter,   // latencies, tail quantiles
+  kAllocGate,       // allocs/decided: any increase is a hard failure
+  kInfo,            // reported, never gated
+};
+
+MetricDirection classify_metric(std::string_view key);
+
+enum class DiffSeverity { kOk, kWarn, kFail };
+
+struct DiffThresholds {
+  double warn_pct = 10.0;  // warn on regressions beyond this
+  double fail_pct = 25.0;  // fail on regressions beyond this
+  /// Slack for the alloc hard gate (absolute allocs/decided); covers
+  /// floating-point noise in the ratio, not real allocations.
+  double alloc_slack = 0.5;
+};
+
+struct DiffEntry {
+  std::string key;
+  double baseline = 0;
+  double fresh = 0;
+  /// Regression in percent: positive means worse (direction-adjusted).
+  double regression_pct = 0;
+  MetricDirection direction = MetricDirection::kInfo;
+  DiffSeverity severity = DiffSeverity::kOk;
+};
+
+struct DiffReport {
+  std::vector<DiffEntry> entries;
+  /// Keys present in only one document (schema drift — reported, not gated).
+  std::vector<std::string> only_in_baseline;
+  std::vector<std::string> only_in_fresh;
+  DiffSeverity worst = DiffSeverity::kOk;
+};
+
+/// Compares the flat numeric result maps of two bench documents. Accepts
+/// both the m2bench-v1 layout ("results") and the pre-schema layout
+/// ("current"). Non-numeric values are ignored.
+DiffReport diff_bench_docs(const Json& baseline, const Json& fresh,
+                           const DiffThresholds& thresholds);
+
+/// Human-readable report table (one line per compared key, worst first).
+std::string format_report(const DiffReport& report,
+                          const DiffThresholds& thresholds);
+
+}  // namespace m2::stats

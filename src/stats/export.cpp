@@ -1,0 +1,81 @@
+#include "stats/export.hpp"
+
+#include <cstdio>
+
+namespace m2::stats {
+
+Json export_histogram(const Histogram& h) {
+  Json j = Json::object();
+  j.set("count", h.count());
+  j.set("mean", h.mean());
+  j.set("min", h.min());
+  j.set("max", h.max());
+  j.set("p50", h.quantile(0.50));
+  j.set("p90", h.quantile(0.90));
+  j.set("p99", h.quantile(0.99));
+  j.set("p999", h.quantile(0.999));
+  return j;
+}
+
+Json export_registry(const MetricsRegistry& reg) {
+  Json counters = Json::object();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Counter::kCount); ++i) {
+    const auto c = static_cast<Counter>(i);
+    counters.set(metric_name(c), reg.counter(c));
+  }
+  Json gauges = Json::object();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Gauge::kCount); ++i) {
+    const auto g = static_cast<Gauge>(i);
+    gauges.set(metric_name(g), reg.gauge(g));
+  }
+  Json hists = Json::object();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Histo::kCount); ++i) {
+    const auto h = static_cast<Histo>(i);
+    hists.set(metric_name(h), export_histogram(reg.histogram(h)));
+  }
+  Json j = Json::object();
+  j.set("counters", std::move(counters));
+  j.set("gauges", std::move(gauges));
+  j.set("histograms", std::move(hists));
+  return j;
+}
+
+Json make_bench_doc(std::string_view bench, bool quick) {
+  Json j = Json::object();
+  j.set("schema", std::string(kBenchSchema));
+  j.set("bench", std::string(bench));
+  j.set("quick", quick);
+  return j;
+}
+
+bool write_json_file(const std::string& path, const Json& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = doc.dump();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool read_json_file(const std::string& path, Json* out, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+    text.append(buf, n);
+    if (n < sizeof buf) break;
+  }
+  std::fclose(f);
+  std::string perr;
+  if (!Json::parse(text, out, &perr)) {
+    if (error != nullptr) *error = path + ": " + perr;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace m2::stats

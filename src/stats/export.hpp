@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "stats/json.hpp"
+#include "stats/metrics.hpp"
+
+namespace m2::stats {
+
+/// Schema tag stamped on every exported document. Consumers (bench_diff,
+/// CI, plotting scripts) key on it; bump only with a migration note in
+/// docs/observability.md.
+inline constexpr std::string_view kBenchSchema = "m2bench-v1";
+
+/// {count, mean, min, max, p50, p90, p99, p999} — the summary form every
+/// exported histogram takes.
+Json export_histogram(const Histogram& h);
+
+/// {counters: {...}, gauges: {...}, histograms: {name: summary}} using the
+/// metric_name catalog as keys. Zero-valued counters/gauges and empty
+/// histograms are included: the schema's key set is fixed per build, which
+/// keeps diffs and pinning tests stable.
+Json export_registry(const MetricsRegistry& reg);
+
+/// Document skeleton shared by every bench/tool JSON artifact:
+/// {schema, bench, quick}. Callers append "baseline", "results" (the flat
+/// numeric map bench_diff compares), and optionally "metrics".
+Json make_bench_doc(std::string_view bench, bool quick);
+
+/// Writes `doc.dump()` to `path`; returns false on I/O failure.
+bool write_json_file(const std::string& path, const Json& doc);
+
+/// Reads and parses `path`; on failure returns false and sets `error`.
+bool read_json_file(const std::string& path, Json* out, std::string* error);
+
+}  // namespace m2::stats

@@ -22,14 +22,22 @@ std::size_t Histogram::bucket_of(std::int64_t v) {
   return static_cast<std::size_t>(msb - kSubShift + 1) * kSub + sub;
 }
 
-std::int64_t Histogram::bucket_midpoint(std::size_t b) {
-  if (b < kSub) return static_cast<std::int64_t>(b);
-  const std::size_t power = b / kSub;       // >= 1
+std::pair<std::int64_t, std::int64_t> Histogram::bucket_bounds(std::size_t b) {
+  if (b < kSub)
+    return {static_cast<std::int64_t>(b), static_cast<std::int64_t>(b) + 1};
+  const std::size_t power = b / kSub;  // >= 1
   const std::size_t sub = b % kSub;
   const int shift = static_cast<int>(power) - 1;
-  const std::uint64_t base = (static_cast<std::uint64_t>(kSub) + sub) << shift;
+  const std::uint64_t lo = (static_cast<std::uint64_t>(kSub) + sub) << shift;
   const std::uint64_t width = 1ULL << shift;
-  return static_cast<std::int64_t>(base + width / 2);
+  // The top reachable bucket's nominal upper edge is 2^63; clamp it to
+  // INT64_MAX so the bounds stay representable (and quantile interpolation
+  // stays overflow-free for values that land there).
+  const std::uint64_t hi = lo + width;
+  return {static_cast<std::int64_t>(lo),
+          hi > static_cast<std::uint64_t>(INT64_MAX)
+              ? INT64_MAX
+              : static_cast<std::int64_t>(hi)};
 }
 
 void Histogram::record(std::int64_t value) {
@@ -75,12 +83,25 @@ double Histogram::mean() const {
 std::int64_t Histogram::quantile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count_)));
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
     seen += buckets_[b];
-    if (seen >= target && buckets_[b] > 0) return bucket_midpoint(b);
+    if (seen < target) continue;
+    // Interpolate linearly within the bucket: the target rank's position
+    // among the bucket's entries picks a value in [lo, hi), clamped to the
+    // exact observed extremes (so narrow distributions report exactly).
+    const auto [lo, hi] = bucket_bounds(b);
+    const std::uint64_t before = seen - buckets_[b];
+    const double frac = (static_cast<double>(target - before) - 0.5) /
+                        static_cast<double>(buckets_[b]);
+    const auto v = static_cast<std::int64_t>(
+        static_cast<double>(lo) +
+        frac * static_cast<double>(hi - lo));
+    return std::clamp(v, min_, max_);
   }
   return max_;
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace m2::stats {
@@ -9,6 +10,8 @@ namespace m2::stats {
 /// error per bucket, constant memory, O(1) record.
 ///
 /// Values are non-negative integers (nanoseconds in this codebase).
+/// Quantiles interpolate linearly within a bucket and clamp to the exact
+/// recorded [min, max], so single-value histograms report that value.
 class Histogram {
  public:
   Histogram();
@@ -26,10 +29,18 @@ class Histogram {
   std::int64_t quantile(double q) const;
   std::int64_t median() const { return quantile(0.5); }
 
- private:
+  // --- bucket geometry (exposed for tests and the exporter) ------------
+  /// Index of the bucket `v` lands in.
   static std::size_t bucket_of(std::int64_t v);
-  static std::int64_t bucket_midpoint(std::size_t b);
+  /// Half-open value range [lo, hi) covered by bucket `b`.
+  static std::pair<std::int64_t, std::int64_t> bucket_bounds(std::size_t b);
+  /// Total bucket count. Covers all of [0, INT64_MAX]: the top bucket is
+  /// never an approximate catch-all, but record() still clamps indices as
+  /// an overflow guard.
+  static std::size_t bucket_count() { return 64 * kSubBuckets; }
+  std::uint64_t bucket_value(std::size_t b) const { return buckets_[b]; }
 
+ private:
   static constexpr int kSubBuckets = 32;  // per power of two
 
   std::vector<std::uint64_t> buckets_;

@@ -1,0 +1,364 @@
+#include "stats/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace m2::stats {
+
+Json::Json(std::uint64_t v) {
+  if (v <= static_cast<std::uint64_t>(INT64_MAX)) {
+    type_ = Type::kInt;
+    int_ = static_cast<std::int64_t>(v);
+  } else {
+    type_ = Type::kDouble;
+    dbl_ = static_cast<double>(v);
+  }
+}
+
+Json::Json(double v) {
+  // Integral doubles that fit exactly are stored (and printed) as
+  // integers: "3" not "3.0" regardless of how the caller computed them.
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9.0e15) {
+    type_ = Type::kInt;
+    int_ = static_cast<std::int64_t>(v);
+  } else {
+    type_ = Type::kDouble;
+    dbl_ = std::isfinite(v) ? v : 0.0;
+  }
+}
+
+Json& Json::set(std::string key, Json value) {
+  assert(type_ == Type::kObject);
+  for (auto& [k, v] : items_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  items_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  assert(type_ == Type::kArray);
+  elems_.push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : items_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Json::number() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  if (type_ == Type::kDouble) return dbl_;
+  return 0.0;
+}
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_number(std::string& out, double v) {
+  char buf[32];
+  // Shortest round-trip form: parse(dump(x)) == x bit-exactly, and the
+  // format is deterministic — the byte-stability the pinning test pins.
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += int_ != 0 ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof buf, int_);
+      out.append(buf, res.ptr);
+      break;
+    }
+    case Type::kDouble:
+      write_number(out, dbl_);
+      break;
+    case Type::kString:
+      write_escaped(out, str_);
+      break;
+    case Type::kArray: {
+      if (elems_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < elems_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline_indent(out, indent, depth + 1);
+        elems_[i].write(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (items_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline_indent(out, indent, depth + 1);
+        write_escaped(out, items_[i].first);
+        out += indent > 0 ? ": " : ":";
+        items_[i].second.write(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    error = what + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!eat('"')) return fail("expected string");
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("dangling escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // Our own writer only emits \u for control characters; decode
+            // the BMP range as UTF-8 for robustness.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Json* out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool is_double = false;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text.substr(start, pos - start);
+    if (tok.empty()) return fail("expected number");
+    if (!is_double) {
+      std::int64_t v = 0;
+      const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) {
+        *out = Json(v);
+        return true;
+      }
+      // Fall through to double for out-of-range integers.
+    }
+    double d = 0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size())
+      return fail("bad number");
+    *out = Json(d);
+    return true;
+  }
+
+  bool parse_value(Json* out, int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      *out = Json::object();
+      skip_ws();
+      if (eat('}')) return true;
+      for (;;) {
+        std::string key;
+        if (!parse_string(&key)) return false;
+        if (!eat(':')) return fail("expected ':'");
+        Json value;
+        if (!parse_value(&value, depth + 1)) return false;
+        out->set(std::move(key), std::move(value));
+        if (eat(',')) {
+          skip_ws();
+          continue;
+        }
+        if (eat('}')) return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      *out = Json::array();
+      skip_ws();
+      if (eat(']')) return true;
+      for (;;) {
+        Json value;
+        if (!parse_value(&value, depth + 1)) return false;
+        out->push(std::move(value));
+        if (eat(',')) continue;
+        if (eat(']')) return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return false;
+      *out = Json(std::move(s));
+      return true;
+    }
+    if (text.substr(pos, 4) == "true") {
+      pos += 4;
+      *out = Json(true);
+      return true;
+    }
+    if (text.substr(pos, 5) == "false") {
+      pos += 5;
+      *out = Json(false);
+      return true;
+    }
+    if (text.substr(pos, 4) == "null") {
+      pos += 4;
+      *out = Json();
+      return true;
+    }
+    return parse_number(out);
+  }
+};
+
+}  // namespace
+
+bool Json::parse(std::string_view text, Json* out, std::string* error) {
+  Parser p{text, 0, {}};
+  if (!p.parse_value(out, 0)) {
+    if (error != nullptr) *error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error != nullptr)
+      *error = "trailing content at offset " + std::to_string(p.pos);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace m2::stats

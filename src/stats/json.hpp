@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace m2::stats {
+
+/// Minimal ordered JSON document: enough for the bench/metrics export
+/// schema and the bench_diff comparator, with zero external dependencies.
+///
+/// Objects preserve insertion order and the writer formats numbers with
+/// std::to_chars (shortest round-trip form), so dumping the same document
+/// twice — or dumping a parsed dump — is byte-identical. The schema
+/// pinning test relies on that.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+  Json(bool b) : type_(Type::kBool), int_(b ? 1 : 0) {}
+  Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(std::uint64_t v);
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(double v);
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+
+  /// Object: insert or overwrite `key` (insertion order preserved; an
+  /// overwrite keeps the original position). Returns *this for chaining.
+  Json& set(std::string key, Json value);
+  /// Array: append.
+  Json& push(Json value);
+
+  /// Object lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  /// Nested lookup: find("a")->find("b") with nullptr propagation.
+  const Json* find_path(std::string_view key1, std::string_view key2) const {
+    const Json* j = find(key1);
+    return j == nullptr ? nullptr : j->find(key2);
+  }
+
+  double number() const;  // 0.0 when not a number
+  std::int64_t integer() const { return int_; }
+  bool boolean() const { return int_ != 0; }
+  const std::string& str() const { return str_; }
+  const std::vector<std::pair<std::string, Json>>& items() const {
+    return items_;
+  }
+  const std::vector<Json>& elements() const { return elems_; }
+
+  /// Deterministic serialization; indent 0 = compact single line.
+  std::string dump(int indent = 2) const;
+
+  /// Strict-enough recursive-descent parser for documents this writer (or
+  /// any standard writer) produces. Returns false and sets `error` with an
+  /// offset on malformed input.
+  static bool parse(std::string_view text, Json* out, std::string* error);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  std::int64_t int_ = 0;
+  double dbl_ = 0;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> items_;  // object
+  std::vector<Json> elems_;                          // array
+};
+
+}  // namespace m2::stats

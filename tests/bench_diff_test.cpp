@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "stats/bench_diff.hpp"
+#include "stats/export.hpp"
+
+namespace m2::stats {
+namespace {
+
+Json doc_with_results(Json results, const char* key = "results") {
+  Json doc = make_bench_doc("test_bench", true);
+  doc.set(key, std::move(results));
+  return doc;
+}
+
+const DiffEntry* entry_for(const DiffReport& report, const std::string& key) {
+  for (const auto& e : report.entries)
+    if (e.key == key) return &e;
+  return nullptr;
+}
+
+TEST(ClassifyMetric, FollowsNamingConvention) {
+  EXPECT_EQ(classify_metric("fast_path_decided_per_sec"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(classify_metric("max_throughput"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(classify_metric("speedup_batched_fast_path"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(classify_metric("commit_latency_p99_us"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(classify_metric("acquisition_ns"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(classify_metric("fast_path_allocs_per_decided"),
+            MetricDirection::kAllocGate);
+  EXPECT_EQ(classify_metric("steady_allocations"), MetricDirection::kAllocGate);
+  EXPECT_EQ(classify_metric("batched_best_pipeline_depth"),
+            MetricDirection::kInfo);
+}
+
+TEST(BenchDiff, Injected30PercentThroughputDropFails) {
+  // The acceptance scenario: a 30% throughput regression must trip the
+  // default 25% fail threshold.
+  Json base = Json::object();
+  base.set("fast_path_decided_per_sec", 100000.0);
+  Json fresh = Json::object();
+  fresh.set("fast_path_decided_per_sec", 70000.0);
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kFail);
+  const DiffEntry* e = entry_for(report, "fast_path_decided_per_sec");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->severity, DiffSeverity::kFail);
+  EXPECT_NEAR(e->regression_pct, 30.0, 1e-9);
+  // The report names the offender for the CI log.
+  const std::string text = format_report(report, DiffThresholds{});
+  EXPECT_NE(text.find("fast_path_decided_per_sec"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+}
+
+TEST(BenchDiff, ModerateRegressionOnlyWarns) {
+  Json base = Json::object();
+  base.set("throughput_per_sec", 100000.0);
+  Json fresh = Json::object();
+  fresh.set("throughput_per_sec", 88000.0);  // -12%: beyond warn, below fail
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kWarn);
+}
+
+TEST(BenchDiff, ImprovementAndNoisePass) {
+  Json base = Json::object();
+  base.set("throughput_per_sec", 100000.0);
+  base.set("latency_p99_us", 500.0);
+  Json fresh = Json::object();
+  fresh.set("throughput_per_sec", 130000.0);  // better
+  fresh.set("latency_p99_us", 520.0);         // +4%: below warn
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kOk);
+}
+
+TEST(BenchDiff, TailLatencyRegressionGatesUpward) {
+  Json base = Json::object();
+  base.set("latency_p99_us", 500.0);
+  Json fresh = Json::object();
+  fresh.set("latency_p99_us", 700.0);  // +40%
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kFail);
+}
+
+TEST(BenchDiff, AllocIncreaseIsAHardFailure) {
+  // 0 -> 2 allocs/decided is far below any percentage threshold but must
+  // fail outright: the zero-allocation discipline is absolute.
+  Json base = Json::object();
+  base.set("fast_path_allocs_per_decided", 0.0);
+  Json fresh = Json::object();
+  fresh.set("fast_path_allocs_per_decided", 2.0);
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kFail);
+}
+
+TEST(BenchDiff, AllocSlackToleratesRatioNoise) {
+  Json base = Json::object();
+  base.set("fast_path_allocs_per_decided", 0.0);
+  Json fresh = Json::object();
+  fresh.set("fast_path_allocs_per_decided", 0.3);  // within default 0.5 slack
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kOk);
+}
+
+TEST(BenchDiff, InfoKeysNeverGate) {
+  Json base = Json::object();
+  base.set("batched_fast_path_decided", 50000);
+  Json fresh = Json::object();
+  fresh.set("batched_fast_path_decided", 100);  // wildly different, still info
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kOk);
+}
+
+TEST(BenchDiff, LegacyCurrentKeyStillCompares) {
+  Json base = Json::object();
+  base.set("fast_path_decided_per_sec", 100000.0);
+  Json fresh = Json::object();
+  fresh.set("fast_path_decided_per_sec", 60000.0);
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base), "current"),
+      doc_with_results(std::move(fresh), "current"), DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kFail);
+}
+
+TEST(BenchDiff, MissingResultMapFailsOutright) {
+  const Json empty = Json::object();
+  const DiffReport report = diff_bench_docs(
+      empty, doc_with_results(Json::object()), DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kFail);
+}
+
+TEST(BenchDiff, SchemaDriftIsReportedNotGated) {
+  Json base = Json::object();
+  base.set("old_metric_per_sec", 10.0);
+  base.set("shared_per_sec", 10.0);
+  Json fresh = Json::object();
+  fresh.set("shared_per_sec", 10.0);
+  fresh.set("new_metric_per_sec", 10.0);
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kOk);
+  ASSERT_EQ(report.only_in_baseline.size(), 1u);
+  EXPECT_EQ(report.only_in_baseline[0], "old_metric_per_sec");
+  ASSERT_EQ(report.only_in_fresh.size(), 1u);
+  EXPECT_EQ(report.only_in_fresh[0], "new_metric_per_sec");
+}
+
+TEST(BenchDiff, CustomThresholdsRespected) {
+  Json base = Json::object();
+  base.set("throughput_per_sec", 100000.0);
+  Json fresh = Json::object();
+  fresh.set("throughput_per_sec", 94000.0);  // -6%
+
+  DiffThresholds tight;
+  tight.warn_pct = 2.0;
+  tight.fail_pct = 5.0;
+  const DiffReport report =
+      diff_bench_docs(doc_with_results(std::move(base)),
+                      doc_with_results(std::move(fresh)), tight);
+  EXPECT_EQ(report.worst, DiffSeverity::kFail);
+}
+
+}  // namespace
+}  // namespace m2::stats

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "stats/export.hpp"
+#include "stats/json.hpp"
+#include "stats/metrics.hpp"
+
+namespace m2::stats {
+namespace {
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, StartsZeroed) {
+  MetricsRegistry r;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Counter::kCount); ++i)
+    EXPECT_EQ(r.counter(static_cast<Counter>(i)), 0u);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Gauge::kCount); ++i)
+    EXPECT_EQ(r.gauge(static_cast<Gauge>(i)), 0);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Histo::kCount); ++i)
+    EXPECT_EQ(r.histogram(static_cast<Histo>(i)).count(), 0u);
+}
+
+TEST(MetricsRegistry, IncSetRecord) {
+  MetricsRegistry r;
+  r.inc(Counter::kCommittedFast);
+  r.inc(Counter::kCommittedFast, 4);
+  r.set(Gauge::kEventQueueDepth, 17);
+  r.record(Histo::kCommitFastNs, 1000);
+  r.record(Histo::kCommitFastNs, 3000);
+  EXPECT_EQ(r.counter(Counter::kCommittedFast), 5u);
+  EXPECT_EQ(r.gauge(Gauge::kEventQueueDepth), 17);
+  EXPECT_EQ(r.histogram(Histo::kCommitFastNs).count(), 2u);
+  EXPECT_EQ(r.histogram(Histo::kCommitFastNs).min(), 1000);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndGaugesAndMergesHistos) {
+  MetricsRegistry a, b;
+  a.inc(Counter::kDelivered, 10);
+  b.inc(Counter::kDelivered, 5);
+  a.set(Gauge::kPendingCommands, 3);
+  b.set(Gauge::kPendingCommands, 4);
+  a.record(Histo::kDeliverFastNs, 100);
+  b.record(Histo::kDeliverFastNs, 900);
+  a.merge(b);
+  EXPECT_EQ(a.counter(Counter::kDelivered), 15u);
+  EXPECT_EQ(a.gauge(Gauge::kPendingCommands), 7);
+  EXPECT_EQ(a.histogram(Histo::kDeliverFastNs).count(), 2u);
+  EXPECT_EQ(a.histogram(Histo::kDeliverFastNs).max(), 900);
+}
+
+TEST(MetricsRegistry, ResetClearsEverything) {
+  MetricsRegistry r;
+  r.inc(Counter::kRetries, 7);
+  r.set(Gauge::kEventQueueDepth, 9);
+  r.record(Histo::kAcquisitionNs, 42);
+  r.reset();
+  EXPECT_EQ(r.counter(Counter::kRetries), 0u);
+  EXPECT_EQ(r.gauge(Gauge::kEventQueueDepth), 0);
+  EXPECT_EQ(r.histogram(Histo::kAcquisitionNs).count(), 0u);
+}
+
+TEST(MetricsRegistry, PathHelpersMapEveryPath) {
+  EXPECT_EQ(committed_counter(Path::kFast), Counter::kCommittedFast);
+  EXPECT_EQ(committed_counter(Path::kSlow), Counter::kCommittedSlow);
+  EXPECT_EQ(committed_counter(Path::kForwarded), Counter::kCommittedForwarded);
+  EXPECT_EQ(commit_histo(Path::kFast), Histo::kCommitFastNs);
+  EXPECT_EQ(commit_histo(Path::kSlow), Histo::kCommitSlowNs);
+  EXPECT_EQ(commit_histo(Path::kForwarded), Histo::kCommitForwardedNs);
+  EXPECT_EQ(deliver_histo(Path::kFast), Histo::kDeliverFastNs);
+  EXPECT_EQ(deliver_histo(Path::kSlow), Histo::kDeliverSlowNs);
+  EXPECT_EQ(deliver_histo(Path::kForwarded), Histo::kDeliverForwardedNs);
+}
+
+TEST(MetricsRegistry, MetricNamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Counter::kCount); ++i)
+    names.insert(metric_name(static_cast<Counter>(i)));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Gauge::kCount); ++i)
+    names.insert(metric_name(static_cast<Gauge>(i)));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Histo::kCount); ++i)
+    names.insert(metric_name(static_cast<Histo>(i)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(Counter::kCount) +
+                              static_cast<std::size_t>(Gauge::kCount) +
+                              static_cast<std::size_t>(Histo::kCount));
+  EXPECT_EQ(names.count(""), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Exporter schema
+// ---------------------------------------------------------------------
+
+TEST(Export, RegistrySchemaHasFixedKeySets) {
+  // The key set is the full catalog even for an untouched registry —
+  // consumers can rely on every key existing in every document.
+  MetricsRegistry r;
+  const Json doc = export_registry(r);
+  const Json* counters = doc.find("counters");
+  const Json* gauges = doc.find("gauges");
+  const Json* hists = doc.find("histograms");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(hists, nullptr);
+  EXPECT_EQ(counters->items().size(),
+            static_cast<std::size_t>(Counter::kCount));
+  EXPECT_EQ(gauges->items().size(), static_cast<std::size_t>(Gauge::kCount));
+  EXPECT_EQ(hists->items().size(), static_cast<std::size_t>(Histo::kCount));
+  // Every histogram summary carries exactly the eight summary fields.
+  for (const auto& [name, summary] : hists->items()) {
+    ASSERT_TRUE(summary.is_object()) << name;
+    ASSERT_EQ(summary.items().size(), 8u) << name;
+    for (const char* key :
+         {"count", "mean", "min", "max", "p50", "p90", "p99", "p999"})
+      EXPECT_NE(summary.find(key), nullptr) << name << "." << key;
+  }
+}
+
+TEST(Export, RegistryValuesRoundThrough) {
+  MetricsRegistry r;
+  r.inc(Counter::kAcquisitions, 12);
+  r.set(Gauge::kEventQueueDepth, -3);
+  r.record(Histo::kAcquisitionNs, 5000);
+  const Json doc = export_registry(r);
+  const Json* acq = doc.find_path("counters", metric_name(Counter::kAcquisitions));
+  ASSERT_NE(acq, nullptr);
+  EXPECT_EQ(acq->integer(), 12);
+  const Json* depth =
+      doc.find_path("gauges", metric_name(Gauge::kEventQueueDepth));
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->integer(), -3);
+  const Json* h =
+      doc.find_path("histograms", metric_name(Histo::kAcquisitionNs));
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->integer(), 1);
+  EXPECT_EQ(h->find("p50")->integer(), 5000);
+}
+
+TEST(Export, BenchDocSkeleton) {
+  const Json doc = make_bench_doc("some_bench", true);
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->str(), kBenchSchema);
+  EXPECT_EQ(doc.find("bench")->str(), "some_bench");
+  EXPECT_TRUE(doc.find("quick")->boolean());
+}
+
+// ---------------------------------------------------------------------
+// JSON round-trip and byte stability
+// ---------------------------------------------------------------------
+
+TEST(Json, DumpParseDumpIsByteStable) {
+  MetricsRegistry r;
+  r.inc(Counter::kCommittedFast, 123456789);
+  r.set(Gauge::kPendingCommands, 42);
+  for (std::int64_t v = 1; v < 2000; v += 7) r.record(Histo::kCommitFastNs, v);
+  Json doc = make_bench_doc("roundtrip", false);
+  doc.set("metrics", export_registry(r));
+  Json results = Json::object();
+  results.set("throughput_per_sec", 123456.789);
+  results.set("tiny", 1e-9);
+  results.set("negative", -17.25);
+  doc.set("results", std::move(results));
+
+  const std::string once = doc.dump();
+  Json parsed;
+  std::string error;
+  ASSERT_TRUE(Json::parse(once, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.dump(), once);
+  // And numbers survive bit-exactly, not just textually.
+  EXPECT_DOUBLE_EQ(
+      parsed.find_path("results", "throughput_per_sec")->number(), 123456.789);
+}
+
+TEST(Json, EscapesAndParsesExoticStrings) {
+  Json doc = Json::object();
+  doc.set("note", std::string("line1\nline2\t\"quoted\" back\\slash"));
+  const std::string text = doc.dump(0);
+  Json parsed;
+  std::string error;
+  ASSERT_TRUE(Json::parse(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.find("note")->str(),
+            "line1\nline2\t\"quoted\" back\\slash");
+  EXPECT_EQ(parsed.dump(0), text);
+}
+
+TEST(Json, IntegralDoublesPrintAsIntegers) {
+  Json doc = Json::object();
+  doc.set("whole", 3.0);
+  doc.set("fractional", 3.5);
+  EXPECT_EQ(doc.dump(0), "{\"whole\":3,\"fractional\":3.5}");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  Json out;
+  std::string error;
+  EXPECT_FALSE(Json::parse("{\"a\": }", &out, &error));
+  EXPECT_FALSE(Json::parse("{\"a\": 1", &out, &error));
+  EXPECT_FALSE(Json::parse("{} trailing", &out, &error));
+  EXPECT_FALSE(Json::parse("", &out, &error));
+}
+
+}  // namespace
+}  // namespace m2::stats

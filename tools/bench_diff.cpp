@@ -1,0 +1,92 @@
+// bench_diff — perf-regression comparator for BENCH_*.json artifacts.
+//
+// Compares the flat "results" map of a fresh bench run against a committed
+// baseline document and exits non-zero when a regression crosses the fail
+// threshold. Direction is inferred per key (throughput-like keys regress
+// down, latency-like keys regress up, allocs/decided is a hard gate), so
+// the CI perf-gate job needs no per-metric configuration:
+//
+//   bench_diff --baseline BENCH_protocol.quick.json --fresh BENCH_protocol.json
+//   bench_diff --baseline a.json --fresh b.json --warn 10 --fail 25
+//
+// Exit codes: 0 ok/warn-only, 1 fail-level regression (or unreadable
+// input), 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "stats/bench_diff.hpp"
+#include "stats/export.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --baseline FILE --fresh FILE [--warn PCT] "
+               "[--fail PCT] [--alloc-slack N]\n"
+               "  --baseline FILE    committed baseline BENCH_*.json\n"
+               "  --fresh FILE       freshly produced BENCH_*.json\n"
+               "  --warn PCT         warn threshold, %% regression (default 10)\n"
+               "  --fail PCT         fail threshold, %% regression (default 25)\n"
+               "  --alloc-slack N    allowed allocs/decided increase (default 0.5)\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string fresh_path;
+  m2::stats::DiffThresholds thresholds;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* flag = argv[i];
+    if (std::strcmp(flag, "--baseline") == 0) {
+      baseline_path = need_value(i);
+    } else if (std::strcmp(flag, "--fresh") == 0) {
+      fresh_path = need_value(i);
+    } else if (std::strcmp(flag, "--warn") == 0) {
+      thresholds.warn_pct = std::atof(need_value(i));
+    } else if (std::strcmp(flag, "--fail") == 0) {
+      thresholds.fail_pct = std::atof(need_value(i));
+    } else if (std::strcmp(flag, "--alloc-slack") == 0) {
+      thresholds.alloc_slack = std::atof(need_value(i));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (baseline_path.empty() || fresh_path.empty()) usage(argv[0]);
+  if (thresholds.fail_pct < thresholds.warn_pct) {
+    std::fprintf(stderr, "--fail (%g) must be >= --warn (%g)\n",
+                 thresholds.fail_pct, thresholds.warn_pct);
+    return 2;
+  }
+
+  m2::stats::Json baseline;
+  m2::stats::Json fresh;
+  std::string error;
+  if (!m2::stats::read_json_file(baseline_path, &baseline, &error)) {
+    std::fprintf(stderr, "cannot read baseline %s: %s\n", baseline_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  if (!m2::stats::read_json_file(fresh_path, &fresh, &error)) {
+    std::fprintf(stderr, "cannot read fresh %s: %s\n", fresh_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  std::printf("baseline: %s\nfresh:    %s\n", baseline_path.c_str(),
+              fresh_path.c_str());
+  const m2::stats::DiffReport report =
+      m2::stats::diff_bench_docs(baseline, fresh, thresholds);
+  std::fputs(m2::stats::format_report(report, thresholds).c_str(), stdout);
+  return report.worst == m2::stats::DiffSeverity::kFail ? 1 : 0;
+}

@@ -5,7 +5,8 @@
 # each in quick mode under a wall-clock cap, and validates that the emitted
 # BENCH_*.json parses as JSON. Fails (nonzero exit) if the build breaks, a
 # bench exceeds its cap, a bench itself reports a regression (nonzero exit,
-# e.g. steady-state allocations), or the JSON is malformed.
+# e.g. steady-state allocations), or the JSON is malformed. Every bench
+# runs even after an earlier one fails, and any failure fails the script.
 #
 # Usage: tools/bench_smoke.sh [build-dir]
 #   build-dir: an existing CMake build directory to reuse (its configured
@@ -18,36 +19,50 @@ build="${1:-$repo/build-bench-smoke}"
 # Absolutize: the benches run from a scratch dir below.
 case "$build" in /*) ;; *) build="$(pwd)/$build" ;; esac
 
+# Under CTest, CTEST_PARALLEL_LEVEL is the user's chosen parallelism;
+# respect it rather than grabbing every core.
+jobs="${CTEST_PARALLEL_LEVEL:-$(nproc)}"
+
 if [[ ! -f "$build/CMakeCache.txt" ]]; then
   cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 fi
-cmake --build "$build" --target micro_sim micro_protocol -j"$(nproc)" \
+cmake --build "$build" --target micro_sim micro_protocol -j"$jobs" \
   >/dev/null
 
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
+failures=0
+
 # The benches write BENCH_*.json into their cwd; run from a scratch dir so
-# a smoke run never clobbers a real benchmark result.
+# a smoke run never clobbers a real benchmark result. Records failures
+# instead of exiting so every bench gets its run (and its diagnostics).
 run_bench() {
-  local name="$1" cap="$2" json="$3"
-  (cd "$out" && M2_BENCH_QUICK=1 timeout "$cap" "$build/bench/$name") || {
+  local name="$1" cap="$2" json="$3" status=0
+  (cd "$out" && M2_BENCH_QUICK=1 timeout "$cap" "$build/bench/$name") ||
     status=$?
+  if [[ $status -ne 0 ]]; then
     if [[ $status -eq 124 ]]; then
       echo "bench_smoke: $name exceeded the ${cap}-second cap" >&2
     else
       echo "bench_smoke: $name failed (exit $status)" >&2
     fi
-    exit 1
-  }
+    failures=$((failures + 1))
+    return 0
+  fi
   if ! python3 -m json.tool "$out/$json" >/dev/null; then
     echo "bench_smoke: $json is malformed" >&2
-    exit 1
+    failures=$((failures + 1))
   fi
 }
 
 run_bench micro_sim 5 BENCH_sim.json
 run_bench micro_protocol 60 BENCH_protocol.json
+
+if [[ $failures -ne 0 ]]; then
+  echo "bench_smoke: $failures bench(es) failed" >&2
+  exit 1
+fi
 
 # The protocol bench must report the batched fast-path mix: its absence
 # means the mix silently stopped running, which would unpin the batching
@@ -55,12 +70,12 @@ run_bench micro_protocol 60 BENCH_protocol.json
 python3 - "$out/BENCH_protocol.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-for key in ("speedup_batched_fast_path",):
-    assert key in doc, f"BENCH_protocol.json missing {key}"
-for key in ("batched_fast_path_decided_per_sec",
+assert doc.get("schema") == "m2bench-v1", "BENCH_protocol.json schema tag"
+for key in ("speedup_batched_fast_path",
+            "batched_fast_path_decided_per_sec",
             "batched_fast_path_allocs_per_decided",
             "batched_fast_path_decided"):
-    assert key in doc["current"], f"BENCH_protocol.json current missing {key}"
+    assert key in doc["results"], f"BENCH_protocol.json results missing {key}"
 EOF
 
 echo "bench_smoke: OK"

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "fuzz/fuzzer.hpp"
+#include "stats/json.hpp"
 
 using namespace m2;
 
@@ -160,21 +161,6 @@ int nodes_for_seed(const Options& opt, std::uint64_t seed) {
   return seed % 2 == 0 ? 4 : 5;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
 std::string episode_list(const std::vector<int>& episodes) {
   std::string out;
   for (const int e : episodes) {
@@ -209,33 +195,32 @@ std::string repro_command(const char* argv0, core::Protocol protocol,
   return cmd;
 }
 
+// NDJSON via the shared stats::Json writer: one compact object per run,
+// with the same escaping and number formatting as every BENCH_*.json.
 void print_json_run(core::Protocol protocol, int nodes, std::uint64_t seed,
                     const fuzz::FuzzResult& result,
                     const std::vector<int>* shrunk,
                     const std::string& repro) {
-  std::printf("{\"protocol\":\"%s\",\"nodes\":%d,\"seed\":%llu,\"ok\":%s,"
-              "\"proposals\":%llu,\"committed\":%llu,\"decisions\":%llu,"
-              "\"deliveries\":%llu,\"crashes\":%d,\"violations\":[",
-              core::to_string(protocol).c_str(), nodes,
-              static_cast<unsigned long long>(seed),
-              result.ok ? "true" : "false",
-              static_cast<unsigned long long>(result.proposals),
-              static_cast<unsigned long long>(result.committed),
-              static_cast<unsigned long long>(result.decisions),
-              static_cast<unsigned long long>(result.deliveries),
-              result.nodes_crashed);
-  for (std::size_t i = 0; i < result.violations.size(); ++i)
-    std::printf("%s\"%s\"", i != 0 ? "," : "",
-                json_escape(result.violations[i]).c_str());
-  std::printf("]");
+  stats::Json doc = stats::Json::object();
+  doc.set("protocol", core::to_string(protocol));
+  doc.set("nodes", nodes);
+  doc.set("seed", seed);
+  doc.set("ok", result.ok);
+  doc.set("proposals", result.proposals);
+  doc.set("committed", result.committed);
+  doc.set("decisions", result.decisions);
+  doc.set("deliveries", result.deliveries);
+  doc.set("crashes", result.nodes_crashed);
+  stats::Json violations = stats::Json::array();
+  for (const std::string& v : result.violations) violations.push(v);
+  doc.set("violations", std::move(violations));
   if (shrunk != nullptr) {
-    std::printf(",\"shrunk_episodes\":[");
-    for (std::size_t i = 0; i < shrunk->size(); ++i)
-      std::printf("%s%d", i != 0 ? "," : "", (*shrunk)[i]);
-    std::printf("]");
+    stats::Json episodes = stats::Json::array();
+    for (const int e : *shrunk) episodes.push(e);
+    doc.set("shrunk_episodes", std::move(episodes));
   }
-  if (!repro.empty()) std::printf(",\"repro\":\"%s\"", json_escape(repro).c_str());
-  std::printf("}\n");
+  if (!repro.empty()) doc.set("repro", repro);
+  std::printf("%s\n", doc.dump(0).c_str());
 }
 
 }  // namespace
@@ -356,9 +341,10 @@ int main(int argc, char** argv) {
   }
 
   if (opt.json) {
-    std::printf("{\"runs\":%llu,\"failures\":%llu}\n",
-                static_cast<unsigned long long>(runs),
-                static_cast<unsigned long long>(failures));
+    stats::Json summary = stats::Json::object();
+    summary.set("runs", runs);
+    summary.set("failures", failures);
+    std::printf("%s\n", summary.dump(0).c_str());
   } else {
     std::printf("%llu run(s), %llu failure(s)\n",
                 static_cast<unsigned long long>(runs),

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "stats/export.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/tpcc.hpp"
 
@@ -39,6 +40,8 @@ struct Options {
   bool batching = true;
   double loss = 0.0;
   bool csv = false;
+  bool json = false;
+  bool metrics = true;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -61,7 +64,9 @@ struct Options {
       "  --seed S             RNG seed                 (default 1)\n"
       "  --loss P             message drop probability\n"
       "  --no-batching        disable network batching\n"
-      "  --csv                machine-readable output\n",
+      "  --no-metrics         disable the metrics registries (overhead A/B)\n"
+      "  --csv                machine-readable output\n"
+      "  --json               m2bench-v1 JSON document on stdout\n",
       argv0);
   std::exit(2);
 }
@@ -117,8 +122,12 @@ Options parse(int argc, char** argv) {
       opt.loss = std::atof(need_value(i));
     } else if (flag == "--no-batching") {
       opt.batching = false;
+    } else if (flag == "--no-metrics") {
+      opt.metrics = false;
     } else if (flag == "--csv") {
       opt.csv = true;
+    } else if (flag == "--json") {
+      opt.json = true;
     } else {
       usage(argv[0]);
     }
@@ -144,6 +153,7 @@ int main(int argc, char** argv) {
   cfg.warmup = opt.warmup_ms * sim::kMillisecond;
   cfg.measure = opt.measure_ms * sim::kMillisecond;
   cfg.seed = opt.seed;
+  cfg.cluster.metrics.enabled = opt.metrics;
 
   std::unique_ptr<wl::Workload> workload;
   if (opt.tpcc) {
@@ -162,7 +172,31 @@ int main(int argc, char** argv) {
   const double med_us = static_cast<double>(r.commit_latency.median()) / 1e3;
   const double p99_us =
       static_cast<double>(r.commit_latency.quantile(0.99)) / 1e3;
-  if (opt.csv) {
+  if (opt.json) {
+    stats::Json results = stats::Json::object();
+    results.set("throughput_per_sec", r.committed_per_sec);
+    results.set("latency_median_us", med_us);
+    results.set("latency_p99_us", p99_us);
+    results.set("bytes_per_command", r.bytes_per_command);
+    results.set("msgs_per_command",
+                r.committed > 0
+                    ? static_cast<double>(r.traffic.messages_sent) /
+                          static_cast<double>(r.committed)
+                    : 0.0);
+    results.set("cpu_utilization", r.avg_cpu_utilization);
+    results.set("committed", r.committed);
+    results.set("proposals", r.proposals);
+    results.set("skipped", r.skipped);
+
+    stats::Json doc = stats::make_bench_doc("m2bench", false);
+    doc.set("protocol", core::to_string(opt.protocol));
+    doc.set("nodes", opt.nodes);
+    doc.set("workload", opt.tpcc ? "tpcc" : "synthetic");
+    doc.set("seed", opt.seed);
+    doc.set("results", std::move(results));
+    doc.set("metrics", stats::export_registry(r.metrics));
+    std::fputs(doc.dump(2).c_str(), stdout);
+  } else if (opt.csv) {
     std::printf(
         "protocol,nodes,throughput_cps,median_us,p99_us,bytes_per_cmd,"
         "msgs_per_cmd,cpu_util\n");
