@@ -1,55 +1,70 @@
-// Quickstart: bring up a 5-node simulated M²Paxos cluster, propose a few
-// commands from different nodes, and watch every node deliver the same
-// order for conflicting commands.
+// Quickstart for the public m2:: API: build a 5-node M²Paxos cluster with
+// m2::ClusterBuilder, propose a few commands, and audit that every node
+// delivered conflicting commands in the same order.
+//
+// The same program runs on two backends — the deterministic simulator and
+// the threaded loopback runtime (real OS threads, real clock, messages
+// fully serialized through the wire codec). Only the Backend enum differs.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "harness/cluster.hpp"
-#include "workload/synthetic.hpp"
+#include "m2/cluster.hpp"
 
-using namespace m2;
+namespace {
 
-int main() {
-  // A workload object supplies the initial ownership map: node n owns
-  // objects [n*1000, (n+1)*1000).
-  wl::SyntheticWorkload workload({/*n_nodes=*/5, /*objects_per_node=*/1000,
-                                  /*locality=*/1.0, /*complex=*/0.0,
-                                  /*payload=*/16, /*seed=*/42});
-
-  harness::ExperimentConfig cfg;
-  cfg.protocol = core::Protocol::kM2Paxos;
-  cfg.cluster.n_nodes = 5;
-  cfg.audit = true;  // keep per-node C-structs so we can print them
-
-  harness::Cluster cluster(cfg, workload);
-  cluster.set_measuring(true);
-
-  // Propose commands explicitly. Object 0 is owned by node 0, object 1000
-  // by node 1: node 0's proposals ride the 2-delay fast path, node 2's
-  // proposal on object 0 is forwarded to its owner.
-  cluster.propose(0, core::Command(core::CommandId::make(0, 1), {0}));
-  cluster.propose(0, core::Command(core::CommandId::make(0, 2), {0}));
-  cluster.propose(1, core::Command(core::CommandId::make(1, 1), {1000}));
-  cluster.propose(2, core::Command(core::CommandId::make(2, 1), {0}));
-  // A multi-object command across two owners triggers ownership
-  // acquisition (the paper's slowest path).
-  cluster.propose(3, core::Command(core::CommandId::make(3, 1), {0, 1000}));
-
-  cluster.run_idle();  // drain the simulation
-
-  std::printf("committed commands: %llu\n",
-              static_cast<unsigned long long>(cluster.committed_count()));
-  std::printf("median commit latency: %.0f us (fast path = 2 one-way delays)\n",
-              static_cast<double>(cluster.latency().median()) / 1000.0);
-  for (int n = 0; n < cluster.n_nodes(); ++n) {
-    std::printf("node %d delivered %s\n", n,
-                cluster.cstructs()[static_cast<std::size_t>(n)].to_string().c_str());
+// Drives one cluster: homed proposals (fast path), a contended object, and
+// a cross-partition command (ownership acquisition — the slowest path).
+// Returns true when all commands committed and the safety audit passed.
+bool run(m2::Backend backend, const char* name) {
+  std::string error;
+  auto cluster = m2::ClusterBuilder()
+                     .protocol(m2::Protocol::kM2Paxos)
+                     .backend(backend)
+                     .nodes(5)
+                     .objects_per_node(1000)  // node n owns [n*1000,(n+1)*1000)
+                     .audit(true)             // keep C-structs for the audit
+                     .seed(42)
+                     .build(&error);
+  if (cluster == nullptr) {
+    std::printf("[%s] build failed: %s\n", name, error.c_str());
+    return false;
   }
 
-  const auto report = cluster.audit_consistency();
-  std::printf("consistency audit: %s\n", report.ok ? "OK" : report.violation.c_str());
-  return report.ok ? 0 : 1;
+  // Object 0 is owned by node 0, object 1000 by node 1: node 0's proposals
+  // ride the 2-delay fast path, node 2's proposal on object 0 is forwarded
+  // to its owner, and the {0, 1000} command spans two owners.
+  cluster->propose(0, {0});
+  cluster->propose(0, {0});
+  cluster->propose(1, {1000});
+  cluster->propose(2, {0});
+  cluster->propose(3, {0, 1000});
+
+  const bool all = cluster->await_committed(5, 5 * m2::kSecond);
+  const auto latency = cluster->commit_latency();
+  cluster->stop();  // joins node threads; C-structs are stable after this
+
+  std::printf("[%s] committed: %llu/5, median commit latency: %.0f us\n",
+              name, static_cast<unsigned long long>(cluster->committed()),
+              static_cast<double>(latency.median()) / 1000.0);
+  for (int n = 0; n < cluster->nodes(); ++n) {
+    std::printf("[%s] node %d delivered %s\n", name, n,
+                cluster->cstructs()[static_cast<std::size_t>(n)]
+                    .to_string()
+                    .c_str());
+  }
+  const auto report = cluster->audit();
+  std::printf("[%s] consistency audit: %s\n", name,
+              report.ok ? "OK" : report.violation.c_str());
+  return all && report.ok;
+}
+
+}  // namespace
+
+int main() {
+  const bool sim_ok = run(m2::Backend::kSim, "sim");
+  const bool loopback_ok = run(m2::Backend::kLoopback, "loopback");
+  return sim_ok && loopback_ok ? 0 : 1;
 }

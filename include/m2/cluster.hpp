@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file
+/// m2::ClusterBuilder — the one-stop public entry point: build a consensus
+/// cluster from a validated m2::Config and drive it through a
+/// backend-agnostic handle. The same program runs unchanged on the
+/// deterministic simulator, the threaded loopback runtime, or a real TCP
+/// deployment; only the Backend selection differs.
+///
+/// \code{.cpp}
+///   auto cluster = m2::ClusterBuilder()
+///                      .protocol(m2::Protocol::kM2Paxos)
+///                      .backend(m2::Backend::kLoopback)
+///                      .nodes(5)
+///                      .audit(true)
+///                      .build();
+///   const auto id = cluster->propose(0, {/*objects=*/ {0}});
+///   cluster->await_committed(1, 2 * m2::kSecond);
+/// \endcode
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cstruct.hpp"
+#include "m2/config.hpp"
+#include "m2/context.hpp"
+#include "stats/histogram.hpp"
+#include "stats/metrics.hpp"
+
+namespace m2 {
+
+/// A running consensus cluster, backend-agnostic.
+///
+/// Obtained from ClusterBuilder::build(). Time parameters are virtual
+/// nanoseconds under Backend::kSim and real nanoseconds under the threaded
+/// backends; everything else behaves identically, which is what makes the
+/// simulator a faithful development environment for runtime deployments.
+///
+/// Threaded backends: propose()/crash()/recover() and the counters are
+/// safe from any thread; cstructs() and audit() are valid only after
+/// stop() (the thread joins publish per-node state).
+class Cluster {
+ public:
+  virtual ~Cluster() = default;
+
+  virtual int nodes() const = 0;
+  virtual Protocol protocol() const = 0;
+
+  /// Proposes a command at `node` touching `objects` with an opaque
+  /// payload of `payload_bytes`, minting a fresh id. Tracked for commit
+  /// counting and latency measurement.
+  CommandId propose(NodeId node, ObjectList objects,
+                    std::uint32_t payload_bytes = 16);
+
+  /// Proposes a fully formed command (e.g. one carrying a serialized
+  /// application operation in its body). The id must be unique and its
+  /// proposer field must equal `node`.
+  virtual void propose(NodeId node, Command c) = 0;
+
+  /// Mints the next command id for proposals built by the caller.
+  virtual CommandId next_id(NodeId node) = 0;
+
+  /// Waits until `target` tracked proposals have committed, or `timeout`
+  /// elapses (advancing virtual time under kSim, blocking otherwise).
+  /// True when the target was reached.
+  virtual bool await_committed(std::uint64_t target, Time timeout) = 0;
+
+  /// Tracked proposals whose outcome is agreed (the client-visible commit
+  /// point the paper's latency figures measure).
+  virtual std::uint64_t committed() const = 0;
+
+  /// Non-noop commands node `node` has applied, in its C-struct order.
+  virtual std::uint64_t delivered(NodeId node) const = 0;
+
+  /// Commit latency observed at proposers, nanoseconds.
+  virtual stats::Histogram commit_latency() const = 0;
+
+  /// Cluster-wide protocol metrics (counters summed, histograms merged).
+  /// Threaded backends: call after stop() or while quiesced.
+  virtual stats::MetricsRegistry metrics() const = 0;
+
+  /// Fault injection: a crashed node drops every message in and out but
+  /// keeps its volatile state (the paper's CP fault model — crash means
+  /// silence, recovery resumes from the pre-crash state plus whatever the
+  /// protocol re-learns).
+  virtual void crash(NodeId node) = 0;
+  virtual void recover(NodeId node) = 0;
+
+  /// Per-node delivered sequences (Config::audit only; threaded backends
+  /// require stop() first).
+  virtual const std::vector<core::CStruct>& cstructs() const = 0;
+
+  /// Safety audit over cstructs(): total order for Multi-Paxos, pairwise
+  /// conflict-order consistency for the generalized protocols.
+  virtual core::ConsistencyReport audit() const = 0;
+
+  /// Shuts the cluster down (joins node threads, closes sockets).
+  /// Idempotent; destruction implies it.
+  virtual void stop() = 0;
+};
+
+/// Fluent builder over m2::Config. Setters mirror the Config fields;
+/// build() validates and constructs the selected backend.
+class ClusterBuilder {
+ public:
+  ClusterBuilder& protocol(Protocol p) { cfg_.protocol = p; return *this; }
+  ClusterBuilder& backend(Backend b) { cfg_.backend = b; return *this; }
+  ClusterBuilder& nodes(int n) { cfg_.nodes = n; return *this; }
+  ClusterBuilder& seed(std::uint64_t s) { cfg_.seed = s; return *this; }
+  ClusterBuilder& objects_per_node(std::uint64_t n) {
+    cfg_.objects_per_node = n;
+    return *this;
+  }
+  ClusterBuilder& preassign_ownership(bool on) {
+    cfg_.preassign_ownership = on;
+    return *this;
+  }
+  ClusterBuilder& failure_detector(bool on) {
+    cfg_.enable_failure_detector = on;
+    return *this;
+  }
+  ClusterBuilder& audit(bool on) { cfg_.audit = on; return *this; }
+  /// Command batching with the repo's default batch shape (the paper runs
+  /// every throughput experiment batched).
+  ClusterBuilder& batching(bool on) {
+    cfg_.tuning.batching.enabled = on;
+    return *this;
+  }
+  ClusterBuilder& addresses(std::vector<NodeAddress> a) {
+    cfg_.addresses = std::move(a);
+    return *this;
+  }
+  ClusterBuilder& local_nodes(std::vector<NodeId> n) {
+    cfg_.local_nodes = std::move(n);
+    return *this;
+  }
+  /// Direct access to the advanced knobs (core::ClusterConfig).
+  core::ClusterConfig& tuning() { return cfg_.tuning; }
+  Config& config() { return cfg_; }
+
+  /// Validates the config and constructs the backend. nullptr on invalid
+  /// config or backend startup failure (bind error, ...), with the reason
+  /// in `*error` when given.
+  std::unique_ptr<Cluster> build(std::string* error = nullptr) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace m2

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file
+/// Public configuration for m2::ClusterBuilder — one validated document
+/// that selects a protocol, a backend, and the cluster shape. Everything a
+/// typical embedder touches lives here; the advanced protocol knobs
+/// (timeouts, batching, cost model) stay on core::ClusterConfig, reachable
+/// through Config::tuning.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace m2 {
+
+/// Execution backend for a cluster built by m2::ClusterBuilder.
+enum class Backend {
+  /// Deterministic discrete-event simulation (virtual time, modeled
+  /// network/CPU). Single-threaded, replayable: same Config + seed =
+  /// bit-identical run. The backend the paper-reproduction benchmarks use.
+  kSim,
+  /// Threaded real-clock runtime, all nodes in this process: one OS thread
+  /// per node, messages fully serialized through the in-process loopback
+  /// transport (the exact wire codec TCP uses, minus the socket).
+  kLoopback,
+  /// Threaded real-clock runtime over TCP: this process serves
+  /// Config::local_nodes of the cluster; the rest are remote m2node
+  /// processes listed in Config::addresses.
+  kTcp,
+};
+
+/// Network address of one cluster node (Backend::kTcp).
+struct NodeAddress {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Cluster recipe consumed by m2::ClusterBuilder::build().
+///
+/// A default-constructed Config is valid: a 3-node simulated M²Paxos
+/// cluster. Builder setters cover the common fields; `tuning` exposes the
+/// full protocol configuration for ablations.
+struct Config {
+  core::Protocol protocol = core::Protocol::kM2Paxos;
+  Backend backend = Backend::kSim;
+
+  /// Cluster size. Ignored for Backend::kTcp (addresses.size() rules).
+  int nodes = 3;
+
+  /// Run seed: drives protocol randomness on every backend (and the whole
+  /// event schedule under kSim).
+  std::uint64_t seed = 1;
+
+  /// Size of each node's initially-owned contiguous object range: node n
+  /// owns objects [n*objects_per_node, (n+1)*objects_per_node). The
+  /// M²Paxos steady-state setup (the paper's partitioned workloads);
+  /// ignored when preassign_ownership is off.
+  std::uint64_t objects_per_node = 1024;
+
+  /// Install the partition map as initial M²Paxos ownership. Off = every
+  /// proposal starts with cold ownership acquisition (§IV-C).
+  bool preassign_ownership = true;
+
+  /// Multi-Paxos failure detector (leader election on leader crash).
+  bool enable_failure_detector = false;
+
+  /// Keep per-node delivered C-structs for Cluster::audit(). Memory grows
+  /// with every delivered command — tests only.
+  bool audit = false;
+
+  /// Backend::kTcp: node i listens on addresses[i].
+  std::vector<NodeAddress> addresses;
+  /// Backend::kTcp: the subset of nodes this process serves.
+  std::vector<NodeId> local_nodes;
+
+  /// Advanced protocol/cost knobs (core::ClusterConfig). n_nodes in here
+  /// is overwritten from `nodes`/`addresses` at build time.
+  core::ClusterConfig tuning;
+
+  /// Empty string when the config is buildable; otherwise a human-readable
+  /// description of the first problem.
+  std::string validate() const;
+};
+
+}  // namespace m2

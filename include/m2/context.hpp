@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file
+/// The public replica-environment surface: what an embedder needs to
+/// implement a custom backend or drive a core::Replica directly.
+///
+/// core::Context is the seam between the sans-I/O protocol state machines
+/// and whichever backend executes them. It is simulation-free by design:
+/// nothing in this header (or in core/replica.hpp behind it) pulls in the
+/// discrete-event simulator — the sim is one backend among several, not
+/// part of the protocol API. The three shipped implementations:
+///
+///   - harness::Cluster (src/harness/): virtual time on the DES,
+///   - runtime::Node (src/runtime/): one OS thread per node, real clock,
+///   - test doubles (tests/): scripted delivery for unit tests.
+///
+/// Threading contract: every Context method is invoked from the replica's
+/// serialization point — the simulator's single thread, or the owning node
+/// thread in the runtime. Implementations may fan out internally (push to
+/// another node's inbox, write a socket) but callers never hold locks.
+
+#include "core/command.hpp"
+#include "core/config.hpp"
+#include "core/context.hpp"
+#include "core/replica.hpp"
+#include "core/time.hpp"
+
+namespace m2 {
+
+// Re-exported aliases so embedders can write m2::Context / m2::Time
+// without reaching into the core:: layer.
+using core::Clock;
+using core::Context;
+using core::Replica;
+using core::Time;
+using core::TimerHandle;
+using core::kInvalidTimer;
+
+using core::kMicrosecond;
+using core::kMillisecond;
+using core::kNanosecond;
+using core::kSecond;
+
+using core::Command;
+using core::CommandId;
+using core::ObjectId;
+using core::ObjectList;
+using core::Protocol;
+
+}  // namespace m2

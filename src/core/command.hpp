@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/small_vec.hpp"
+#include "net/codec.hpp"
 #include "net/payload.hpp"
 
 namespace m2::core {
@@ -77,9 +78,18 @@ struct Command {
   /// True iff the two commands access at least one common object.
   bool conflicts_with(const Command& other) const;
 
-  /// Would-be serialized size: id + object list + payload.
+  /// Exact serialized size, byte-for-byte what net::serde emits: id +
+  /// payload_bytes + flags + object list + payload. A command without an
+  /// attached body still carries payload_bytes of (zero) padding on the
+  /// wire — the payload is opaque to consensus but its bytes are real.
   std::size_t wire_size() const {
-    return 8 + 4 + 8 * objects.size() + payload_bytes;
+    std::size_t bytes = 8 + 4 + 1 + net::varint_len(objects.size()) +
+                        8 * objects.size();
+    if (body != nullptr)
+      bytes += net::varint_len(body->size()) + body->size();
+    else
+      bytes += payload_bytes;
+    return bytes;
   }
 
   std::string to_string() const;
@@ -108,9 +118,6 @@ struct CommandBatch {
   static constexpr std::size_t kCapacity = 32;
   SmallVec<CommandPtr, kCapacity> cmds;
 
-  /// Per-batch wire framing: member count + per-member length prefix.
-  static constexpr std::size_t kFramingBytes = 4;
-
   /// Serialized size of the members beyond the head. The head command is
   /// carried (and size-accounted) by the enclosing slot/message exactly as
   /// an unbatched value would be; the tail rides behind it.
@@ -119,6 +126,15 @@ struct CommandBatch {
     for (std::size_t i = 1; i < cmds.size(); ++i)
       bytes += cmds[i]->wire_size();
     return bytes;
+  }
+
+  /// Exact wire bytes of the tail framing + tail members as net::serde
+  /// emits them behind a slot/vote head: a varint member count (0 when
+  /// `batch` is null or single-command — one byte) then the tail commands.
+  static std::size_t tail_encoded_size(
+      const std::shared_ptr<const CommandBatch>& batch) {
+    if (batch == nullptr || batch->cmds.size() <= 1) return 1;
+    return net::varint_len(batch->cmds.size() - 1) + batch->tail_wire_size();
   }
 };
 

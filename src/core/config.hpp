@@ -5,7 +5,7 @@
 #include <string>
 
 #include "net/payload.hpp"
-#include "sim/time.hpp"
+#include "core/time.hpp"
 
 namespace m2::core {
 
@@ -17,20 +17,20 @@ namespace m2::core {
 /// queueing model (sim::NodeCpu), which is what produces saturation
 /// (throughput ceilings) in the benchmarks.
 struct CostModel {
-  sim::Time rx_fixed = 1000;      // ns per received message
+  Time rx_fixed = 1000;      // ns per received message
   double rx_per_byte = 0.8;       // ns per received byte
-  sim::Time tx_fixed = 400;       // ns per sent message
+  Time tx_fixed = 400;       // ns per sent message
   double tx_per_byte = 0.4;       // ns per sent byte
 
   /// Extra serial cost charged by protocol serialization points (e.g. a
   /// Multi-Paxos leader's ordering thread, EPaxos' dependency-graph lock).
-  sim::Time serial_fixed = 900;   // ns per serialized handling step
+  Time serial_fixed = 900;   // ns per serialized handling step
 
-  sim::Time rx_cost(std::size_t bytes) const {
-    return rx_fixed + static_cast<sim::Time>(rx_per_byte * static_cast<double>(bytes));
+  Time rx_cost(std::size_t bytes) const {
+    return rx_fixed + static_cast<Time>(rx_per_byte * static_cast<double>(bytes));
   }
-  sim::Time tx_cost(std::size_t bytes) const {
-    return tx_fixed + static_cast<sim::Time>(tx_per_byte * static_cast<double>(bytes));
+  Time tx_cost(std::size_t bytes) const {
+    return tx_fixed + static_cast<Time>(tx_per_byte * static_cast<double>(bytes));
   }
 };
 
@@ -42,16 +42,16 @@ struct ClusterConfig {
 
   /// Timeout after which a node that forwarded a command to an owner (or to
   /// the leader) takes over and re-proposes (Algorithm 1 line 13).
-  sim::Time forward_timeout = 50 * sim::kMillisecond;
+  Time forward_timeout = 50 * kMillisecond;
 
   /// Base for randomized exponential backoff between ownership-acquisition
   /// retries (keeps the unbounded-retry scenario of §IV-C live).
-  sim::Time retry_backoff_min = 200 * sim::kMicrosecond;
-  sim::Time retry_backoff_max = 4 * sim::kMillisecond;
+  Time retry_backoff_min = 200 * kMicrosecond;
+  Time retry_backoff_max = 4 * kMillisecond;
 
   /// Failure-detector heartbeat period and suspicion timeout.
-  sim::Time heartbeat_period = 10 * sim::kMillisecond;
-  sim::Time suspect_timeout = 50 * sim::kMillisecond;
+  Time heartbeat_period = 10 * kMillisecond;
+  Time suspect_timeout = 50 * kMillisecond;
 
   /// When true, replicas keep their full delivered sequence in memory for
   /// consistency auditing (tests). Benchmarks turn this off.
@@ -59,7 +59,7 @@ struct ClusterConfig {
 
   /// M²Paxos anti-entropy (extension): period between sync probes for
   /// stuck delivery frontiers. sync_period 0 disables probing.
-  sim::Time sync_period = 25 * sim::kMillisecond;
+  Time sync_period = 25 * kMillisecond;
 
   /// Protocol-level batching knobs, grouped: command batching & pipelined
   /// accept rounds (the paper runs every throughput experiment batched;
@@ -76,7 +76,7 @@ struct ClusterConfig {
     bool enabled = false;
     /// Adaptive close: a partial batch is flushed at most this long after
     /// its first command was queued (bounds the latency cost at low load).
-    sim::Time batch_window = 200 * sim::kMicrosecond;
+    Time batch_window = 200 * kMicrosecond;
     /// Commands per slot batch (clamped to [1, kMaxBatchCommands]).
     std::size_t batch_max_commands = 16;
     /// Byte budget per accept round: a flush closes once the summed
@@ -123,7 +123,7 @@ struct ClusterConfig {
 
   /// M²Paxos crossing resolution is a recovery path: the (deterministic)
   /// wait-cycle search runs at most once per interval, not per message.
-  sim::Time crossing_check_interval = 2 * sim::kMillisecond;
+  Time crossing_check_interval = 2 * kMillisecond;
 
   /// M²Paxos acquisition fallback (§IV-C "bounding the communication
   /// delays"): after this many failed coordinations, the command is routed

@@ -23,7 +23,7 @@ void FailureDetector::start() {
 void FailureDetector::stop() {
   running_ = false;
   ctx_.cancel_timer(timer_);
-  timer_ = sim::kInvalidEvent;
+  timer_ = core::kInvalidTimer;
 }
 
 void FailureDetector::tick() {

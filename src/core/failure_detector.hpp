@@ -15,7 +15,9 @@ struct Heartbeat final : net::Payload {
   explicit Heartbeat(NodeId s) : sender(s) {}
   NodeId sender;
   std::uint32_t kind() const override { return net::kKindCommon + 1; }
-  std::size_t wire_size() const override { return 8; }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + 4;
+  }
   const char* name() const override { return "Heartbeat"; }
 };
 
@@ -60,7 +62,7 @@ class FailureDetector {
   ClusterConfig cfg_;
   Context& ctx_;
   std::vector<sim::Time> last_heard_;
-  sim::EventId timer_ = sim::kInvalidEvent;
+  core::TimerHandle timer_ = core::kInvalidTimer;
   bool running_ = false;
   NodeId last_leader_ = kNoNode;
   std::function<void(NodeId)> on_leader_change_;

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace m2::core {
+
+/// Move-only callable wrapper with small-buffer storage, tuned for the
+/// simulator's event hot path and reused by the threaded runtime's timer
+/// wheel (both consume timer callbacks exactly once).
+///
+/// `std::function` heap-allocates any capture larger than its tiny internal
+/// buffer (16 bytes on libstdc++), which puts one malloc/free pair on the
+/// critical path of every scheduled event, every CPU-model completion, and
+/// every network delivery. BasicInlineFn stores captures up to kInlineSize
+/// bytes inline (enough for `this` + an Envelope, or half a dozen words of
+/// protocol state) and only falls back to the heap for oversized or
+/// throwing-move captures. Dispatch is two function pointers — invoke and
+/// relocate/destroy — instead of a vtable, so a slot is one cache line.
+///
+/// Unlike `std::function` it is move-only: event callbacks are consumed
+/// exactly once, and copyability is what forces `std::function` to
+/// heap-allocate non-copyable captures. Callables that must be re-armed
+/// (e.g. a self-rescheduling chain) should be copyable function objects
+/// re-wrapped at each schedule, see bench/micro_sim.cpp.
+template <typename Signature>
+class BasicInlineFn;
+
+template <typename R, typename... Args>
+class BasicInlineFn<R(Args...)> {
+ public:
+  /// Inline capture budget. 48 bytes holds the common simulator captures
+  /// (this-pointer + Envelope = 40 bytes) while keeping the whole object —
+  /// buffer plus two dispatch pointers — at 64 bytes, one cache line.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  /// True when a callable of type F is stored in the inline buffer (no
+  /// heap allocation); exposed so benchmarks and tests can assert their
+  /// captures stay on the allocation-free path.
+  template <typename F>
+  static constexpr bool stored_inline() {
+    using Fn = std::remove_cvref_t<F>;
+    return sizeof(Fn) <= kInlineSize && alignof(Fn) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  BasicInlineFn() noexcept = default;
+  BasicInlineFn(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, BasicInlineFn> &&
+                std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>>>
+  BasicInlineFn(F&& f) {  // NOLINT(runtime/explicit)
+    construct(std::forward<F>(f));
+  }
+
+  /// Replaces the stored callable, constructing `f` directly in the slot.
+  /// This is the hot-path entry: EventQueue::schedule emplaces the caller's
+  /// functor straight into the slot table, skipping the relocate that a
+  /// pass-by-value InlineFn parameter would cost.
+  template <typename F>
+  void emplace(F&& f) {
+    if constexpr (std::is_same_v<std::remove_cvref_t<F>, BasicInlineFn>) {
+      *this = std::move(f);
+    } else {
+      reset();
+      construct(std::forward<F>(f));
+    }
+  }
+
+  BasicInlineFn(BasicInlineFn&& other) noexcept { move_from(other); }
+
+  BasicInlineFn& operator=(BasicInlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  BasicInlineFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  BasicInlineFn(const BasicInlineFn&) = delete;
+  BasicInlineFn& operator=(const BasicInlineFn&) = delete;
+
+  ~BasicInlineFn() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// Invokes the stored callable. Requires *this to be non-empty.
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  void construct(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (stored_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* buf, Args... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(buf)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        if (dst != nullptr) ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      };
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* buf, Args... args) -> R {
+        return (**std::launder(reinterpret_cast<Fn**>(buf)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](void* dst, void* src) noexcept {
+        Fn** from = std::launder(reinterpret_cast<Fn**>(src));
+        if (dst != nullptr)
+          ::new (dst) Fn*(*from);
+        else
+          delete *from;
+      };
+    }
+  }
+
+  void move_from(BasicInlineFn& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    other.manage_(buf_, other.buf_);  // relocate: move-construct + destroy
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (invoke_ == nullptr) return;
+    manage_(nullptr, buf_);  // destroy only
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+  R (*invoke_)(void*, Args...) = nullptr;
+  /// dst != nullptr: relocate (move-construct into dst, destroy src).
+  /// dst == nullptr: destroy src.
+  void (*manage_)(void* dst, void* src) noexcept = nullptr;
+};
+
+/// The event/timer callback type shared by both backends.
+using InlineFn = BasicInlineFn<void()>;
+
+/// Spelling used by the public Context interface for timer callbacks.
+using TimerFn = InlineFn;
+
+}  // namespace m2::core

@@ -2,91 +2,32 @@
 
 #include "core/command.hpp"
 #include "core/config.hpp"
+#include "core/context.hpp"
+#include "core/time.hpp"
 #include "net/payload.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/inline_fn.hpp"
-#include "sim/rng.hpp"
-#include "sim/time.hpp"
 #include "stats/metrics.hpp"
 
 namespace m2::core {
 
 /// Cost of handling one received message, split into the part that must run
 /// under the node's serialization point and the part that parallelizes
-/// across cores. See sim::NodeCpu.
+/// across cores. Consumed by the simulator's CPU model (sim::NodeCpu); the
+/// threaded runtime ignores it — real handling cost is real.
 struct RxCost {
-  sim::Time serial = 0;
-  sim::Time parallel = 0;
-};
-
-/// Environment a replica runs in. Implemented by the cluster harness (on
-/// top of the DES) and by lightweight test doubles. Replicas are sans-I/O
-/// state machines: all effects go through this interface, which is what
-/// makes protocol runs deterministic and replayable.
-class Context {
- public:
-  virtual ~Context() = default;
-
-  virtual sim::Time now() const = 0;
-  virtual sim::Rng& rng() = 0;
-
-  virtual void send(NodeId to, net::PayloadPtr payload) = 0;
-  virtual void broadcast(net::PayloadPtr payload, bool include_self) = 0;
-
-  /// One-shot timer; returns a handle usable with cancel_timer.
-  virtual sim::EventId set_timer(sim::Time delay, sim::InlineFn fn) = 0;
-  virtual void cancel_timer(sim::EventId id) = 0;
-
-  /// Reports that this node appended `c` to its C-struct (C-DECIDE). The
-  /// harness records ordering and throughput from these calls.
-  virtual void deliver(const Command& c) = 0;
-
-  /// Reports, at the proposer only and at most once per command, that the
-  /// command's outcome is known (its position is agreed). This is the
-  /// client-visible commit point the paper's latency numbers measure — on
-  /// the M²Paxos fast path it fires after two communication delays.
-  virtual void committed(const Command& c) = 0;
-
-  // --- observation hooks (default no-op; the harness wires these into the
-  // --- flight recorder and the fuzzing safety auditor) -------------------
-
-  /// Reports that this node learned the decision of consensus slot
-  /// ⟨object, instance⟩. Protocols without per-object logs report their
-  /// native slot key: Multi-Paxos and Generalized Paxos use object 0 with
-  /// the log/sequence index, EPaxos uses (command-leader, instance).
-  /// Fired once per slot per node; firing twice for one slot (a rebind)
-  /// is itself a safety violation the auditor detects.
-  virtual void decided(ObjectId object, Instance slot, const Command& c) {
-    (void)object;
-    (void)slot;
-    (void)c;
-  }
-
-  /// Reports an authoritative local ownership observation for `object`:
-  /// either this node completed an acquisition at `epoch` (`acquired`
-  /// true) or it accepted a value from `owner` coordinating at `epoch`.
-  /// M²Paxos-specific; other protocols never call it.
-  virtual void ownership(ObjectId object, Epoch epoch, NodeId owner,
-                         bool acquired) {
-    (void)object;
-    (void)epoch;
-    (void)owner;
-    (void)acquired;
-  }
-
-  /// Per-node metrics registry, or nullptr when observability is off
-  /// (Config::Metrics runtime kill switch). Replicas cache the pointer at
-  /// construction; a null registry makes every instrumentation helper a
-  /// single predictable branch.
-  virtual stats::MetricsRegistry* metrics() { return nullptr; }
+  Time serial = 0;
+  Time parallel = 0;
 };
 
 /// Base class of all four protocol replicas.
 ///
-/// Life cycle: the harness constructs N replicas, wires delivery callbacks,
+/// Life cycle: the backend constructs N replicas, wires delivery callbacks,
 /// then drives them with propose() (C-PROPOSE) and on_message(). A replica
 /// may be crashed (stops reacting) and restarted with empty volatile state;
 /// durable state persistence is modelled by each protocol as needed.
+///
+/// All environment access goes through core::Context (see context.hpp),
+/// which both the simulator and the threaded runtime implement — this
+/// header deliberately includes nothing from sim/.
 class Replica {
  public:
   Replica(NodeId id, const ClusterConfig& cfg, Context& ctx)
@@ -129,8 +70,8 @@ class Replica {
   void m_inc(stats::Counter, std::uint64_t = 1) {}
   void m_set(stats::Gauge, std::int64_t) {}
   void m_record(stats::Histo, std::int64_t) {}
-  void m_span_commit(stats::Path, sim::Time) {}
-  void m_span_deliver(stats::Path, sim::Time) {}
+  void m_span_commit(stats::Path, Time) {}
+  void m_span_deliver(stats::Path, Time) {}
   static constexpr bool metrics_on() { return false; }
 #else
   void m_inc(stats::Counter c, std::uint64_t by = 1) {
@@ -144,13 +85,13 @@ class Replica {
   }
   /// Propose→commit span at the proposer; `proposed_at` < 0 means the
   /// command was never stamped locally (e.g. learned remotely) — skip.
-  void m_span_commit(stats::Path p, sim::Time proposed_at) {
+  void m_span_commit(stats::Path p, Time proposed_at) {
     if (metrics_ != nullptr && proposed_at >= 0) {
       metrics_->inc(stats::committed_counter(p));
       metrics_->record(stats::commit_histo(p), ctx_.now() - proposed_at);
     }
   }
-  void m_span_deliver(stats::Path p, sim::Time proposed_at) {
+  void m_span_deliver(stats::Path p, Time proposed_at) {
     if (metrics_ != nullptr && proposed_at >= 0)
       metrics_->record(stats::deliver_histo(p), ctx_.now() - proposed_at);
   }

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+namespace m2::core {
+
+/// Time in nanoseconds. Under the discrete-event simulator this is
+/// simulated time since the start of the run; under the threaded runtime it
+/// is CLOCK_MONOTONIC rebased to process start. Protocol code never cares
+/// which: both backends hand out the same monotonic int64 nanoseconds
+/// through core::Clock::now().
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Sentinel for "no deadline" / "never".
+inline constexpr Time kTimeNever = INT64_MAX;
+
+/// Converts a duration to fractional seconds (for reporting).
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / kSecond; }
+
+/// Converts a duration to fractional milliseconds (for reporting).
+constexpr double to_millis(Time t) { return static_cast<double>(t) / kMillisecond; }
+
+/// Converts a duration to fractional microseconds (for reporting).
+constexpr double to_micros(Time t) { return static_cast<double>(t) / kMicrosecond; }
+
+}  // namespace m2::core

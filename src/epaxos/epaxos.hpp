@@ -10,6 +10,7 @@
 #include "core/command.hpp"
 #include "core/config.hpp"
 #include "core/replica.hpp"
+#include "sim/time.hpp"
 #include "epaxos/graph.hpp"
 
 namespace m2::ep {
@@ -30,7 +31,9 @@ struct Attrs {
   bool operator==(const Attrs& o) const {
     return seq == o.seq && deps == o.deps;
   }
-  std::size_t wire_size() const { return 8 + 8 * deps.size(); }
+  std::size_t wire_size() const {
+    return 8 + net::varint_len(deps.size()) + 8 * deps.size();
+  }
 };
 
 struct PreAccept final : net::Payload {
@@ -41,7 +44,7 @@ struct PreAccept final : net::Payload {
   Attrs attrs;
   std::uint32_t kind() const override { return net::kKindEPaxos + 1; }
   std::size_t wire_size() const override {
-    return 8 + cmd.wire_size() + attrs.wire_size();
+    return net::varint_len(kind()) + 8 + cmd.wire_size() + attrs.wire_size();
   }
   const char* name() const override { return "EP.PreAccept"; }
 };
@@ -52,7 +55,9 @@ struct PreAcceptReply final : net::Payload {
   bool changed = false;  // acceptor extended seq/deps
   Attrs attrs;
   std::uint32_t kind() const override { return net::kKindEPaxos + 2; }
-  std::size_t wire_size() const override { return 8 + 4 + 1 + attrs.wire_size(); }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + 8 + 4 + 1 + attrs.wire_size();
+  }
   const char* name() const override { return "EP.PreAcceptReply"; }
 };
 
@@ -65,7 +70,7 @@ struct AcceptMsg final : net::Payload {
   Attrs attrs;
   std::uint32_t kind() const override { return net::kKindEPaxos + 3; }
   std::size_t wire_size() const override {
-    return 8 + cmd.wire_size() + attrs.wire_size();
+    return net::varint_len(kind()) + 8 + cmd.wire_size() + attrs.wire_size();
   }
   const char* name() const override { return "EP.Accept"; }
 };
@@ -74,7 +79,9 @@ struct AcceptReply final : net::Payload {
   InstRef inst = 0;
   NodeId acceptor = kNoNode;
   std::uint32_t kind() const override { return net::kKindEPaxos + 4; }
-  std::size_t wire_size() const override { return 13; }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + 12;
+  }
   const char* name() const override { return "EP.AcceptReply"; }
 };
 
@@ -86,7 +93,7 @@ struct CommitMsg final : net::Payload {
   Attrs attrs;
   std::uint32_t kind() const override { return net::kKindEPaxos + 5; }
   std::size_t wire_size() const override {
-    return 8 + cmd.wire_size() + attrs.wire_size();
+    return net::varint_len(kind()) + 8 + cmd.wire_size() + attrs.wire_size();
   }
   const char* name() const override { return "EP.Commit"; }
 };

@@ -1,5 +1,7 @@
 #include "genpaxos/genpaxos.hpp"
 
+#include "sim/rng.hpp"
+
 #include <algorithm>
 
 namespace m2::gp {

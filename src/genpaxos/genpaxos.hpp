@@ -10,6 +10,7 @@
 #include "core/command.hpp"
 #include "core/config.hpp"
 #include "core/replica.hpp"
+#include "sim/time.hpp"
 
 namespace m2::gp {
 
@@ -27,7 +28,9 @@ struct FastPropose final : net::Payload {
   explicit FastPropose(Command c) : cmd(std::move(c)) {}
   Command cmd;
   std::uint32_t kind() const override { return net::kKindGenPaxos + 1; }
-  std::size_t wire_size() const override { return cmd.wire_size(); }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + cmd.wire_size();
+  }
   const char* name() const override { return "GP.FastPropose"; }
 };
 
@@ -48,7 +51,8 @@ struct FastAck final : net::Payload {
 
   std::uint32_t kind() const override { return net::kKindGenPaxos + 2; }
   std::size_t wire_size() const override {
-    return 8 + 4 + 16 * preds.size() + cstruct_bytes;
+    return net::varint_len(kind()) + 8 + 4 + 4 +
+           net::varint_len(preds.size()) + 16 * preds.size() + cstruct_bytes;
   }
   const char* name() const override { return "GP.FastAck"; }
 };
@@ -59,7 +63,9 @@ struct CommitNotify final : net::Payload {
   explicit CommitNotify(Command c) : cmd(std::move(c)) {}
   Command cmd;
   std::uint32_t kind() const override { return net::kKindGenPaxos + 3; }
-  std::size_t wire_size() const override { return cmd.wire_size() + 8; }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + cmd.wire_size();
+  }
   const char* name() const override { return "GP.CommitNotify"; }
 };
 
@@ -69,7 +75,9 @@ struct ResolveReq final : net::Payload {
   explicit ResolveReq(Command c) : cmd(std::move(c)) {}
   Command cmd;
   std::uint32_t kind() const override { return net::kKindGenPaxos + 4; }
-  std::size_t wire_size() const override { return cmd.wire_size() + 8; }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + cmd.wire_size();
+  }
   const char* name() const override { return "GP.ResolveReq"; }
 };
 
@@ -79,7 +87,9 @@ struct SlowAccept final : net::Payload {
   std::uint64_t ballot;
   Command cmd;
   std::uint32_t kind() const override { return net::kKindGenPaxos + 5; }
-  std::size_t wire_size() const override { return 8 + cmd.wire_size(); }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + 8 + cmd.wire_size();
+  }
   const char* name() const override { return "GP.SlowAccept"; }
 };
 
@@ -88,7 +98,9 @@ struct SlowAck final : net::Payload {
   CommandId cmd_id;
   NodeId acceptor = kNoNode;
   std::uint32_t kind() const override { return net::kKindGenPaxos + 6; }
-  std::size_t wire_size() const override { return 20; }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + 20;
+  }
   const char* name() const override { return "GP.SlowAck"; }
 };
 
@@ -98,7 +110,9 @@ struct Sequence final : net::Payload {
   std::uint64_t index;
   Command cmd;
   std::uint32_t kind() const override { return net::kKindGenPaxos + 7; }
-  std::size_t wire_size() const override { return 8 + cmd.wire_size(); }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + 8 + cmd.wire_size();
+  }
   const char* name() const override { return "GP.Sequence"; }
 };
 
@@ -154,7 +168,7 @@ class GenPaxosReplica final : public core::Replica {
     bool handed_to_leader = false;
     bool commit_reported = false;
     std::vector<FastAck::Pred> first_preds;  // reference vote
-    sim::EventId timer = sim::kInvalidEvent;
+    core::TimerHandle timer = core::kInvalidTimer;
     // Metrics: local propose time; path degrades to "slow" when the command
     // is handed to the leader (collision or timeout).
     sim::Time proposed_at = -1;

@@ -1,5 +1,7 @@
 #include "m2paxos/m2paxos.hpp"
 
+#include "sim/rng.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -22,42 +24,38 @@ static_assert(core::ClusterConfig::Batching::kMaxBatchCommands <=
 /// (one multi-command slot per object touched by the flush).
 constexpr std::size_t kMaxSlotsPerBatchRound = 8;
 
-/// Wire size of a slot list: headers plus each distinct command once,
-/// plus the batch tail (framing + tail members) of batched slots.
+/// Exact wire size of an encoded slot list: the varint slot count, then
+/// per slot its header, full head command, and batch tail framing — byte
+/// for byte what net::serde emits (a multi-slot round repeats a shared
+/// command per slot; the encoder carries no cross-slot references).
 std::size_t slots_wire_size(const SlotList& slots) {
-  std::size_t bytes = 0;
-  core::SmallVec<std::uint64_t, 8> seen;
-  for (const auto& s : slots) {
-    bytes += SlotValue::kHeaderBytes + 8;  // header + command-id reference
-    if (std::find(seen.begin(), seen.end(), s.cmd->id.value) == seen.end()) {
-      seen.push_back(s.cmd->id.value);
-      bytes += s.cmd->wire_size();
-    }
-    bytes += s.batch_tail_wire_size();
-  }
+  std::size_t bytes = net::varint_len(slots.size());
+  for (const auto& s : slots) bytes += s.encoded_size();
   return bytes;
 }
 
 }  // namespace
 
 std::size_t Accept::wire_size() const {
-  if (cached_size_ == SIZE_MAX) cached_size_ = 8 + slots_wire_size(slots);
+  if (cached_size_ == SIZE_MAX)
+    cached_size_ = net::varint_len(kind()) + 8 + slots_wire_size(slots);
   return cached_size_;
 }
 
 std::size_t Decide::wire_size() const {
-  if (cached_size_ == SIZE_MAX) cached_size_ = slots_wire_size(slots);
+  if (cached_size_ == SIZE_MAX)
+    cached_size_ = net::varint_len(kind()) + slots_wire_size(slots);
   return cached_size_;
 }
 
 std::size_t AckPrepare::wire_size() const {
-  std::size_t bytes =
-      8 + 4 + 1 + 24 * hints.size() + 16 * delivered_floors.size();
-  for (const auto& v : votes) {
-    bytes += 25 + v.cmd->wire_size();
-    if (v.batch != nullptr)
-      bytes += core::CommandBatch::kFramingBytes + v.batch->tail_wire_size();
-  }
+  std::size_t bytes = net::varint_len(kind()) + 8 + 4 + 1 +
+                      net::varint_len(votes.size()) +
+                      net::varint_len(delivered_floors.size()) +
+                      16 * delivered_floors.size() +
+                      net::varint_len(hints.size()) + 20 * hints.size();
+  for (const auto& v : votes)
+    bytes += 25 + v.cmd->wire_size() + core::CommandBatch::tail_encoded_size(v.batch);
   return bytes;
 }
 
@@ -82,7 +80,7 @@ M2PaxosReplica::M2PaxosReplica(NodeId id, const core::ClusterConfig& cfg,
 void M2PaxosReplica::start_sync_timer() {
   // Demand-driven: armed only while some frontier is stuck, so an idle
   // replica schedules nothing (and simulations can drain).
-  if (sync_timer_ != sim::kInvalidEvent) return;
+  if (sync_timer_ != core::kInvalidTimer) return;
   if (cfg_.sync_period <= 0 || cfg_.n_nodes < 2 || crashed_) return;
   if (stuck_objects_.empty()) return;
   // Jittered so replicas do not probe in lockstep.
@@ -94,7 +92,7 @@ void M2PaxosReplica::start_sync_timer() {
 }
 
 void M2PaxosReplica::sync_tick() {
-  sync_timer_ = sim::kInvalidEvent;
+  sync_timer_ = core::kInvalidTimer;
   if (crashed_) return;
   if (!stuck_objects_.empty()) {
     NodeId peer = static_cast<NodeId>(
@@ -200,11 +198,11 @@ void M2PaxosReplica::on_crash() {
   batch_queued_bytes_ = 0;
   batch_inflight_ = 0;
   ctx_.cancel_timer(batch_timer_);
-  batch_timer_ = sim::kInvalidEvent;
+  batch_timer_ = core::kInvalidTimer;
   ctx_.cancel_timer(sync_timer_);
-  sync_timer_ = sim::kInvalidEvent;
+  sync_timer_ = core::kInvalidTimer;
   ctx_.cancel_timer(crossing_timer_);
-  crossing_timer_ = sim::kInvalidEvent;
+  crossing_timer_ = core::kInvalidTimer;
 }
 
 void M2PaxosReplica::on_recover() {
@@ -485,11 +483,11 @@ void M2PaxosReplica::enqueue_batch(PendingCommand& pc) {
               ? stats::Counter::kBatchFlushFull
               : stats::Counter::kBatchFlushBytes);
     flush_batches(/*force=*/true);  // a full batch closes immediately
-  } else if (batch_timer_ == sim::kInvalidEvent) {
+  } else if (batch_timer_ == core::kInvalidTimer) {
     // Adaptive window: a partial batch waits at most batch_window after
     // its first command before closing (bounds the latency cost).
     batch_timer_ = ctx_.set_timer(bcfg_.batch_window, [this] {
-      batch_timer_ = sim::kInvalidEvent;
+      batch_timer_ = core::kInvalidTimer;
       m_inc(stats::Counter::kBatchFlushWindow);
       flush_batches(/*force=*/true);
     });
@@ -505,12 +503,12 @@ void M2PaxosReplica::flush_batches(bool force) {
   if (batch_queue_.empty()) {
     batch_queued_bytes_ = 0;
     ctx_.cancel_timer(batch_timer_);
-    batch_timer_ = sim::kInvalidEvent;
-  } else if (batch_timer_ == sim::kInvalidEvent) {
+    batch_timer_ = core::kInvalidTimer;
+  } else if (batch_timer_ == core::kInvalidTimer) {
     // Leftovers (pipeline full, or a round closed early on a cap): re-arm
     // the window so they are never stranded waiting for the next enqueue.
     batch_timer_ = ctx_.set_timer(bcfg_.batch_window, [this] {
-      batch_timer_ = sim::kInvalidEvent;
+      batch_timer_ = core::kInvalidTimer;
       m_inc(stats::Counter::kBatchFlushWindow);
       flush_batches(/*force=*/true);
     });
@@ -626,7 +624,7 @@ bool M2PaxosReplica::send_batched_round() {
     rit->second.timer = ctx_.set_timer(cfg_.forward_timeout, [this, req] {
       auto it = accepts_.find(req);
       if (it == accepts_.end() || it->second.done) return;
-      it->second.timer = sim::kInvalidEvent;
+      it->second.timer = core::kInvalidTimer;
       SlotList slots = std::move(it->second.slots);
       accepts_.erase(it);
       --batch_inflight_;
@@ -660,7 +658,7 @@ std::uint64_t M2PaxosReplica::send_accept(core::CommandId for_cmd,
                                           SlotList slots) {
   const std::uint64_t req = next_req_++;
   accepts_.emplace(req, AcceptRound{slots, for_cmd, {}, false,
-                                    sim::kInvalidEvent});
+                                    core::kInvalidTimer});
   ctx_.broadcast(pooled<Accept>(req, std::move(slots)), true);
   return req;
 }
@@ -946,10 +944,10 @@ void M2PaxosReplica::deliver_batch_member(const core::CommandPtr& c) {
 }
 
 void M2PaxosReplica::schedule_crossing_check() {
-  if (crossing_timer_ != sim::kInvalidEvent || crashed_) return;
+  if (crossing_timer_ != core::kInvalidTimer || crashed_) return;
   crossing_timer_ =
       ctx_.set_timer(cfg_.crossing_check_interval, [this] {
-        crossing_timer_ = sim::kInvalidEvent;
+        crossing_timer_ = core::kInvalidTimer;
         if (crashed_ || stuck_objects_.empty()) return;
         if (delivering_) return;  // re-armed by the active try_deliver
         delivering_ = true;

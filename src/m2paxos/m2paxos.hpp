@@ -12,6 +12,7 @@
 #include "core/owner_map.hpp"
 #include "core/pool.hpp"
 #include "core/replica.hpp"
+#include "sim/time.hpp"
 #include "m2paxos/messages.hpp"
 #include "m2paxos/ownership.hpp"
 
@@ -126,7 +127,7 @@ class M2PaxosReplica final : public core::Replica {
     int attempts = 0;
     bool in_flight = false;  // an Accept or Prepare round is outstanding
     bool commit_reported = false;
-    sim::EventId watchdog = sim::kInvalidEvent;
+    core::TimerHandle watchdog = core::kInvalidTimer;
     /// Slots assigned by a previous fast accept; reused on retry so a lost
     /// round is retransmitted instead of leaving a hole at the old slot.
     SlotList assigned_slots;
@@ -144,7 +145,7 @@ class M2PaxosReplica final : public core::Replica {
     bool done = false;
     /// Batched rounds only: frees the pipeline slot if the quorum never
     /// answers (members are retried individually by their own watchdogs).
-    sim::EventId timer = sim::kInvalidEvent;
+    core::TimerHandle timer = core::kInvalidTimer;
   };
   struct PrepareRound {
     core::CommandPtr cmd;
@@ -284,12 +285,12 @@ class M2PaxosReplica final : public core::Replica {
   PooledDeque<core::CommandId> batch_queue_;
   std::size_t batch_queued_bytes_ = 0;
   int batch_inflight_ = 0;  // outstanding batched accept rounds
-  sim::EventId batch_timer_ = sim::kInvalidEvent;  // window close
+  core::TimerHandle batch_timer_ = core::kInvalidTimer;  // window close
   bool delivering_ = false;  // reentrancy guard for try_deliver
   std::uint64_t next_req_ = 1;
   std::uint64_t noop_seq_ = 0;
-  sim::EventId sync_timer_ = sim::kInvalidEvent;
-  sim::EventId crossing_timer_ = sim::kInvalidEvent;
+  core::TimerHandle sync_timer_ = core::kInvalidTimer;
+  core::TimerHandle crossing_timer_ = core::kInvalidTimer;
   bool crashed_ = false;
   M2Counters counters_;
 };

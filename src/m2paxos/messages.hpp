@@ -52,11 +52,16 @@ struct SlotValue {
 
   static constexpr std::size_t kHeaderBytes = 24;  // object+instance+epoch
 
-  /// Wire bytes of the batch tail riding behind the head command (0 for
-  /// single-command slots).
+  /// Exact wire bytes of the batch tail riding behind the head command:
+  /// the varint member count (one byte spelling 0 for single-command
+  /// slots) plus the tail members.
   std::size_t batch_tail_wire_size() const {
-    if (batch == nullptr) return 0;
-    return core::CommandBatch::kFramingBytes + batch->tail_wire_size();
+    return core::CommandBatch::tail_encoded_size(batch);
+  }
+
+  /// Exact encoded size of this slot inside an Accept/Decide/SyncReply.
+  std::size_t encoded_size() const {
+    return kHeaderBytes + cmd->wire_size() + batch_tail_wire_size();
   }
 };
 
@@ -71,7 +76,9 @@ struct Propose final : net::Payload {
   Command cmd;
 
   std::uint32_t kind() const override { return net::kKindM2Paxos + 1; }
-  std::size_t wire_size() const override { return cmd.wire_size(); }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + cmd.wire_size();
+  }
   const char* name() const override { return "M2.Propose"; }
 };
 
@@ -107,7 +114,10 @@ struct AckAccept final : net::Payload {
   std::vector<ViewHint> hints;  // populated on NACK
 
   std::uint32_t kind() const override { return net::kKindM2Paxos + 3; }
-  std::size_t wire_size() const override { return 8 + 4 + 1 + 24 * hints.size(); }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + 8 + 4 + 1 +
+           net::varint_len(hints.size()) + 20 * hints.size();
+  }
   const char* name() const override { return "M2.AckAccept"; }
 };
 
@@ -140,7 +150,10 @@ struct Prepare final : net::Payload {
   std::vector<Entry> entries;
 
   std::uint32_t kind() const override { return net::kKindM2Paxos + 5; }
-  std::size_t wire_size() const override { return 8 + 24 * entries.size(); }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + 8 + net::varint_len(entries.size()) +
+           24 * entries.size();
+  }
   const char* name() const override { return "M2.Prepare"; }
 };
 
@@ -203,7 +216,10 @@ struct SyncRequest final : net::Payload {
   EntryList entries;
 
   std::uint32_t kind() const override { return net::kKindM2Paxos + 7; }
-  std::size_t wire_size() const override { return 16 * entries.size(); }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + net::varint_len(entries.size()) +
+           16 * entries.size();
+  }
   const char* name() const override { return "M2.SyncRequest"; }
 };
 
@@ -215,10 +231,8 @@ struct SyncReply final : net::Payload {
 
   std::uint32_t kind() const override { return net::kKindM2Paxos + 8; }
   std::size_t wire_size() const override {
-    std::size_t bytes = 0;
-    for (const auto& s : slots)
-      bytes += SlotValue::kHeaderBytes + s.cmd->wire_size() +
-               s.batch_tail_wire_size();
+    std::size_t bytes = net::varint_len(kind()) + net::varint_len(slots.size());
+    for (const auto& s : slots) bytes += s.encoded_size();
     return bytes;
   }
   const char* name() const override { return "M2.SyncReply"; }

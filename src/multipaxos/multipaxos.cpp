@@ -1,5 +1,7 @@
 #include "multipaxos/multipaxos.hpp"
 
+#include "sim/rng.hpp"
+
 #include <algorithm>
 #include <cassert>
 
@@ -57,7 +59,7 @@ void MultiPaxosReplica::on_crash() {
   batch_inflight_ = 0;
   my_batched_slots_.clear();
   ctx_.cancel_timer(batch_timer_);
-  batch_timer_ = sim::kInvalidEvent;
+  batch_timer_ = core::kInvalidTimer;
 }
 
 void MultiPaxosReplica::on_recover() {
@@ -203,9 +205,9 @@ void MultiPaxosReplica::enqueue_batch(const Command& c) {
               ? stats::Counter::kBatchFlushFull
               : stats::Counter::kBatchFlushBytes);
     flush_batch(/*force=*/true);
-  } else if (batch_timer_ == sim::kInvalidEvent) {
+  } else if (batch_timer_ == core::kInvalidTimer) {
     batch_timer_ = ctx_.set_timer(bcfg_.batch_window, [this] {
-      batch_timer_ = sim::kInvalidEvent;
+      batch_timer_ = core::kInvalidTimer;
       m_inc(stats::Counter::kBatchFlushWindow);
       flush_batch(/*force=*/true);
     });
@@ -257,9 +259,9 @@ void MultiPaxosReplica::flush_batch(bool force) {
   }
   // Pipeline full (or partial batch held back): the window timer closes
   // the remainder; commits re-enter here as in-flight slots settle.
-  if (!batch_buf_.empty() && batch_timer_ == sim::kInvalidEvent) {
+  if (!batch_buf_.empty() && batch_timer_ == core::kInvalidTimer) {
     batch_timer_ = ctx_.set_timer(bcfg_.batch_window, [this] {
-      batch_timer_ = sim::kInvalidEvent;
+      batch_timer_ = core::kInvalidTimer;
       flush_batch(/*force=*/true);
     });
   }

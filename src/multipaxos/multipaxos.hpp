@@ -12,6 +12,7 @@
 #include "core/config.hpp"
 #include "core/failure_detector.hpp"
 #include "core/replica.hpp"
+#include "sim/time.hpp"
 
 namespace m2::mp {
 
@@ -31,7 +32,9 @@ struct ClientPropose final : net::Payload {
   explicit ClientPropose(Command c) : cmd(std::move(c)) {}
   Command cmd;
   std::uint32_t kind() const override { return net::kKindMultiPaxos + 1; }
-  std::size_t wire_size() const override { return cmd.wire_size(); }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + cmd.wire_size();
+  }
   const char* name() const override { return "MP.Propose"; }
 };
 
@@ -41,7 +44,9 @@ struct Prepare final : net::Payload {
   Ballot ballot;
   std::uint64_t from_slot;
   std::uint32_t kind() const override { return net::kKindMultiPaxos + 2; }
-  std::size_t wire_size() const override { return 16; }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + 16;
+  }
   const char* name() const override { return "MP.Prepare"; }
 };
 
@@ -68,9 +73,10 @@ struct Promise final : net::Payload {
   std::vector<Vote> votes;
   std::uint32_t kind() const override { return net::kKindMultiPaxos + 3; }
   std::size_t wire_size() const override {
-    std::size_t bytes = 8 + 4 + 1 + 8;
+    std::size_t bytes = net::varint_len(kind()) + 8 + 4 + 1 + 8 +
+                        net::varint_len(votes.size());
     for (const auto& v : votes) {
-      bytes += 16 + v.cmd.wire_size();
+      bytes += 16 + v.cmd.wire_size() + net::varint_len(v.tail.size());
       for (const auto& t : v.tail) bytes += t.wire_size();
     }
     return bytes;
@@ -92,11 +98,9 @@ struct Accept final : net::Payload {
   std::vector<Command> tail;
   std::uint32_t kind() const override { return net::kKindMultiPaxos + 4; }
   std::size_t wire_size() const override {
-    std::size_t bytes = 16 + cmd.wire_size();
-    if (!tail.empty()) {
-      bytes += 4;  // batch framing
-      for (const auto& t : tail) bytes += t.wire_size();
-    }
+    std::size_t bytes = net::varint_len(kind()) + 16 + cmd.wire_size() +
+                        net::varint_len(tail.size());
+    for (const auto& t : tail) bytes += t.wire_size();
     return bytes;
   }
   const char* name() const override { return "MP.Accept"; }
@@ -109,7 +113,9 @@ struct Accepted final : net::Payload {
   NodeId acceptor = kNoNode;
   bool ack = false;
   std::uint32_t kind() const override { return net::kKindMultiPaxos + 5; }
-  std::size_t wire_size() const override { return 21; }
+  std::size_t wire_size() const override {
+    return net::varint_len(kind()) + 21;
+  }
   const char* name() const override { return "MP.Accepted"; }
 };
 
@@ -124,11 +130,9 @@ struct Commit final : net::Payload {
   std::vector<Command> tail;
   std::uint32_t kind() const override { return net::kKindMultiPaxos + 6; }
   std::size_t wire_size() const override {
-    std::size_t bytes = 8 + cmd.wire_size();
-    if (!tail.empty()) {
-      bytes += 4;  // batch framing
-      for (const auto& t : tail) bytes += t.wire_size();
-    }
+    std::size_t bytes = net::varint_len(kind()) + 8 + cmd.wire_size() +
+                        net::varint_len(tail.size());
+    for (const auto& t : tail) bytes += t.wire_size();
     return bytes;
   }
   const char* name() const override { return "MP.Commit"; }
@@ -199,7 +203,7 @@ class MultiPaxosReplica final : public core::Replica {
     Command cmd;
     bool commit_reported = false;
     int attempts = 0;  // drives exponential retry backoff
-    sim::EventId timer = sim::kInvalidEvent;
+    core::TimerHandle timer = core::kInvalidTimer;
     // Metrics: local propose time and the decision path the command took
     // (leader-local slots are "fast", forwarded ones "forwarded").
     sim::Time proposed_at = -1;
@@ -257,7 +261,7 @@ class MultiPaxosReplica final : public core::Replica {
   std::size_t batch_bytes_ = 0;
   int batch_inflight_ = 0;  // my batched slots awaiting commit
   std::unordered_set<std::uint64_t> my_batched_slots_;
-  sim::EventId batch_timer_ = sim::kInvalidEvent;
+  core::TimerHandle batch_timer_ = core::kInvalidTimer;
 
   // Learner state.
   std::uint64_t last_delivered_ = 0;

@@ -7,11 +7,22 @@
 
 namespace m2::net {
 
-/// Minimal binary wire format used for envelope framing.
-///
-/// Protocol payloads in the simulator report sizes instead of serializing,
-/// but the harness snapshot/trace files and the frame header use this real
-/// codec, and its round-trip behaviour is unit tested.
+/// Encoded length in bytes of `v` as a LEB128 varint (1..10). Payload
+/// wire_size() implementations use this to stay byte-exact against the
+/// serde encoder without serializing.
+constexpr std::size_t varint_len(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Minimal binary wire format used for message serialization (net::serde),
+/// envelope framing, and the harness snapshot/trace files. Round-trip
+/// behaviour is unit tested, including varint boundaries and malformed
+/// input.
 class Writer {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
@@ -21,6 +32,9 @@ class Writer {
   void varint(std::uint64_t v);
   void bytes(const void* data, std::size_t n);
   void str(const std::string& s);
+  /// Appends `n` zero bytes — materializes modeled payload bytes (e.g. a
+  /// command's opaque application payload) on a real wire.
+  void pad(std::size_t n) { buf_.resize(buf_.size() + n, 0); }
 
   const std::vector<std::uint8_t>& data() const { return buf_; }
   std::size_t size() const { return buf_.size(); }
@@ -43,6 +57,12 @@ class Reader {
   std::optional<std::uint64_t> u64();
   std::optional<std::uint64_t> varint();
   std::optional<std::string> str();
+  /// Discards `n` bytes (padding); false on underflow.
+  bool skip(std::size_t n) {
+    if (remaining() < n) return false;
+    data_ += n;
+    return true;
+  }
 
   std::size_t remaining() const { return static_cast<std::size_t>(end_ - data_); }
 
@@ -61,6 +81,9 @@ struct FrameHeader {
 
   static constexpr std::uint32_t kMagic = 0x4d32'5058;  // "M2PX"
   static constexpr std::uint8_t kVersion = 1;
+  /// Encoded size: magic u32 + version u8 + sender u32 + count u32 +
+  /// body u64 + checksum u32. Socket readers read exactly this much.
+  static constexpr std::size_t kEncodedSize = 25;
 
   std::vector<std::uint8_t> encode() const;
   static std::optional<FrameHeader> decode(const std::uint8_t* data,

@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <memory>
 
-#include "sim/time.hpp"
+#include "core/time.hpp"
 
 namespace m2 {
 
@@ -18,17 +18,21 @@ namespace m2::net {
 /// Base class of every message body exchanged between replicas.
 ///
 /// The simulator does not serialize messages; instead every payload reports
-/// its would-be wire size, which drives bandwidth, batching, and CPU
-/// per-byte costs. This is what lets the EPaxos dependency lists and the
+/// its wire size, which drives bandwidth, batching, and CPU per-byte
+/// costs. This is what lets the EPaxos dependency lists and the
 /// Generalized Paxos c-structs "weigh" more than M²Paxos messages, exactly
-/// as the paper argues (§VI-A).
+/// as the paper argues (§VI-A). The threaded runtime serializes for real
+/// through net::serde.
 struct Payload {
   virtual ~Payload() = default;
 
   /// Message type tag, unique across all protocols (see kind ranges below).
   virtual std::uint32_t kind() const = 0;
 
-  /// Bytes this message would occupy on the wire, excluding framing.
+  /// Exact bytes this message occupies on the wire: byte-for-byte equal to
+  /// net::encode_payload(*this).size() (the kind tag plus the body,
+  /// excluding the FrameHeader). The serde exhaustive round-trip test pins
+  /// the equality for every payload kind.
   virtual std::size_t wire_size() const = 0;
 
   /// Human-readable type name for traces and counters.
@@ -50,7 +54,7 @@ struct Envelope {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
   PayloadPtr payload;
-  sim::Time sent_at = 0;
+  core::Time sent_at = 0;
 };
 
 /// Convenience for constructing immutable payloads.

@@ -16,27 +16,42 @@ constexpr std::uint64_t kMaxListLen = 1 << 20;
 
 }  // namespace
 
+// Command wire layout (Command::wire_size() mirrors it byte for byte):
+//   u64 id | u32 payload_bytes | u8 flags | varint n_objects | u64*n
+//   then either varint body_len + body bytes      (flags & kHasBody)
+//   or payload_bytes of zero padding              (no attached body).
+// The padding materializes the modeled opaque application payload on a
+// real wire; decode restores body == nullptr for that case, so encode and
+// decode are exact inverses.
+namespace {
+constexpr std::uint8_t kCmdNoop = 1u << 0;
+constexpr std::uint8_t kCmdHasBody = 1u << 1;
+}  // namespace
+
 void write_command(Writer& w, const core::Command& c) {
   w.u64(c.id.value);
   w.u32(c.payload_bytes);
-  w.u8(c.noop ? 1 : 0);
+  std::uint8_t flags = 0;
+  if (c.noop) flags |= kCmdNoop;
+  if (c.body != nullptr) flags |= kCmdHasBody;
+  w.u8(flags);
   w.varint(c.objects.size());
   for (const core::ObjectId l : c.objects) w.u64(l);
   if (c.body != nullptr) {
     w.varint(c.body->size());
     w.bytes(c.body->data(), c.body->size());
   } else {
-    w.varint(0);
+    w.pad(c.payload_bytes);
   }
 }
 
 std::optional<core::Command> read_command(Reader& r) {
   const auto id = r.u64();
   const auto payload_bytes = r.u32();
-  const auto noop = r.u8();
+  const auto flags = r.u8();
   const auto n_objects = r.varint();
-  if (!id || !payload_bytes || !noop || !n_objects ||
-      *n_objects > kMaxListLen)
+  if (!id || !payload_bytes || !flags || !n_objects ||
+      *n_objects > kMaxListLen || (*flags & ~(kCmdNoop | kCmdHasBody)) != 0)
     return std::nullopt;
   core::ObjectList objects;
   objects.reserve(*n_objects);
@@ -46,11 +61,11 @@ std::optional<core::Command> read_command(Reader& r) {
     objects.push_back(*l);
   }
   core::Command c(core::CommandId{*id}, std::move(objects), *payload_bytes);
-  c.noop = *noop != 0;
+  c.noop = (*flags & kCmdNoop) != 0;
   c.payload_bytes = *payload_bytes;  // Command ctor may not preserve it
-  const auto body_len = r.varint();
-  if (!body_len || *body_len > kMaxListLen) return std::nullopt;
-  if (*body_len > 0) {
+  if ((*flags & kCmdHasBody) != 0) {
+    const auto body_len = r.varint();
+    if (!body_len || *body_len > kMaxListLen) return std::nullopt;
     std::vector<std::uint8_t> body(*body_len);
     for (auto& b : body) {
       const auto byte = r.u8();
@@ -60,6 +75,8 @@ std::optional<core::Command> read_command(Reader& r) {
     const auto saved = c.payload_bytes;
     c.set_body(std::move(body));
     c.payload_bytes = saved;
+  } else {
+    if (!r.skip(*payload_bytes)) return std::nullopt;
   }
   return c;
 }
@@ -193,6 +210,10 @@ void encode_body(Writer& w, const Payload& p) {
         w.u64(pred.object);
         w.u64(pred.pred.value);
       }
+      // The c-struct suffix real Generalized Paxos acceptors ship with
+      // every vote is modeled as a byte count; materialize it as padding
+      // so the encoded frame weighs what the model claims.
+      w.pad(m.cstruct_bytes);
       break;
     }
     case kKindGenPaxos + 3:
@@ -528,6 +549,7 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
         if (!object || !pred) return nullptr;
         m->preds.push_back(gp::FastAck::Pred{*object, core::CommandId{*pred}});
       }
+      if (!r.skip(m->cstruct_bytes)) return nullptr;
       return m;
     }
     case kKindGenPaxos + 3: {

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <ctime>
+
+#include "core/context.hpp"
+#include "core/time.hpp"
+
+namespace m2::runtime {
+
+/// Real-time implementation of core::Clock: CLOCK_MONOTONIC rebased to
+/// construction, so now() starts near 0 and advances in wall nanoseconds.
+/// All nodes of one Runtime share a single instance — cross-node
+/// timestamps (propose at the driver, commit at a node) are comparable.
+///
+/// Thread-safe: now() is a clock_gettime call against an immutable origin.
+class MonotonicClock final : public core::Clock {
+ public:
+  MonotonicClock() : origin_(raw()) {}
+
+  core::Time now() const override { return raw() - origin_; }
+
+ private:
+  static core::Time raw() {
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<core::Time>(ts.tv_sec) * core::kSecond + ts.tv_nsec;
+  }
+
+  core::Time origin_;
+};
+
+}  // namespace m2::runtime

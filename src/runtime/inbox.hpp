@@ -1,0 +1,119 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "core/command.hpp"
+#include "core/context.hpp"
+#include "core/inline_fn.hpp"
+#include "core/time.hpp"
+#include "net/payload.hpp"
+
+namespace m2::runtime {
+
+/// One unit of work for a node thread. The inbox is the node's single
+/// serialization point: protocol messages, local proposals, fault
+/// injections, and control closures all funnel through it, so the replica
+/// state machine only ever runs on its owning thread — exactly the
+/// execution model the simulator gives it for free.
+struct Event {
+  enum class Kind : std::uint8_t {
+    kMessage,  // decoded protocol payload from `from`
+    kPropose,  // locally submitted command
+    kCrash,    // fault injection: replica->on_crash(), drop rx until recover
+    kRecover,  // replica->on_recover()
+    kControl,  // run `fn` on the node thread (setup, metrics reset, ...)
+    kStop,     // exit the node loop
+  };
+
+  Kind kind = Kind::kStop;
+  NodeId from = kNoNode;
+  net::PayloadPtr payload;  // kMessage
+  core::Command cmd;        // kPropose
+  core::InlineFn fn;        // kControl
+
+  static Event message(NodeId from, net::PayloadPtr p) {
+    Event e;
+    e.kind = Kind::kMessage;
+    e.from = from;
+    e.payload = std::move(p);
+    return e;
+  }
+  static Event propose(core::Command c) {
+    Event e;
+    e.kind = Kind::kPropose;
+    e.cmd = std::move(c);
+    return e;
+  }
+  static Event control(core::InlineFn f) {
+    Event e;
+    e.kind = Kind::kControl;
+    e.fn = std::move(f);
+    return e;
+  }
+  static Event of(Kind k) {
+    Event e;
+    e.kind = k;
+    return e;
+  }
+};
+
+/// Multi-producer single-consumer queue feeding one node thread.
+///
+/// Producers (peer node threads via the transport, the driver thread,
+/// transport reader threads) push under a mutex; the consumer drains the
+/// whole backlog in one lock acquisition and waits on a condition variable
+/// with the node's next timer deadline as the wake-up bound.
+class Inbox {
+ public:
+  /// Enqueues `e` and wakes the consumer. Events pushed after close() are
+  /// dropped (a racing transport reader must not resurrect a stopped node).
+  void push(Event e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return;
+      queue_.push_back(std::move(e));
+    }
+    cv_.notify_one();
+  }
+
+  /// Moves the entire backlog into `out` (appending), blocking until at
+  /// least one event is available or `clock.now()` reaches `deadline`.
+  /// Returns the number of events moved (0 on deadline).
+  std::size_t drain_until(core::Time deadline, const core::Clock& clock,
+                          std::deque<Event>& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (queue_.empty()) {
+      const core::Time now = clock.now();
+      if (now >= deadline) return 0;
+      if (deadline == core::kTimeNever) {
+        cv_.wait(lock);
+      } else {
+        cv_.wait_for(lock, std::chrono::nanoseconds(deadline - now));
+      }
+    }
+    const std::size_t n = queue_.size();
+    while (!queue_.empty()) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return n;
+  }
+
+  /// Stops accepting events; the consumer drains what is already queued.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Event> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace m2::runtime

@@ -1,0 +1,178 @@
+#include "runtime/runtime.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+#include "m2paxos/m2paxos.hpp"
+#include "multipaxos/multipaxos.hpp"
+#include "runtime/tcp_transport.hpp"
+
+namespace m2::runtime {
+
+Runtime::Runtime(RuntimeConfig cfg)
+    : Runtime(std::move(cfg), nullptr, {}) {}
+
+Runtime::Runtime(RuntimeConfig cfg, std::unique_ptr<Transport> transport,
+                 std::vector<NodeId> local_nodes)
+    : cfg_(std::move(cfg)), transport_(std::move(transport)) {
+  const int n = cfg_.cluster.n_nodes;
+  assert(n > 0);
+  cfg_.cluster.record_delivered = cfg_.audit;
+  if (transport_ == nullptr) {
+    transport_ = std::make_unique<LoopbackTransport>(n);
+    local_nodes.clear();
+    for (NodeId i = 0; i < static_cast<NodeId>(n); ++i)
+      local_nodes.push_back(i);
+  }
+  build_nodes(local_nodes);
+}
+
+Runtime::~Runtime() { stop(); }
+
+Node::Setup Runtime::make_setup() const {
+  // Copies, not `this`: the hook runs on node threads during start.
+  const core::Protocol protocol = cfg_.protocol;
+  const bool preassign = cfg_.preassign_ownership;
+  const core::OwnerMap map = cfg_.owner_map;
+  const bool fd = cfg_.enable_failure_detector;
+  return [protocol, preassign, map, fd](core::Replica& r) {
+    if (protocol == core::Protocol::kM2Paxos && preassign && map.valid())
+      static_cast<m2p::M2PaxosReplica&>(r).set_default_owner(map);
+    if (protocol == core::Protocol::kMultiPaxos)
+      static_cast<mp::MultiPaxosReplica&>(r).start(fd);
+  };
+}
+
+void Runtime::build_nodes(const std::vector<NodeId>& local_nodes) {
+  const auto n = static_cast<std::size_t>(cfg_.cluster.n_nodes);
+  nodes_.resize(n);
+  metrics_.resize(n);
+  cstructs_.resize(n);
+  delivered_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    delivered_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+
+  for (const NodeId id : local_nodes) {
+    assert(id < n && nodes_[id] == nullptr);
+    if (cfg_.cluster.metrics.enabled)
+      metrics_[id] = std::make_unique<stats::MetricsRegistry>();
+    nodes_[id] = std::make_unique<Node>(
+        id, cfg_.protocol, cfg_.cluster, *transport_, clock_, cfg_.seed,
+        *this, metrics_[id].get(), make_setup());
+    transport_->attach(id, &nodes_[id]->inbox());
+  }
+}
+
+bool Runtime::start(std::string* error) {
+  if (started_) return true;
+  started_ = true;
+  transport_->start();
+  if (auto* tcp = dynamic_cast<TcpTransport*>(transport_.get());
+      tcp != nullptr && !tcp->error().empty()) {
+    if (error != nullptr) *error = tcp->error();
+    transport_->stop();
+    return false;
+  }
+  for (auto& node : nodes_) {
+    if (node != nullptr) node->start();
+  }
+  return true;
+}
+
+void Runtime::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  for (auto& node : nodes_) {
+    if (node != nullptr) node->stop();
+  }
+  transport_->stop();
+}
+
+void Runtime::propose(NodeId node, core::Command c) {
+  assert(is_local(node));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    propose_times_.emplace(c.id.value, clock_.now());
+  }
+  nodes_[node]->propose(std::move(c));
+}
+
+void Runtime::crash(NodeId node) {
+  assert(is_local(node));
+  nodes_[node]->crash();
+}
+
+void Runtime::recover(NodeId node) {
+  assert(is_local(node));
+  nodes_[node]->recover();
+}
+
+bool Runtime::await_committed(std::uint64_t target, core::Time timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(timeout);
+  return committed_cv_.wait_until(lock, deadline, [&] {
+    return committed_total_ >= target;
+  });
+}
+
+std::uint64_t Runtime::committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_total_;
+}
+
+std::uint64_t Runtime::delivered(NodeId node) const {
+  return delivered_.at(node)->load(std::memory_order_relaxed);
+}
+
+stats::Histogram Runtime::commit_latency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latency_;
+}
+
+void Runtime::reset_measurement() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    committed_total_ = 0;
+    latency_.reset();
+  }
+  // Registries belong to their node's thread; reset them there.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == nullptr || metrics_[i] == nullptr) continue;
+    stats::MetricsRegistry* reg = metrics_[i].get();
+    nodes_[i]->run_on_node(core::InlineFn([reg] { reg->reset(); }));
+  }
+}
+
+core::ConsistencyReport Runtime::audit_consistency() const {
+  if (cfg_.protocol == core::Protocol::kMultiPaxos)
+    return core::check_total_order(cstructs_);
+  return core::check_pairwise_consistency(cstructs_);
+}
+
+stats::MetricsRegistry Runtime::merged_metrics() const {
+  stats::MetricsRegistry merged;
+  for (const auto& m : metrics_) {
+    if (m != nullptr) merged.merge(*m);
+  }
+  return merged;
+}
+
+void Runtime::node_deliver(NodeId node, const core::Command& c) {
+  if (c.noop) return;
+  delivered_.at(node)->fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.audit) cstructs_[node].append(c);
+}
+
+void Runtime::node_committed(NodeId /*node*/, const core::Command& c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = propose_times_.find(c.id.value);
+  if (it == propose_times_.end()) return;  // not tracked / already counted
+  ++committed_total_;
+  latency_.record(clock_.now() - it->second);
+  propose_times_.erase(it);
+  committed_cv_.notify_all();
+}
+
+}  // namespace m2::runtime

@@ -1,0 +1,140 @@
+#include "runtime/spec.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "stats/json.hpp"
+
+namespace m2::runtime {
+
+namespace {
+
+bool fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+/// Checks that `obj` has no keys outside `allowed` (typo guard).
+bool only_keys(const stats::Json& obj,
+               std::initializer_list<std::string_view> allowed,
+               std::string* error) {
+  for (const auto& [key, value] : obj.items()) {
+    (void)value;
+    bool ok = false;
+    for (const auto a : allowed) ok = ok || key == a;
+    if (!ok) return fail(error, "unknown key \"" + key + "\" in cluster spec");
+  }
+  return true;
+}
+
+bool parse_batching(const stats::Json& j, core::ClusterConfig::Batching* out,
+                    std::string* error) {
+  if (!j.is_object()) return fail(error, "\"batching\" must be an object");
+  if (!only_keys(j,
+                 {"enabled", "max_commands", "window_us", "max_bytes",
+                  "pipeline_depth"},
+                 error))
+    return false;
+  if (const auto* v = j.find("enabled")) out->enabled = v->boolean();
+  if (const auto* v = j.find("max_commands"))
+    out->batch_max_commands = static_cast<std::size_t>(v->integer());
+  if (const auto* v = j.find("window_us"))
+    out->batch_window = v->integer() * core::kMicrosecond;
+  if (const auto* v = j.find("max_bytes"))
+    out->batch_max_bytes = static_cast<std::size_t>(v->integer());
+  if (const auto* v = j.find("pipeline_depth"))
+    out->pipeline_depth = static_cast<int>(v->integer());
+  if (!out->valid()) return fail(error, "invalid batching config");
+  return true;
+}
+
+}  // namespace
+
+std::string spec_protocol_name(core::Protocol p) {
+  switch (p) {
+    case core::Protocol::kMultiPaxos:
+      return "multipaxos";
+    case core::Protocol::kGenPaxos:
+      return "genpaxos";
+    case core::Protocol::kEPaxos:
+      return "epaxos";
+    case core::Protocol::kM2Paxos:
+      return "m2paxos";
+  }
+  return "?";
+}
+
+bool parse_protocol(std::string_view name, core::Protocol* out) {
+  if (name == "multipaxos") *out = core::Protocol::kMultiPaxos;
+  else if (name == "genpaxos") *out = core::Protocol::kGenPaxos;
+  else if (name == "epaxos") *out = core::Protocol::kEPaxos;
+  else if (name == "m2paxos") *out = core::Protocol::kM2Paxos;
+  else return false;
+  return true;
+}
+
+bool ClusterSpec::parse(std::string_view text, ClusterSpec* out,
+                        std::string* error) {
+  stats::Json doc;
+  std::string parse_error;
+  if (!stats::Json::parse(text, &doc, &parse_error))
+    return fail(error, "spec is not valid JSON: " + parse_error);
+  if (!doc.is_object()) return fail(error, "spec must be a JSON object");
+  if (!only_keys(doc,
+                 {"protocol", "seed", "nodes", "objects_per_node",
+                  "enable_failure_detector", "batching"},
+                 error))
+    return false;
+
+  ClusterSpec spec;
+  if (const auto* v = doc.find("protocol")) {
+    if (!parse_protocol(v->str(), &spec.runtime.protocol))
+      return fail(error, "unknown protocol \"" + v->str() + "\"");
+  }
+  if (const auto* v = doc.find("seed"))
+    spec.runtime.seed = static_cast<std::uint64_t>(v->integer());
+  if (const auto* v = doc.find("enable_failure_detector"))
+    spec.runtime.enable_failure_detector = v->boolean();
+
+  const auto* nodes = doc.find("nodes");
+  if (nodes == nullptr || !nodes->is_array() || nodes->elements().empty())
+    return fail(error, "spec needs a non-empty \"nodes\" array");
+  for (const auto& n : nodes->elements()) {
+    const auto* host = n.find("host");
+    const auto* port = n.find("port");
+    if (host == nullptr || port == nullptr)
+      return fail(error, "each node needs \"host\" and \"port\"");
+    if (port->integer() <= 0 || port->integer() > 65535)
+      return fail(error, "node port out of range");
+    spec.endpoints.push_back(
+        {host->str(), static_cast<std::uint16_t>(port->integer())});
+  }
+  spec.runtime.cluster.n_nodes = static_cast<int>(spec.endpoints.size());
+
+  if (const auto* v = doc.find("objects_per_node"))
+    spec.objects_per_node = static_cast<std::uint64_t>(v->integer());
+  spec.runtime.owner_map =
+      spec.objects_per_node > 0
+          ? core::OwnerMap::divide(spec.objects_per_node)
+          : core::OwnerMap::modulo(
+                static_cast<std::uint64_t>(spec.runtime.cluster.n_nodes));
+
+  if (const auto* v = doc.find("batching")) {
+    if (!parse_batching(*v, &spec.runtime.cluster.batching, error))
+      return false;
+  }
+
+  *out = std::move(spec);
+  return true;
+}
+
+bool ClusterSpec::load(const std::string& path, ClusterSpec* out,
+                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) return fail(error, "cannot open spec file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), out, error);
+}
+
+}  // namespace m2::runtime

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "runtime/tcp_transport.hpp"
+
+namespace m2::runtime {
+
+/// A cluster described by a JSON spec file — what every m2node process (and
+/// the loopback driver) parses so one document defines the whole deployment:
+///
+///   {
+///     "protocol": "m2paxos",            // multipaxos|genpaxos|epaxos|m2paxos
+///     "seed": 1,
+///     "nodes": [                         // node i = i-th entry
+///       {"host": "127.0.0.1", "port": 7101},
+///       {"host": "127.0.0.1", "port": 7102},
+///       {"host": "127.0.0.1", "port": 7103}
+///     ],
+///     "objects_per_node": 64,            // contiguous-range ownership map
+///     "enable_failure_detector": false,
+///     "batching": {                      // optional; defaults = config.hpp
+///       "enabled": true,
+///       "max_commands": 16,
+///       "window_us": 200,
+///       "max_bytes": 16384,
+///       "pipeline_depth": 4
+///     }
+///   }
+///
+/// Unknown keys are rejected (typos should fail loudly, not silently run a
+/// different experiment).
+struct ClusterSpec {
+  RuntimeConfig runtime;
+  std::vector<Endpoint> endpoints;
+  /// Objects per node of the preassigned contiguous ownership map
+  /// (OwnerMap::divide); 0 = modulo-N map.
+  std::uint64_t objects_per_node = 0;
+
+  /// Parses a spec document. On failure returns false and sets `*error`.
+  static bool parse(std::string_view text, ClusterSpec* out,
+                    std::string* error);
+  /// Reads and parses `path`.
+  static bool load(const std::string& path, ClusterSpec* out,
+                   std::string* error);
+};
+
+/// Lower-case protocol name used in spec files and tool flags
+/// ("m2paxos", ...); inverse of parse_protocol.
+std::string spec_protocol_name(core::Protocol p);
+bool parse_protocol(std::string_view name, core::Protocol* out);
+
+}  // namespace m2::runtime

@@ -1,0 +1,284 @@
+#include "runtime/tcp_transport.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/codec.hpp"
+#include "net/serde.hpp"
+
+namespace m2::runtime {
+
+namespace {
+
+/// Upper bound on a frame body a reader will allocate for; a header
+/// claiming more is treated as corruption.
+constexpr std::uint64_t kMaxBodyBytes = 64ull << 20;
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (put <= 0) {
+      if (put < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::vector<Endpoint> endpoints)
+    : endpoints_(std::move(endpoints)),
+      inboxes_(endpoints_.size(), nullptr) {
+  peers_.reserve(endpoints_.size());
+  for (std::size_t i = 0; i < endpoints_.size(); ++i)
+    peers_.push_back(std::make_unique<Peer>());
+}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+void TcpTransport::attach(NodeId node, Inbox* inbox) {
+  inboxes_.at(node) = inbox;
+}
+
+void TcpTransport::start() {
+  running_.store(true, std::memory_order_release);
+  for (NodeId n = 0; n < static_cast<NodeId>(inboxes_.size()); ++n) {
+    if (inboxes_[n] == nullptr) continue;  // remote node, not served here
+    const Endpoint& ep = endpoints_[n];
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      error_ = "socket(): " + std::string(std::strerror(errno));
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(fd, 64) < 0) {
+      error_ = "bind/listen port " + std::to_string(ep.port) + ": " +
+               std::strerror(errno);
+      ::close(fd);
+      return;
+    }
+    auto listener = std::make_unique<Listener>();
+    listener->node = n;
+    listener->fd.store(fd, std::memory_order_release);
+    Listener* raw = listener.get();
+    listener->accept_thread = std::thread([this, raw] { accept_loop(raw); });
+    listeners_.push_back(std::move(listener));
+  }
+}
+
+void TcpTransport::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  for (auto& l : listeners_) {
+    const int fd = l->fd.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+  for (auto& l : listeners_) {
+    if (l->accept_thread.joinable()) l->accept_thread.join();
+  }
+  listeners_.clear();
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (const int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    readers.swap(reader_threads_);
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (const int fd : reader_fds_) ::close(fd);
+    reader_fds_.clear();
+  }
+  for (auto& p : peers_) {
+    std::lock_guard<std::mutex> lock(p->mu);
+    if (p->fd >= 0) {
+      ::close(p->fd);
+      p->fd = -1;
+    }
+  }
+}
+
+void TcpTransport::accept_loop(Listener* listener) {
+  while (running_.load(std::memory_order_acquire)) {
+    const int lfd = listener->fd.load(std::memory_order_acquire);
+    if (lfd < 0) return;  // claimed and closed by stop()
+    const int conn = ::accept(lfd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    const int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const NodeId target = listener->node;
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(conn);
+      return;
+    }
+    reader_fds_.push_back(conn);
+    reader_threads_.emplace_back(
+        [this, conn, target] { reader_loop(conn, target); });
+  }
+}
+
+void TcpTransport::reader_loop(int fd, NodeId target) {
+  std::vector<std::uint8_t> header(net::FrameHeader::kEncodedSize);
+  std::vector<std::uint8_t> body;
+  while (running_.load(std::memory_order_acquire)) {
+    if (!read_exact(fd, header.data(), header.size())) return;
+    const auto h = net::FrameHeader::decode(header.data(), header.size());
+    if (!h.has_value() || h->body_bytes > kMaxBodyBytes) return;
+    body.resize(h->body_bytes);
+    if (!read_exact(fd, body.data(), body.size())) return;
+    if (net::crc32c(body.data(), body.size()) != h->checksum) return;
+
+    Inbox* inbox = inboxes_.at(target);
+    if (inbox == nullptr) return;
+    // message_count is 1 per frame today; loop anyway so a future batching
+    // sender stays compatible with this reader.
+    std::size_t offset = 0;
+    for (std::uint32_t i = 0; i < h->message_count; ++i) {
+      net::PayloadPtr decoded =
+          net::decode_payload(body.data() + offset, body.size() - offset);
+      if (decoded == nullptr) {
+        counters_.decode_failures.fetch_add(1, std::memory_order_relaxed);
+        return;  // framing lost; drop the connection
+      }
+      offset += decoded->wire_size();  // wire_size is byte-exact
+      counters_.messages_received.fetch_add(1, std::memory_order_relaxed);
+      inbox->push(Event::message(h->sender, std::move(decoded)));
+    }
+    counters_.bytes_received.fetch_add(header.size() + body.size(),
+                                       std::memory_order_relaxed);
+  }
+}
+
+int TcpTransport::connect_to(const Endpoint& ep) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(ep.host.c_str(), std::to_string(ep.port).c_str(), &hints,
+                    &res) != 0 ||
+      res == nullptr)
+    return -1;
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd >= 0) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+void TcpTransport::deliver_local(NodeId from, NodeId to,
+                                 const std::vector<std::uint8_t>& bytes) {
+  Inbox* inbox = inboxes_.at(to);
+  if (inbox == nullptr) return;
+  net::PayloadPtr decoded = net::decode_payload(bytes);
+  if (decoded == nullptr) {
+    counters_.decode_failures.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  counters_.messages_received.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_received.fetch_add(bytes.size(), std::memory_order_relaxed);
+  inbox->push(Event::message(from, std::move(decoded)));
+}
+
+void TcpTransport::wire_send(NodeId from, NodeId to,
+                             const std::vector<std::uint8_t>& body) {
+  net::FrameHeader h;
+  h.sender = from;
+  h.message_count = 1;
+  h.body_bytes = body.size();
+  h.checksum = net::crc32c(body.data(), body.size());
+  const std::vector<std::uint8_t> header = h.encode();
+
+  Peer& peer = *peers_.at(to);
+  std::lock_guard<std::mutex> lock(peer.mu);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (peer.fd < 0) peer.fd = connect_to(endpoints_[to]);
+    if (peer.fd < 0) return;  // peer down; protocol retries re-send
+    if (write_all(peer.fd, header.data(), header.size()) &&
+        write_all(peer.fd, body.data(), body.size())) {
+      counters_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+      counters_.bytes_sent.fetch_add(header.size() + body.size(),
+                                     std::memory_order_relaxed);
+      return;
+    }
+    ::close(peer.fd);  // broken pipe: reconnect once, then give up
+    peer.fd = -1;
+  }
+}
+
+void TcpTransport::send(NodeId from, NodeId to, const net::Payload& payload) {
+  const std::vector<std::uint8_t> bytes = net::encode_payload(payload);
+  if (inboxes_.at(to) != nullptr) {
+    counters_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_sent.fetch_add(bytes.size(), std::memory_order_relaxed);
+    deliver_local(from, to, bytes);
+    return;
+  }
+  wire_send(from, to, bytes);
+}
+
+void TcpTransport::broadcast(NodeId from, const net::Payload& payload,
+                             bool include_self) {
+  const std::vector<std::uint8_t> bytes = net::encode_payload(payload);
+  for (NodeId to = 0; to < static_cast<NodeId>(endpoints_.size()); ++to) {
+    if (to == from && !include_self) continue;
+    if (inboxes_.at(to) != nullptr) {
+      counters_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+      counters_.bytes_sent.fetch_add(bytes.size(), std::memory_order_relaxed);
+      deliver_local(from, to, bytes);
+    } else {
+      wire_send(from, to, bytes);
+    }
+  }
+}
+
+}  // namespace m2::runtime

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/payload.hpp"
+#include "runtime/transport.hpp"
+
+namespace m2::runtime {
+
+/// Network address of one cluster node.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Real-socket transport: one TCP listener per locally attached node, one
+/// lazily connected (and reconnected) outbound stream per remote peer.
+///
+/// Wire format per message: a net::FrameHeader (magic "M2PX", version,
+/// sender, message_count=1, body_bytes, CRC32C of the body) followed by
+/// body_bytes of net::encode_payload output. A reader thread per accepted
+/// connection validates magic/version/CRC and pushes decoded payloads onto
+/// the target node's inbox; corrupt or truncated frames close the
+/// connection (the peer reconnects on its next send).
+///
+/// Delivery semantics match what consensus needs from TCP: in-order per
+/// connection, messages dropped on connection failure (protocol retries
+/// and anti-entropy recover them) — never duplicated, never corrupted.
+class TcpTransport final : public Transport {
+ public:
+  /// `endpoints[i]` is node i's listen address; the cluster size is
+  /// endpoints.size(). Local nodes are the ones later attach()ed.
+  explicit TcpTransport(std::vector<Endpoint> endpoints);
+  ~TcpTransport() override;
+
+  void attach(NodeId node, Inbox* inbox) override;
+
+  /// Binds and listens for every attached node, spawning accept threads.
+  /// Returns via failed() whether any listener could not bind.
+  void start() override;
+  void stop() override;
+
+  void send(NodeId from, NodeId to, const net::Payload& payload) override;
+  void broadcast(NodeId from, const net::Payload& payload,
+                 bool include_self) override;
+
+  /// Non-empty when start() failed to bind a listener (the error text).
+  const std::string& error() const { return error_; }
+
+ private:
+  struct Peer {
+    std::mutex mu;
+    int fd = -1;  // guarded by mu
+  };
+  struct Listener {
+    NodeId node = kNoNode;
+    /// Atomic: stop() claims and closes it while accept_loop reads it.
+    std::atomic<int> fd{-1};
+    std::thread accept_thread;
+  };
+
+  void deliver_local(NodeId from, NodeId to,
+                     const std::vector<std::uint8_t>& bytes);
+  /// Writes one framed message to `to`, (re)connecting as needed. Called
+  /// with the peer's mutex held by wire_send.
+  void wire_send(NodeId from, NodeId to,
+                 const std::vector<std::uint8_t>& body);
+  int connect_to(const Endpoint& ep);
+  void accept_loop(Listener* listener);
+  void reader_loop(int fd, NodeId target);
+
+  std::vector<Endpoint> endpoints_;
+  std::vector<Inbox*> inboxes_;             // nullptr for remote nodes
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::vector<std::unique_ptr<Listener>> listeners_;
+  std::mutex readers_mu_;
+  std::vector<std::thread> reader_threads_;  // guarded by readers_mu_
+  std::vector<int> reader_fds_;              // guarded by readers_mu_
+  std::atomic<bool> running_{false};
+  std::string error_;
+};
+
+}  // namespace m2::runtime

@@ -1,0 +1,102 @@
+#include "runtime/timer_wheel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace m2::runtime {
+
+TimerWheel::TimerWheel(core::Time tick) : tick_(tick) { assert(tick_ > 0); }
+
+core::TimerHandle TimerWheel::set(core::Time now, core::Time delay,
+                                  core::TimerFn fn) {
+  if (delay < 0) delay = 0;
+  const core::Time deadline = now + delay;
+
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = slab_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Entry& e = slab_[idx];
+  e.deadline = deadline;
+  e.seq = next_seq_++;
+  e.armed = true;
+  e.next = kNil;
+  e.fn = std::move(fn);
+
+  heap_.push_back(HeapItem{deadline, e.seq, idx});
+  std::push_heap(heap_.begin(), heap_.end(), heap_after);
+
+  ++live_;
+  return (static_cast<std::uint64_t>(e.gen) << 32) |
+         (static_cast<std::uint64_t>(idx) + 1);
+}
+
+void TimerWheel::cancel(core::TimerHandle h) {
+  if (h == core::kInvalidTimer) return;
+  const std::uint64_t slot = (h & 0xffffffffULL);
+  const std::uint32_t gen = static_cast<std::uint32_t>(h >> 32);
+  if (slot == 0 || slot > slab_.size()) return;
+  const std::uint32_t idx = static_cast<std::uint32_t>(slot - 1);
+  Entry& e = slab_[idx];
+  if (!e.armed || e.gen != gen) return;  // already fired or cancelled
+
+  e.armed = false;
+  ++e.gen;  // invalidate outstanding handles to this slot
+  e.fn = core::TimerFn();
+  e.next = free_head_;
+  free_head_ = idx;
+  --live_;
+  // The heap node stays; it fails its seq check when it surfaces.
+}
+
+void TimerWheel::drop_stale_tops() const {
+  while (!heap_.empty() && stale(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+    heap_.pop_back();
+  }
+}
+
+core::Time TimerWheel::next_deadline() const {
+  drop_stale_tops();
+  return heap_.empty() ? core::kTimeNever : heap_.front().deadline;
+}
+
+std::size_t TimerWheel::expire(core::Time now) {
+  // Collect every due entry first (popping the heap yields them already in
+  // (deadline, seq) order), detaching each from the slab before any
+  // callback runs: callbacks may freely set()/cancel(), and a zero-delay
+  // re-arm lands in the heap for the NEXT expire instead of looping here.
+  due_.clear();
+  for (;;) {
+    drop_stale_tops();
+    if (heap_.empty() || heap_.front().deadline > now) break;
+    std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+    const HeapItem it = heap_.back();
+    heap_.pop_back();
+
+    // Move the callback out NOW: the slot goes on the free list, and a
+    // set() from an earlier callback in this batch may legally reuse it.
+    Entry& e = slab_[it.idx];
+    due_.push_back(std::move(e.fn));
+    e.fn = core::TimerFn();
+    e.armed = false;
+    ++e.gen;
+    e.next = free_head_;
+    free_head_ = it.idx;
+    --live_;
+  }
+
+  std::size_t fired = 0;
+  for (core::TimerFn& fn : due_) {
+    ++fired;
+    if (fn) fn();
+  }
+  due_.clear();  // release the moved-from callbacks promptly
+  return fired;
+}
+
+}  // namespace m2::runtime

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/inline_fn.hpp"
+#include "core/time.hpp"
+
+namespace m2::runtime {
+
+/// Timer queue backing Context::set_timer/cancel_timer for one node
+/// thread. Single-threaded (confined to the owning node thread), like the
+/// event queue it replaces.
+///
+/// Entries live in a slab with an intrusive free list; a timer handle packs
+/// (generation << 32 | slab index + 1), so handles are never
+/// core::kInvalidTimer and a stale handle (fired or cancelled, slot reused)
+/// fails its generation check instead of cancelling an unrelated timer.
+///
+/// Ordering is a binary min-heap on (deadline, arm sequence), so expire()
+/// costs O(due · log live) rather than O(live): the node loop calls it on
+/// every iteration, and a replica sitting on thousands of armed watchdogs
+/// (every pending command holds one) must not pay for all of them each
+/// pass. cancel() is O(1): it kills the slab entry and leaves the heap
+/// node to be skipped lazily when it surfaces.
+class TimerWheel {
+ public:
+  explicit TimerWheel(core::Time tick = 100 * core::kMicrosecond);
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Arms a one-shot timer firing `fn` no earlier than `now + delay`.
+  core::TimerHandle set(core::Time now, core::Time delay, core::TimerFn fn);
+
+  /// Disarms `h`. No-op for kInvalidTimer, already-fired, or
+  /// already-cancelled handles.
+  void cancel(core::TimerHandle h);
+
+  /// Earliest pending deadline, or core::kTimeNever when no timer is
+  /// armed. Exact: cancelled entries surfacing at the heap top are
+  /// discarded before answering.
+  core::Time next_deadline() const;
+
+  /// Fires every timer with deadline <= now, in deadline order (FIFO among
+  /// equal deadlines). Callbacks may freely set/cancel timers — the due
+  /// set is collected before any callback runs, so a callback arming a
+  /// zero-delay timer fires it on the *next* expire, never this one.
+  /// Returns the count fired.
+  std::size_t expire(core::Time now);
+
+  std::size_t size() const { return live_; }
+
+ private:
+  static constexpr std::uint32_t kNil = UINT32_MAX;
+
+  struct Entry {
+    core::Time deadline = 0;
+    std::uint64_t seq = 0;        // arm order, for deterministic firing
+    std::uint32_t gen = 0;        // bumped on fire/cancel
+    bool armed = false;
+    std::uint32_t next = kNil;    // free list
+    core::TimerFn fn;
+  };
+
+  /// Heap node: a snapshot of (deadline, seq) at arm time plus the slab
+  /// index. `seq` doubles as the staleness check — the slab entry's seq
+  /// changes when the slot is re-armed, so a node for a cancelled or
+  /// fired timer no longer matches and is dropped when popped.
+  struct HeapItem {
+    core::Time deadline;
+    std::uint64_t seq;
+    std::uint32_t idx;
+  };
+  /// True when `a` is LATER than `b` (std::*_heap keeps the max on top,
+  /// so inverting the order makes it a min-heap on (deadline, seq)).
+  static bool heap_after(const HeapItem& a, const HeapItem& b) {
+    return a.deadline != b.deadline ? a.deadline > b.deadline
+                                    : a.seq > b.seq;
+  }
+
+  bool stale(const HeapItem& it) const {
+    const Entry& e = slab_[it.idx];
+    return !e.armed || e.seq != it.seq;
+  }
+  /// Pops cancelled/fired entries off the heap top.
+  void drop_stale_tops() const;
+
+  core::Time tick_;  // granularity hint; ordering is exact regardless
+  std::vector<Entry> slab_;
+  std::uint32_t free_head_ = kNil;
+  mutable std::vector<HeapItem> heap_;  // lazily cleaned in const readers
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
+  // Scratch for expire(): the due callbacks, in (deadline, seq) order.
+  std::vector<core::TimerFn> due_;
+};
+
+}  // namespace m2::runtime

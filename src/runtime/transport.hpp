@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "net/payload.hpp"
+#include "net/serde.hpp"
+#include "runtime/inbox.hpp"
+
+namespace m2::runtime {
+
+/// Byte counters a transport keeps per direction. Relaxed atomics: they are
+/// read for reporting, not for synchronization.
+struct TransportCounters {
+  std::atomic<std::uint64_t> messages_sent{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> messages_received{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> decode_failures{0};
+};
+
+/// Message plane between runtime nodes.
+///
+/// send()/broadcast() are called from node threads (a node may also send to
+/// itself — the message loops back through its inbox, preserving the
+/// no-reentrancy guarantee of Context::broadcast). Every implementation
+/// fully serializes the payload on the sending thread via net::serde and
+/// delivers freshly decoded payloads to the receiver: no object —
+/// including pool-backed payloads allocated by a sender's single-threaded
+/// allocator — ever crosses a thread boundary, only bytes do.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers the inbox receiving node `node`'s traffic. Must be called
+  /// for every local node before start().
+  virtual void attach(NodeId node, Inbox* inbox) = 0;
+
+  /// Serializes `payload` and queues it for `to`. Called from node thread
+  /// `from`; must not block on the receiver.
+  virtual void send(NodeId from, NodeId to, const net::Payload& payload) = 0;
+
+  /// Sends to every node; `include_self` routes one copy back to `from`'s
+  /// own inbox.
+  virtual void broadcast(NodeId from, const net::Payload& payload,
+                         bool include_self) = 0;
+
+  /// Starts/stops I/O threads (no-ops for in-process transports).
+  virtual void start() {}
+  virtual void stop() {}
+
+  const TransportCounters& counters() const { return counters_; }
+
+ protected:
+  TransportCounters counters_;
+};
+
+/// In-process transport for tests, CI, and single-machine benchmarks: a
+/// send encodes the payload on the sender's thread, decodes the bytes
+/// (exercising the exact same serde path TCP uses), and pushes the decoded
+/// payload onto the target node's inbox. Decoding happens once per
+/// recipient, so no decoded object is shared between receiver threads.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(int n_nodes)
+      : inboxes_(static_cast<std::size_t>(n_nodes), nullptr) {}
+
+  void attach(NodeId node, Inbox* inbox) override {
+    inboxes_.at(node) = inbox;
+  }
+
+  void send(NodeId from, NodeId to, const net::Payload& payload) override {
+    const std::vector<std::uint8_t> bytes = net::encode_payload(payload);
+    counters_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_sent.fetch_add(bytes.size(), std::memory_order_relaxed);
+    deliver(from, to, bytes);
+  }
+
+  void broadcast(NodeId from, const net::Payload& payload,
+                 bool include_self) override {
+    const std::vector<std::uint8_t> bytes = net::encode_payload(payload);
+    const std::size_t n = inboxes_.size();
+    std::size_t recipients = 0;
+    for (NodeId to = 0; to < static_cast<NodeId>(n); ++to) {
+      if (to == from && !include_self) continue;
+      deliver(from, to, bytes);
+      ++recipients;
+    }
+    counters_.messages_sent.fetch_add(recipients, std::memory_order_relaxed);
+    counters_.bytes_sent.fetch_add(recipients * bytes.size(),
+                                   std::memory_order_relaxed);
+  }
+
+ private:
+  void deliver(NodeId from, NodeId to,
+               const std::vector<std::uint8_t>& bytes) {
+    Inbox* inbox = inboxes_.at(to);
+    if (inbox == nullptr) return;
+    net::PayloadPtr decoded = net::decode_payload(bytes);
+    if (decoded == nullptr) {
+      counters_.decode_failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    counters_.messages_received.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_received.fetch_add(bytes.size(),
+                                       std::memory_order_relaxed);
+    inbox->push(Event::message(from, std::move(decoded)));
+  }
+
+  std::vector<Inbox*> inboxes_;
+};
+
+}  // namespace m2::runtime

@@ -1,30 +1,23 @@
 #pragma once
 
-#include <cstdint>
+// Time moved to core/time.hpp so the public replica interface carries no
+// sim dependency (the threaded runtime shares the same clock type). This
+// shim keeps the historical sim::Time spelling working for simulator-side
+// code and tests.
+#include "core/time.hpp"
 
 namespace m2::sim {
 
-/// Simulated time in nanoseconds since the start of the run.
-///
-/// All protocol and network code runs against simulated time, never the
-/// wall clock, so every experiment is deterministic given a seed.
-using Time = std::int64_t;
+using core::Time;
 
-inline constexpr Time kNanosecond = 1;
-inline constexpr Time kMicrosecond = 1000 * kNanosecond;
-inline constexpr Time kMillisecond = 1000 * kMicrosecond;
-inline constexpr Time kSecond = 1000 * kMillisecond;
+using core::kNanosecond;
+using core::kMicrosecond;
+using core::kMillisecond;
+using core::kSecond;
+using core::kTimeNever;
 
-/// Sentinel for "no deadline" / "never".
-inline constexpr Time kTimeNever = INT64_MAX;
-
-/// Converts a simulated duration to fractional seconds (for reporting).
-constexpr double to_seconds(Time t) { return static_cast<double>(t) / kSecond; }
-
-/// Converts a simulated duration to fractional milliseconds (for reporting).
-constexpr double to_millis(Time t) { return static_cast<double>(t) / kMillisecond; }
-
-/// Converts a simulated duration to fractional microseconds (for reporting).
-constexpr double to_micros(Time t) { return static_cast<double>(t) / kMicrosecond; }
+using core::to_seconds;
+using core::to_millis;
+using core::to_micros;
 
 }  // namespace m2::sim

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "net/codec.hpp"
+#include "sim/rng.hpp"
 
 namespace m2::net {
 namespace {
@@ -36,6 +37,42 @@ TEST(Codec, VarintSizes) {
   Writer w2;
   w2.varint(128);
   EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Codec, VarintPowerBoundaries) {
+  // Every 2^(7k) boundary: 2^(7k)-1 encodes in k bytes, 2^(7k) needs k+1,
+  // and varint_len() agrees with the encoder at both edges.
+  for (unsigned k = 1; k <= 9; ++k) {
+    const std::uint64_t edge = 1ULL << (7 * k);
+    for (const std::uint64_t v : {edge - 1, edge}) {
+      Writer w;
+      w.varint(v);
+      EXPECT_EQ(w.size(), v < edge ? k : k + 1) << v;
+      EXPECT_EQ(w.size(), varint_len(v)) << v;
+      Reader r(w.data());
+      EXPECT_EQ(r.varint(), v) << v;
+      EXPECT_EQ(r.remaining(), 0u) << v;
+    }
+  }
+  // Max u64 takes the full 10 bytes.
+  Writer w;
+  w.varint(UINT64_MAX);
+  EXPECT_EQ(w.size(), 10u);
+  EXPECT_EQ(varint_len(UINT64_MAX), 10u);
+  Reader r(w.data());
+  EXPECT_EQ(r.varint(), UINT64_MAX);
+}
+
+TEST(Codec, PadSkipRoundTrip) {
+  Writer w;
+  w.u64(42);
+  w.pad(100);
+  w.u8(7);
+  Reader r(w.data());
+  EXPECT_EQ(r.u64(), 42u);
+  ASSERT_TRUE(r.skip(100));
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_FALSE(r.skip(1)) << "skip past the end must fail";
 }
 
 TEST(Codec, StringRoundTrip) {
@@ -120,6 +157,42 @@ TEST(FrameHeader, RejectsTruncated) {
   FrameHeader h;
   const auto bytes = h.encode();
   EXPECT_FALSE(FrameHeader::decode(bytes.data(), bytes.size() - 1).has_value());
+}
+
+TEST(FrameHeader, MalformedInputNeverDecodes) {
+  // Fuzz-ish sweep: random byte soup, truncations at every length, and
+  // single-bit flips of a valid header. The strict parser must reject
+  // corrupt input (magic/version/checksum field flips change the decoded
+  // struct, never crash) and must reject every truncation.
+  sim::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> junk(rng.uniform(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    FrameHeader::decode(junk.data(), junk.size());  // must not crash
+  }
+  FrameHeader h;
+  h.sender = 3;
+  h.message_count = 9;
+  h.body_bytes = 4096;
+  h.checksum = 0x1234;
+  const auto good = h.encode();
+  for (std::size_t len = 0; len < good.size(); ++len)
+    EXPECT_FALSE(FrameHeader::decode(good.data(), len).has_value()) << len;
+  for (std::size_t byte = 0; byte < good.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = good;
+      mutated[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      const auto decoded = FrameHeader::decode(mutated.data(), mutated.size());
+      if (decoded.has_value()) {
+        // A surviving flip must be in a value field, not the magic/version.
+        EXPECT_FALSE(decoded->sender == h.sender &&
+                     decoded->message_count == h.message_count &&
+                     decoded->body_bytes == h.body_bytes &&
+                     decoded->checksum == h.checksum)
+            << "flip at byte " << byte << " bit " << bit << " was silent";
+      }
+    }
+  }
 }
 
 }  // namespace

