@@ -7,6 +7,7 @@
 /// (timeouts, batching, cost model) stay on core::ClusterConfig, reachable
 /// through Config::tuning.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -74,6 +75,17 @@ struct Config {
   std::vector<NodeAddress> addresses;
   /// Backend::kTcp: the subset of nodes this process serves.
   std::vector<NodeId> local_nodes;
+
+  /// Socket wire-path tuning (Backend::kTcp only; mirrors
+  /// runtime::TransportOptions, see runtime/tcp_transport.hpp).
+  struct Transport {
+    /// Max bytes one peer-writer flush coalesces into a single sendmsg().
+    std::size_t max_coalesce_bytes = 256 * 1024;
+    /// Per-peer cap on queued-but-unsent frame bytes; frames beyond it are
+    /// dropped (and counted) rather than buffered without bound.
+    std::size_t max_queue_bytes = 8 * 1024 * 1024;
+  };
+  Transport transport;
 
   /// Advanced protocol/cost knobs (core::ClusterConfig). n_nodes in here
   /// is overwritten from `nodes`/`addresses` at build time.

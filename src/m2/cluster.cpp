@@ -199,6 +199,8 @@ std::string Config::validate() const {
       protocol == core::Protocol::kM2Paxos && backend == Backend::kSim)
     return "preassigned ownership needs objects_per_node > 0";
   if (!tuning.batching.valid()) return "invalid batching configuration";
+  if (transport.max_coalesce_bytes == 0 || transport.max_queue_bytes == 0)
+    return "transport byte limits must be positive";
   return {};
 }
 
@@ -222,9 +224,13 @@ std::unique_ptr<Cluster> ClusterBuilder::build(std::string* error) const {
       endpoints.reserve(cfg_.addresses.size());
       for (const auto& a : cfg_.addresses)
         endpoints.push_back({a.host, a.port});
+      runtime::TransportOptions options;
+      options.max_coalesce_bytes = cfg_.transport.max_coalesce_bytes;
+      options.max_queue_bytes = cfg_.transport.max_queue_bytes;
       auto rt = std::make_unique<runtime::Runtime>(
           to_runtime_config(cfg_, n),
-          std::make_unique<runtime::TcpTransport>(std::move(endpoints)),
+          std::make_unique<runtime::TcpTransport>(std::move(endpoints),
+                                                  options),
           cfg_.local_nodes);
       if (!rt->start(error)) return nullptr;
       return std::make_unique<RuntimeCluster>(cfg_, std::move(rt));

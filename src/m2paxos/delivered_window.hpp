@@ -1,0 +1,146 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/command.hpp"
+
+namespace m2::m2p {
+
+/// Sliding dedup window over delivered command ids.
+///
+/// Replaces the obvious unordered_set + eviction FIFO: at a 2^20-id window
+/// that set holds a million scattered nodes, so every membership probe on
+/// the delivery hot path is a DRAM miss and growth rehashes stall delivery
+/// for milliseconds. Command ids are (proposer, seq) with seqs assigned
+/// densely per proposer (workload counters; noops burn their own dense
+/// range starting at 2^40), so membership compresses to one bit per seq:
+/// per proposer, a circular bitmap spanning the `window` most recent seqs
+/// of each active band. Probes and inserts are O(1) single-word accesses
+/// on a working set of a few cache lines around each proposer's frontier.
+///
+/// Semantics match the evicting set: every insert is recorded (a late
+/// delivery far behind its proposer's frontier — crossing resolution,
+/// repair — anchors a fresh band rather than being dropped, exactly as the
+/// set retained any id for a full window after insertion), and ids are
+/// forgotten only when their band slides past them or is recycled. The
+/// protocol tolerates forgetting — the window only has to outlast the
+/// retransmission horizon — but it does NOT tolerate never-recorded
+/// deliveries: the frontier skip of an already-delivered slot relies on
+/// contains() seeing ids delivered out of order arbitrarily long ago.
+class DeliveredWindow {
+ public:
+  /// `window` is the per-band span in ids, as Config::delivered_id_window.
+  /// Rounded up to at least one bitmap word.
+  explicit DeliveredWindow(std::size_t window) {
+    std::uint64_t words = (static_cast<std::uint64_t>(window) + 63) / 64;
+    // Power-of-two word count so circular indexing is a mask.
+    std::uint64_t pow2 = 1;
+    while (pow2 < words) pow2 <<= 1;
+    word_mask_ = pow2 - 1;
+    span_ = pow2 * 64;
+  }
+
+  bool contains(core::CommandId id) const {
+    const Proposer* p = find(id.proposer());
+    if (p == nullptr) return false;
+    const std::uint64_t seq = id.seq();
+    // Bands can overlap after one slides across another's range, so every
+    // covering band is checked: a set bit in any of them is authoritative
+    // (words are cleared on slide/recycle, so in-range bits are never
+    // stale — no false positives).
+    for (const Band& b : p->bands) {
+      if (seq >= b.base && seq < b.base + span_ &&
+          ((b.words[(seq >> 6) & word_mask_] >> (seq & 63)) & 1))
+        return true;
+    }
+    return false;
+  }
+
+  void insert(core::CommandId id) {
+    Band& b = band_for(touch(id.proposer()), id.seq());
+    b.words[(id.seq() >> 6) & word_mask_] |= 1ull << (id.seq() & 63);
+  }
+
+ private:
+  struct Band {
+    std::uint64_t base = 0;  // word-aligned; bits cover [base, base+span)
+    std::uint64_t last_use = 0;  // tick of the last hit, for band eviction
+    std::vector<std::uint64_t> words;
+  };
+  struct Proposer {
+    NodeId id = kNoNode;
+    std::vector<Band> bands;  // one per dense seq range (commands, noops)
+  };
+
+  const Proposer* find(NodeId proposer) const {
+    for (const Proposer& p : proposers_)
+      if (p.id == proposer) return &p;
+    return nullptr;
+  }
+
+  Proposer& touch(NodeId proposer) {
+    for (Proposer& p : proposers_)
+      if (p.id == proposer) return p;
+    proposers_.push_back(Proposer{proposer, {}});
+    return proposers_.back();
+  }
+
+  /// Band whose window covers `seq`, sliding or creating one as needed.
+  /// Never refuses: a seq behind every band (its range slid past — a late
+  /// out-of-order delivery) anchors a fresh band, because the protocol
+  /// needs every delivery recorded for the frontier skip of
+  /// already-delivered slots.
+  Band& band_for(Proposer& p, std::uint64_t seq) {
+    ++tick_;
+    for (Band& b : p.bands) {
+      if (seq >= b.base && seq < b.base + span_) {
+        b.last_use = tick_;
+        return b;
+      }
+    }
+    for (Band& b : p.bands) {
+      // Ahead of a band but within one span: slide the window forward a
+      // word at a time, clearing the words that fall out. A jump larger
+      // than the span is a different dense range (e.g. the noop band) and
+      // gets its own bitmap instead of an O(jump) slide.
+      if (seq >= b.base + span_ && seq < b.base + 2 * span_) {
+        while (seq >= b.base + span_) {
+          b.words[(b.base >> 6) & word_mask_] = 0;
+          b.base += 64;
+        }
+        b.last_use = tick_;
+        return b;
+      }
+    }
+    // Anchor a new band slightly below seq so mildly out-of-order earlier
+    // deliveries of the same range still land inside the window. Bands per
+    // proposer stay bounded by recycling the coldest one.
+    const std::uint64_t slack = span_ / 4;
+    Band* b = nullptr;
+    if (p.bands.size() >= kMaxBands) {
+      b = &p.bands.front();
+      for (Band& cand : p.bands)
+        if (cand.last_use < b->last_use) b = &cand;
+      std::fill(b->words.begin(), b->words.end(), 0);
+    } else {
+      p.bands.emplace_back();
+      b = &p.bands.back();
+      b->words.assign(word_mask_ + 1, 0);
+    }
+    b->base = (seq > slack ? seq - slack : 0) & ~std::uint64_t{63};
+    b->last_use = tick_;
+    return *b;
+  }
+
+  static constexpr std::size_t kMaxBands = 8;
+
+  std::uint64_t span_ = 0;       // ids covered per band (multiple of 64)
+  std::uint64_t word_mask_ = 0;  // circular word-index mask (words - 1)
+  std::uint64_t tick_ = 0;       // insert counter driving band LRU
+  std::vector<Proposer> proposers_;  // cluster-sized; linear scan
+};
+
+}  // namespace m2::m2p

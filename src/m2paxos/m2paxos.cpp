@@ -66,8 +66,7 @@ M2PaxosReplica::M2PaxosReplica(NodeId id, const core::ClusterConfig& cfg,
       pending_(64, core::PoolAlloc<char>(pool_)),
       accepts_(64, core::PoolAlloc<char>(pool_)),
       prepares_(16, core::PoolAlloc<char>(pool_)),
-      delivered_ids_(1024, core::PoolAlloc<char>(pool_)),
-      delivered_fifo_(core::PoolAlloc<char>(pool_)),
+      delivered_ids_(cfg.delivered_id_window),
       dirty_objects_(core::PoolAlloc<char>(pool_)),
       stuck_objects_(16, core::PoolAlloc<char>(pool_)),
       repair_cooldown_(16, core::PoolAlloc<char>(pool_)),
@@ -261,7 +260,7 @@ void M2PaxosReplica::gc_object(ObjectState& st) {
 
 void M2PaxosReplica::propose(const core::Command& c) {
   if (crashed_) return;
-  if (delivered_ids_.count(c.id) > 0) return;
+  if (delivered_ids_.contains(c.id)) return;
   auto [it, inserted] = pending_.try_emplace(c.id);
   if (!inserted) return;  // already coordinating this command
   // The one deep copy on the path: from here the command travels as a
@@ -405,7 +404,7 @@ void M2PaxosReplica::collect_blocked(const core::Command& root,
       continue;
     }
     const core::Command& c = *s->decided;
-    if (delivered_ids_.count(c.id) > 0) {
+    if (delivered_ids_.contains(c.id)) {
       // A duplicate decision of an already-delivered command parked at the
       // frontier; re-scan the object so try_deliver's skip path advances.
       dirty_objects_.push_back(&st);
@@ -858,11 +857,6 @@ void M2PaxosReplica::decide_slot(ObjectId l, Instance in,
 void M2PaxosReplica::deliver_command(const core::CommandPtr& c,
                                      ObjectState* hint) {
   delivered_ids_.insert(c->id);
-  delivered_fifo_.push_back(c->id);
-  while (delivered_fifo_.size() > cfg_.delivered_id_window) {
-    delivered_ids_.erase(delivered_fifo_.front());
-    delivered_fifo_.pop_front();
-  }
   if (!c->noop) {
     if (cfg_.record_delivered) delivered_seq_.push_back(*c);
     ++counters_.delivered;
@@ -910,7 +904,7 @@ void M2PaxosReplica::deliver_command(const core::CommandPtr& c,
   ctx_.deliver(*c);
   if (tail_batch != nullptr) {
     for (const core::CommandPtr& m : tail_batch->cmds) {
-      if (delivered_ids_.count(m->id) > 0) continue;
+      if (delivered_ids_.contains(m->id)) continue;
       deliver_batch_member(m);
     }
   }
@@ -920,11 +914,6 @@ void M2PaxosReplica::deliver_batch_member(const core::CommandPtr& c) {
   // deliver_command minus the frontier advance: the caller advances the
   // batch's slot frontier once after unrolling every member.
   delivered_ids_.insert(c->id);
-  delivered_fifo_.push_back(c->id);
-  while (delivered_fifo_.size() > cfg_.delivered_id_window) {
-    delivered_ids_.erase(delivered_fifo_.front());
-    delivered_fifo_.pop_front();
-  }
   if (!c->noop) {
     if (cfg_.record_delivered) delivered_seq_.push_back(*c);
     ++counters_.delivered;
@@ -985,7 +974,7 @@ void M2PaxosReplica::try_deliver() {
           // (per-member dedup guards members retried individually after a
           // round timeout), then advance the frontier once for the slot.
           for (const core::CommandPtr& m : batch->cmds) {
-            if (delivered_ids_.count(m->id) > 0) continue;
+            if (delivered_ids_.contains(m->id)) continue;
             deliver_batch_member(m);
           }
           ++st.last_appended;
@@ -995,7 +984,7 @@ void M2PaxosReplica::try_deliver() {
           continue;
         }
 
-        if (delivered_ids_.count(c->id) > 0) {
+        if (delivered_ids_.contains(c->id)) {
           // Duplicate decision of an already-delivered command (possible
           // after retransmissions and crossing resolution); skip the slot.
           ++st.last_appended;
@@ -1058,7 +1047,7 @@ bool M2PaxosReplica::resolve_crossings() {
     const Slot* s = st.log.find(st.last_appended + 1);
     if (s == nullptr || !s->decided) continue;
     const core::CommandPtr& c = s->decided;
-    if (delivered_ids_.count(c->id) > 0 || cands.count(c->id) > 0) continue;
+    if (delivered_ids_.contains(c->id) || cands.count(c->id) > 0) continue;
 
     Candidate cand;
     cand.cmd = c;
@@ -1075,7 +1064,6 @@ bool M2PaxosReplica::resolve_crossings() {
     }
     if (complete) cands.emplace(c->id, std::move(cand));
   }
-
   // Drop candidates waiting on a non-candidate: their progress depends on
   // future decisions/deliveries, not on cycle breaking.
   for (bool changed = true; changed;) {

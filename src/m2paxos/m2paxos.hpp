@@ -13,6 +13,7 @@
 #include "core/pool.hpp"
 #include "core/replica.hpp"
 #include "sim/time.hpp"
+#include "m2paxos/delivered_window.hpp"
 #include "m2paxos/messages.hpp"
 #include "m2paxos/ownership.hpp"
 
@@ -267,8 +268,9 @@ class M2PaxosReplica final : public core::Replica {
   PooledMap<core::CommandId, PendingCommand> pending_;
   PooledMap<std::uint64_t, AcceptRound> accepts_;
   PooledMap<std::uint64_t, PrepareRound> prepares_;
-  PooledSet<core::CommandId> delivered_ids_;
-  PooledDeque<core::CommandId> delivered_fifo_;  // eviction order for the set
+  /// Dedup window over delivered ids: per-proposer bitmaps, O(1) probes
+  /// (see delivered_window.hpp — the hash-set version dominated delivery).
+  DeliveredWindow delivered_ids_;
   std::vector<core::Command> delivered_seq_;     // only if cfg.record_delivered
   /// Objects whose frontier may have advanced, queued as stable table
   /// pointers so the delivery loop skips the hash lookup per entry.

@@ -1,0 +1,140 @@
+#pragma once
+
+// Thread-safe size-binned freelist arena for the wire path: the
+// cross-thread sibling of core/pool.hpp (same 16-byte binning scheme,
+// larger size cap). Transport reader threads allocate decoded payloads and
+// frame buffers here, node threads release them after handling — so unlike
+// the replica's single-threaded pool, every bin is guarded by its own
+// spinlock (held for two pointer writes; contention on a bin means two
+// threads freeing the exact same size class in the same instant).
+//
+// The process-wide instance behind serde decode and TCP frames is
+// intentionally leaked (ByteArena::wire): decoded payloads can outlive any
+// particular transport or cluster, and C++ gives no usable ordering for
+// static destruction against detached consumers.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace m2::net {
+
+class ByteArena {
+ public:
+  ByteArena() = default;
+  ByteArena(const ByteArena&) = delete;
+  ByteArena& operator=(const ByteArena&) = delete;
+  ~ByteArena() {
+    for (Bin& bin : bins_) {
+      FreeNode* head = bin.head;
+      while (head != nullptr) {
+        FreeNode* next = head->next;
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  }
+
+  // 16-byte granularity up to 4 KiB: covers every decoded payload (the
+  // largest inline-capacity messages are well under 1 KiB) and the common
+  // run of wire frames; larger blocks fall through to the global heap.
+  static constexpr std::size_t kGranularity = 16;
+  static constexpr std::size_t kMaxBytes = 4096;
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t bin = bin_of(bytes);
+    if (bin == kNoBin) return ::operator new(bytes);
+    Bin& b = bins_[bin];
+    lock(b);
+    FreeNode* head = b.head;
+    if (head != nullptr) b.head = head->next;
+    unlock(b);
+    if (head != nullptr) return head;
+    return ::operator new(bin_size(bin));
+  }
+
+  void deallocate(void* p, std::size_t bytes) noexcept {
+    const std::size_t bin = bin_of(bytes);
+    if (bin == kNoBin) {
+      ::operator delete(p);
+      return;
+    }
+    Bin& b = bins_[bin];
+    FreeNode* node = static_cast<FreeNode*>(p);
+    lock(b);
+    node->next = b.head;
+    b.head = node;
+    unlock(b);
+  }
+
+  /// The process-wide wire arena (decoded payloads, TCP frames).
+  /// Deliberately leaked; see the header comment.
+  static ByteArena& wire() {
+    static ByteArena* arena = new ByteArena();
+    return *arena;
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct Bin {
+    std::atomic_flag busy = ATOMIC_FLAG_INIT;
+    FreeNode* head = nullptr;  // guarded by busy
+  };
+  static constexpr std::size_t kNumBins = kMaxBytes / kGranularity;
+  static constexpr std::size_t kNoBin = SIZE_MAX;
+
+  static std::size_t bin_of(std::size_t bytes) {
+    if (bytes == 0 || bytes > kMaxBytes) return kNoBin;
+    return (bytes - 1) / kGranularity;
+  }
+  static std::size_t bin_size(std::size_t bin) {
+    return (bin + 1) * kGranularity;
+  }
+  static void lock(Bin& b) {
+    while (b.busy.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  static void unlock(Bin& b) { b.busy.clear(std::memory_order_release); }
+
+  Bin bins_[kNumBins];
+};
+
+/// Stateless allocator adapter over the wire arena, usable with std
+/// containers and std::allocate_shared.
+template <typename T>
+class ArenaAlloc {
+ public:
+  using value_type = T;
+
+  ArenaAlloc() = default;
+  template <typename U>
+  ArenaAlloc(const ArenaAlloc<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(ByteArena::wire().allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ByteArena::wire().deallocate(p, n * sizeof(T));
+  }
+
+  friend bool operator==(const ArenaAlloc&, const ArenaAlloc&) {
+    return true;
+  }
+  friend bool operator!=(const ArenaAlloc&, const ArenaAlloc&) {
+    return false;
+  }
+};
+
+/// allocate_shared through the wire arena: one block for object + control
+/// block, recycled by size class on release, safe to free from any thread.
+template <typename T, typename... Args>
+std::shared_ptr<T> arena_make_shared(Args&&... args) {
+  return std::allocate_shared<T>(ArenaAlloc<T>(), std::forward<Args>(args)...);
+}
+
+}  // namespace m2::net

@@ -23,9 +23,21 @@ constexpr std::size_t varint_len(std::uint64_t v) {
 /// envelope framing, and the harness snapshot/trace files. Round-trip
 /// behaviour is unit tested, including varint boundaries and malformed
 /// input.
+///
+/// A default-constructed Writer owns its buffer; the pointer constructor
+/// appends into a caller-provided vector instead, so hot paths can reuse
+/// one scratch buffer's capacity across messages instead of growing a
+/// fresh allocation per encode.
 class Writer {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  Writer() : buf_(&own_) {}
+  /// Appends into `*out` (which is not cleared — callers own its prior
+  /// contents). `*out` must outlive the Writer.
+  explicit Writer(std::vector<std::uint8_t>* out) : buf_(out) {}
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void u8(std::uint8_t v) { buf_->push_back(v); }
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   /// LEB128 variable-length unsigned integer.
@@ -34,13 +46,14 @@ class Writer {
   void str(const std::string& s);
   /// Appends `n` zero bytes — materializes modeled payload bytes (e.g. a
   /// command's opaque application payload) on a real wire.
-  void pad(std::size_t n) { buf_.resize(buf_.size() + n, 0); }
+  void pad(std::size_t n) { buf_->resize(buf_->size() + n, 0); }
 
-  const std::vector<std::uint8_t>& data() const { return buf_; }
-  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return *buf_; }
+  std::size_t size() const { return buf_->size(); }
 
  private:
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> own_;
+  std::vector<std::uint8_t>* buf_;
 };
 
 /// Reader over a byte span; every accessor returns nullopt on underflow or
@@ -86,12 +99,25 @@ struct FrameHeader {
   static constexpr std::size_t kEncodedSize = 25;
 
   std::vector<std::uint8_t> encode() const;
+  /// Writes the header into `out[0..kEncodedSize)` without allocating —
+  /// the frame-buffer path patches headers in place.
+  void encode_into(std::uint8_t* out) const;
   static std::optional<FrameHeader> decode(const std::uint8_t* data,
                                            std::size_t n);
 };
 
-/// CRC32C (Castagnoli), bitwise implementation — slow but dependency-free;
-/// only used on control-path frames.
+/// CRC32C (Castagnoli) over `data`, hardware-accelerated where the CPU
+/// supports it: runtime dispatch to SSE4.2 _mm_crc32_u64 on x86-64 (or the
+/// ARMv8 CRC32 extension when compiled for it), otherwise a table-driven
+/// software implementation. All paths compute the identical function
+/// (cross-checked in tests against the RFC 3720 vectors).
 std::uint32_t crc32c(const void* data, std::size_t n);
+
+/// The software (table-driven) path, unconditionally. Exposed so tests can
+/// cross-check the dispatched implementation against it.
+std::uint32_t crc32c_sw(const void* data, std::size_t n);
+
+/// True when crc32c() dispatches to a hardware implementation here.
+bool crc32c_hw_available();
 
 }  // namespace m2::net

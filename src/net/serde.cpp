@@ -5,6 +5,7 @@
 #include "genpaxos/genpaxos.hpp"
 #include "m2paxos/messages.hpp"
 #include "multipaxos/multipaxos.hpp"
+#include "net/arena.hpp"
 
 namespace m2::net {
 
@@ -13,6 +14,15 @@ namespace {
 // Sanity caps: a frame claiming more elements than this is malformed (or
 // hostile); decoding fails instead of allocating unbounded memory.
 constexpr std::uint64_t kMaxListLen = 1 << 20;
+
+/// Decoded messages are built on transport reader (or sender) threads and
+/// released by the consuming node thread, so they come from the
+/// thread-safe wire arena — never from a replica's single-threaded pool,
+/// and, once the size classes have warmed up, never from the heap.
+template <typename T, typename... Args>
+PayloadPtr arena_payload(Args&&... args) {
+  return arena_make_shared<const T>(std::forward<Args>(args)...);
+}
 
 }  // namespace
 
@@ -109,13 +119,13 @@ bool read_batch_tail(Reader& r, const core::CommandPtr& head,
     out = nullptr;
     return true;
   }
-  auto batch = std::make_shared<core::CommandBatch>();
+  auto batch = arena_make_shared<core::CommandBatch>();
   batch->cmds.push_back(head);
   for (std::uint64_t i = 0; i < *n; ++i) {
     auto cmd = read_command(r);
     if (!cmd) return false;
     batch->cmds.push_back(
-        std::make_shared<const core::Command>(std::move(*cmd)));
+        arena_make_shared<const core::Command>(std::move(*cmd)));
   }
   out = std::move(batch);
   return true;
@@ -423,7 +433,7 @@ bool read_slots(Reader& r, m2p::SlotList& slots) {
     if (!object || !instance || !epoch) return false;
     auto cmd = read_command(r);
     if (!cmd) return false;
-    auto head = std::make_shared<const core::Command>(std::move(*cmd));
+    auto head = arena_make_shared<const core::Command>(std::move(*cmd));
     core::CommandBatchPtr batch;
     if (!read_batch_tail(r, head, batch)) return false;
     slots.push_back(m2p::SlotValue{*object, *instance, *epoch,
@@ -451,22 +461,22 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
     case kKindCommon + 1: {
       const auto sender = r.u32();
       if (!sender) return nullptr;
-      return make_payload<core::Heartbeat>(*sender);
+      return arena_payload<core::Heartbeat>(*sender);
     }
 
     // --- Multi-Paxos ---------------------------------------------------
     case kKindMultiPaxos + 1: {
       auto cmd = read_command(r);
-      return cmd ? make_payload<mp::ClientPropose>(std::move(*cmd)) : nullptr;
+      return cmd ? arena_payload<mp::ClientPropose>(std::move(*cmd)) : nullptr;
     }
     case kKindMultiPaxos + 2: {
       const auto ballot = r.u64();
       const auto from = r.u64();
       if (!ballot || !from) return nullptr;
-      return make_payload<mp::Prepare>(*ballot, *from);
+      return arena_payload<mp::Prepare>(*ballot, *from);
     }
     case kKindMultiPaxos + 3: {
-      auto m = std::make_shared<mp::Promise>();
+      auto m = arena_make_shared<mp::Promise>();
       const auto ballot = r.u64();
       const auto acceptor = r.u32();
       const auto ack = r.u8();
@@ -500,11 +510,11 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
       if (!cmd) return nullptr;
       std::vector<core::Command> tail;
       if (!read_tail(r, tail)) return nullptr;
-      return make_payload<mp::Accept>(*ballot, *slot, std::move(*cmd),
+      return arena_payload<mp::Accept>(*ballot, *slot, std::move(*cmd),
                                       std::move(tail));
     }
     case kKindMultiPaxos + 5: {
-      auto m = std::make_shared<mp::Accepted>();
+      auto m = arena_make_shared<mp::Accepted>();
       const auto ballot = r.u64();
       const auto slot = r.u64();
       const auto acceptor = r.u32();
@@ -523,17 +533,17 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
       if (!cmd) return nullptr;
       std::vector<core::Command> tail;
       if (!read_tail(r, tail)) return nullptr;
-      return make_payload<mp::Commit>(*slot, std::move(*cmd),
+      return arena_payload<mp::Commit>(*slot, std::move(*cmd),
                                       std::move(tail));
     }
 
     // --- Generalized Paxos ---------------------------------------------
     case kKindGenPaxos + 1: {
       auto cmd = read_command(r);
-      return cmd ? make_payload<gp::FastPropose>(std::move(*cmd)) : nullptr;
+      return cmd ? arena_payload<gp::FastPropose>(std::move(*cmd)) : nullptr;
     }
     case kKindGenPaxos + 2: {
-      auto m = std::make_shared<gp::FastAck>();
+      auto m = arena_make_shared<gp::FastAck>();
       const auto cmd_id = r.u64();
       const auto acceptor = r.u32();
       const auto cstruct = r.u32();
@@ -554,21 +564,21 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
     }
     case kKindGenPaxos + 3: {
       auto cmd = read_command(r);
-      return cmd ? make_payload<gp::CommitNotify>(std::move(*cmd)) : nullptr;
+      return cmd ? arena_payload<gp::CommitNotify>(std::move(*cmd)) : nullptr;
     }
     case kKindGenPaxos + 4: {
       auto cmd = read_command(r);
-      return cmd ? make_payload<gp::ResolveReq>(std::move(*cmd)) : nullptr;
+      return cmd ? arena_payload<gp::ResolveReq>(std::move(*cmd)) : nullptr;
     }
     case kKindGenPaxos + 5: {
       const auto ballot = r.u64();
       if (!ballot) return nullptr;
       auto cmd = read_command(r);
-      return cmd ? make_payload<gp::SlowAccept>(*ballot, std::move(*cmd))
+      return cmd ? arena_payload<gp::SlowAccept>(*ballot, std::move(*cmd))
                  : nullptr;
     }
     case kKindGenPaxos + 6: {
-      auto m = std::make_shared<gp::SlowAck>();
+      auto m = arena_make_shared<gp::SlowAck>();
       const auto ballot = r.u64();
       const auto cmd_id = r.u64();
       const auto acceptor = r.u32();
@@ -582,7 +592,7 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
       const auto index = r.u64();
       if (!index) return nullptr;
       auto cmd = read_command(r);
-      return cmd ? make_payload<gp::Sequence>(*index, std::move(*cmd))
+      return cmd ? arena_payload<gp::Sequence>(*index, std::move(*cmd))
                  : nullptr;
     }
 
@@ -593,11 +603,11 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
       auto cmd = read_command(r);
       ep::Attrs attrs;
       if (!cmd || !read_attrs(r, attrs)) return nullptr;
-      return make_payload<ep::PreAccept>(*inst, std::move(*cmd),
+      return arena_payload<ep::PreAccept>(*inst, std::move(*cmd),
                                          std::move(attrs));
     }
     case kKindEPaxos + 2: {
-      auto m = std::make_shared<ep::PreAcceptReply>();
+      auto m = arena_make_shared<ep::PreAcceptReply>();
       const auto inst = r.u64();
       const auto acceptor = r.u32();
       const auto changed = r.u8();
@@ -614,11 +624,11 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
       auto cmd = read_command(r);
       ep::Attrs attrs;
       if (!cmd || !read_attrs(r, attrs)) return nullptr;
-      return make_payload<ep::AcceptMsg>(*inst, std::move(*cmd),
+      return arena_payload<ep::AcceptMsg>(*inst, std::move(*cmd),
                                          std::move(attrs));
     }
     case kKindEPaxos + 4: {
-      auto m = std::make_shared<ep::AcceptReply>();
+      auto m = arena_make_shared<ep::AcceptReply>();
       const auto inst = r.u64();
       const auto acceptor = r.u32();
       if (!inst || !acceptor) return nullptr;
@@ -632,23 +642,23 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
       auto cmd = read_command(r);
       ep::Attrs attrs;
       if (!cmd || !read_attrs(r, attrs)) return nullptr;
-      return make_payload<ep::CommitMsg>(*inst, std::move(*cmd),
+      return arena_payload<ep::CommitMsg>(*inst, std::move(*cmd),
                                          std::move(attrs));
     }
 
     // --- M²Paxos ---------------------------------------------------------
     case kKindM2Paxos + 1: {
       auto cmd = read_command(r);
-      return cmd ? make_payload<m2p::Propose>(std::move(*cmd)) : nullptr;
+      return cmd ? arena_payload<m2p::Propose>(std::move(*cmd)) : nullptr;
     }
     case kKindM2Paxos + 2: {
       const auto req = r.u64();
       m2p::SlotList slots;
       if (!req || !read_slots(r, slots)) return nullptr;
-      return make_payload<m2p::Accept>(*req, std::move(slots));
+      return arena_payload<m2p::Accept>(*req, std::move(slots));
     }
     case kKindM2Paxos + 3: {
-      auto m = std::make_shared<m2p::AckAccept>();
+      auto m = arena_make_shared<m2p::AckAccept>();
       const auto req = r.u64();
       const auto acceptor = r.u32();
       const auto ack = r.u8();
@@ -662,7 +672,7 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
     case kKindM2Paxos + 4: {
       m2p::SlotList slots;
       if (!read_slots(r, slots)) return nullptr;
-      return make_payload<m2p::Decide>(std::move(slots));
+      return arena_payload<m2p::Decide>(std::move(slots));
     }
     case kKindM2Paxos + 5: {
       const auto req = r.u64();
@@ -676,10 +686,10 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
         if (!object || !from || !epoch) return nullptr;
         entries.push_back(m2p::Prepare::Entry{*object, *from, *epoch});
       }
-      return make_payload<m2p::Prepare>(*req, std::move(entries));
+      return arena_payload<m2p::Prepare>(*req, std::move(entries));
     }
     case kKindM2Paxos + 6: {
-      auto m = std::make_shared<m2p::AckPrepare>();
+      auto m = arena_make_shared<m2p::AckPrepare>();
       const auto req = r.u64();
       const auto acceptor = r.u32();
       const auto ack = r.u8();
@@ -696,7 +706,7 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
         if (!object || !instance || !epoch || !decided) return nullptr;
         auto cmd = read_command(r);
         if (!cmd) return nullptr;
-        auto head = std::make_shared<const core::Command>(std::move(*cmd));
+        auto head = arena_make_shared<const core::Command>(std::move(*cmd));
         core::CommandBatchPtr batch;
         if (!read_batch_tail(r, head, batch)) return nullptr;
         m->votes.push_back(m2p::AckPrepare::Vote{*object, *instance, *epoch,
@@ -725,12 +735,12 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
         if (!object || !from) return nullptr;
         entries.push_back(m2p::SyncRequest::Entry{*object, *from});
       }
-      return make_payload<m2p::SyncRequest>(std::move(entries));
+      return arena_payload<m2p::SyncRequest>(std::move(entries));
     }
     case kKindM2Paxos + 8: {
       m2p::SlotList slots;
       if (!read_slots(r, slots)) return nullptr;
-      return make_payload<m2p::SyncReply>(std::move(slots));
+      return arena_payload<m2p::SyncReply>(std::move(slots));
     }
 
     default:
@@ -741,10 +751,17 @@ PayloadPtr decode_body(std::uint32_t kind, Reader& r) {
 }  // namespace
 
 std::vector<std::uint8_t> encode_payload(const Payload& payload) {
-  Writer w;
+  std::vector<std::uint8_t> out;
+  encode_payload_into(payload, out);
+  return out;
+}
+
+void encode_payload_into(const Payload& payload,
+                         std::vector<std::uint8_t>& out) {
+  out.clear();
+  Writer w(&out);
   w.varint(payload.kind());
   encode_body(w, payload);
-  return w.data();
 }
 
 PayloadPtr decode_payload(const std::uint8_t* data, std::size_t n) {

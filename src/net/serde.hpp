@@ -25,6 +25,16 @@ namespace m2::net {
 /// framing and checksum.
 std::vector<std::uint8_t> encode_payload(const Payload& payload);
 
+/// Encodes into `out` (cleared first), reusing its capacity — the hot-path
+/// form: a sender encoding into a per-thread scratch buffer performs zero
+/// allocations once the buffer has grown to the largest message size.
+void encode_payload_into(const Payload& payload,
+                         std::vector<std::uint8_t>& out);
+
+/// Decoded payloads (and the commands they carry) are allocated from the
+/// thread-safe wire arena (net/arena.hpp): transports decode on reader
+/// threads while node threads release after handling, and the recycled
+/// size classes make the steady-state decode path allocation-free.
 PayloadPtr decode_payload(const std::uint8_t* data, std::size_t n);
 inline PayloadPtr decode_payload(const std::vector<std::uint8_t>& bytes) {
   return decode_payload(bytes.data(), bytes.size());

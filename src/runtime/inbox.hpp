@@ -2,9 +2,10 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <iterator>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "core/command.hpp"
 #include "core/context.hpp"
@@ -67,40 +68,56 @@ struct Event {
 /// transport reader threads) push under a mutex; the consumer drains the
 /// whole backlog in one lock acquisition and waits on a condition variable
 /// with the node's next timer deadline as the wake-up bound.
+///
+/// The backlog is a vector, drained by swapping it with the consumer's
+/// scratch vector: the two capacities ping-pong between queue and consumer,
+/// so one mutex/condvar round trips N events and the steady state performs
+/// zero allocations per message.
 class Inbox {
  public:
   /// Enqueues `e` and wakes the consumer. Events pushed after close() are
   /// dropped (a racing transport reader must not resurrect a stopped node).
   void push(Event e) {
+    bool wake;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return;
       queue_.push_back(std::move(e));
+      // Signal only when the consumer is actually parked in drain_until —
+      // the common case (consumer mid-drain or between drains) skips the
+      // condvar entirely.
+      wake = waiting_;
     }
-    cv_.notify_one();
+    if (wake) cv_.notify_one();
   }
 
-  /// Moves the entire backlog into `out` (appending), blocking until at
-  /// least one event is available or `clock.now()` reaches `deadline`.
-  /// Returns the number of events moved (0 on deadline).
+  /// Moves the entire backlog into `out` without blocking and returns the
+  /// number of events moved (0 when the inbox is empty). When `out` comes
+  /// in empty its storage is swapped with the backlog's, so a consumer
+  /// reusing one scratch vector recycles capacity instead of allocating.
+  std::size_t pop_all(std::vector<Event>& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return take(out);
+  }
+
+  /// Like pop_all, but blocks until at least one event is available or
+  /// `clock.now()` reaches `deadline`. Returns the number of events moved
+  /// (0 on deadline).
   std::size_t drain_until(core::Time deadline, const core::Clock& clock,
-                          std::deque<Event>& out) {
+                          std::vector<Event>& out) {
     std::unique_lock<std::mutex> lock(mu_);
     while (queue_.empty()) {
       const core::Time now = clock.now();
       if (now >= deadline) return 0;
+      waiting_ = true;
       if (deadline == core::kTimeNever) {
         cv_.wait(lock);
       } else {
         cv_.wait_for(lock, std::chrono::nanoseconds(deadline - now));
       }
+      waiting_ = false;
     }
-    const std::size_t n = queue_.size();
-    while (!queue_.empty()) {
-      out.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
-    return n;
+    return take(out);
   }
 
   /// Stops accepting events; the consumer drains what is already queued.
@@ -110,10 +127,24 @@ class Inbox {
   }
 
  private:
+  /// Moves the backlog into `out`; caller holds mu_.
+  std::size_t take(std::vector<Event>& out) {
+    const std::size_t n = queue_.size();
+    if (out.empty()) {
+      queue_.swap(out);
+    } else {
+      out.insert(out.end(), std::make_move_iterator(queue_.begin()),
+                 std::make_move_iterator(queue_.end()));
+      queue_.clear();
+    }
+    return n;
+  }
+
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Event> queue_;
+  std::vector<Event> queue_;
   bool closed_ = false;
+  bool waiting_ = false;  // consumer parked in drain_until; guarded by mu_
 };
 
 }  // namespace m2::runtime

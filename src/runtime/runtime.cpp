@@ -1,5 +1,6 @@
 #include "runtime/runtime.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <utility>
@@ -92,8 +93,9 @@ void Runtime::stop() {
 void Runtime::propose(NodeId node, core::Command c) {
   assert(is_local(node));
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    propose_times_.emplace(c.id.value, clock_.now());
+    CommitShard& shard = shard_for(c.id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.propose_times.emplace(c.id.value, clock_.now());
   }
   nodes_[node]->propose(std::move(c));
 }
@@ -109,17 +111,26 @@ void Runtime::recover(NodeId node) {
 }
 
 bool Runtime::await_committed(std::uint64_t target, core::Time timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
+  if (committed_total_.load(std::memory_order_seq_cst) >= target) return true;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::nanoseconds(timeout);
-  return committed_cv_.wait_until(lock, deadline, [&] {
-    return committed_total_ >= target;
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  waiter_targets_.push_back(target);
+  if (target < min_target_.load(std::memory_order_relaxed))
+    min_target_.store(target, std::memory_order_seq_cst);
+  const bool ok = committed_cv_.wait_until(lock, deadline, [&] {
+    return committed_total_.load(std::memory_order_seq_cst) >= target;
   });
+  waiter_targets_.erase(
+      std::find(waiter_targets_.begin(), waiter_targets_.end(), target));
+  std::uint64_t next = UINT64_MAX;
+  for (const std::uint64_t t : waiter_targets_) next = std::min(next, t);
+  min_target_.store(next, std::memory_order_seq_cst);
+  return ok;
 }
 
 std::uint64_t Runtime::committed() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return committed_total_;
+  return committed_total_.load(std::memory_order_seq_cst);
 }
 
 std::uint64_t Runtime::delivered(NodeId node) const {
@@ -127,15 +138,19 @@ std::uint64_t Runtime::delivered(NodeId node) const {
 }
 
 stats::Histogram Runtime::commit_latency() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return latency_;
+  stats::Histogram merged;
+  for (const CommitShard& shard : commit_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    merged.merge(shard.latency);
+  }
+  return merged;
 }
 
 void Runtime::reset_measurement() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    committed_total_ = 0;
-    latency_.reset();
+  committed_total_.store(0, std::memory_order_seq_cst);
+  for (CommitShard& shard : commit_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.latency.reset();
   }
   // Registries belong to their node's thread; reset them there.
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -156,6 +171,11 @@ stats::MetricsRegistry Runtime::merged_metrics() const {
   for (const auto& m : metrics_) {
     if (m != nullptr) merged.merge(*m);
   }
+  // Transport-level drops live in the transport's counters, not in any
+  // node registry; surface them under the same roof.
+  merged.inc(stats::Counter::kRuntimeTxDropped,
+             transport_->counters().messages_dropped.load(
+                 std::memory_order_relaxed));
   return merged;
 }
 
@@ -166,13 +186,23 @@ void Runtime::node_deliver(NodeId node, const core::Command& c) {
 }
 
 void Runtime::node_committed(NodeId /*node*/, const core::Command& c) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = propose_times_.find(c.id.value);
-  if (it == propose_times_.end()) return;  // not tracked / already counted
-  ++committed_total_;
-  latency_.record(clock_.now() - it->second);
-  propose_times_.erase(it);
-  committed_cv_.notify_all();
+  CommitShard& shard = shard_for(c.id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.propose_times.find(c.id.value);
+    if (it == shard.propose_times.end())
+      return;  // not tracked / already counted
+    shard.latency.record(clock_.now() - it->second);
+    shard.propose_times.erase(it);
+  }
+  const std::uint64_t total =
+      committed_total_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  // Wake waiters only when one could actually be released; the common
+  // commit takes no condvar lock at all.
+  if (total >= min_target_.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    committed_cv_.notify_all();
+  }
 }
 
 }  // namespace m2::runtime

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -135,12 +137,34 @@ class Runtime final : public NodeCallbacks {
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> delivered_;
   std::vector<core::CStruct> cstructs_;
 
-  // Commit tracking shared by driver threads and node threads.
-  mutable std::mutex mu_;
+  // Commit tracking shared by driver threads and node threads. Sharded by
+  // proposing node so concurrent committers don't serialize on one mutex,
+  // and so the global count is a lock-free increment: node_committed runs
+  // once per commit on every node's hot path.
+  struct CommitShard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, core::Time> propose_times;  // by cmd id
+    stats::Histogram latency;  // ns, proposer-observed
+  };
+  static constexpr std::size_t kCommitShards = 16;  // power of two
+
+  CommitShard& shard_for(core::CommandId id) {
+    return commit_shards_[id.proposer() & (kCommitShards - 1)];
+  }
+
+  std::array<CommitShard, kCommitShards> commit_shards_;
+  std::atomic<std::uint64_t> committed_total_{0};
+
+  // Waiter handshake: await_committed registers its target under wait_mu_
+  // and mirrors the smallest outstanding target into min_target_, so
+  // committers skip the condvar (and its lock) entirely until some waiter
+  // could actually be released. Both sides touch committed_total_ and
+  // min_target_ with seq_cst so the register/increment race always ends
+  // in either a woken waiter or a failed predicate check.
+  mutable std::mutex wait_mu_;
   std::condition_variable committed_cv_;
-  std::unordered_map<std::uint64_t, core::Time> propose_times_;  // by cmd id
-  std::uint64_t committed_total_ = 0;
-  stats::Histogram latency_;  // ns, proposer-observed
+  std::vector<std::uint64_t> waiter_targets_;  // guarded by wait_mu_
+  std::atomic<std::uint64_t> min_target_{UINT64_MAX};
 
   bool started_ = false;
   bool stopped_ = false;

@@ -48,6 +48,20 @@ bool parse_batching(const stats::Json& j, core::ClusterConfig::Batching* out,
   return true;
 }
 
+bool parse_transport(const stats::Json& j, TransportOptions* out,
+                     std::string* error) {
+  if (!j.is_object()) return fail(error, "\"transport\" must be an object");
+  if (!only_keys(j, {"max_coalesce_bytes", "max_queue_bytes"}, error))
+    return false;
+  if (const auto* v = j.find("max_coalesce_bytes"))
+    out->max_coalesce_bytes = static_cast<std::size_t>(v->integer());
+  if (const auto* v = j.find("max_queue_bytes"))
+    out->max_queue_bytes = static_cast<std::size_t>(v->integer());
+  if (out->max_coalesce_bytes == 0 || out->max_queue_bytes == 0)
+    return fail(error, "transport byte limits must be positive");
+  return true;
+}
+
 }  // namespace
 
 std::string spec_protocol_name(core::Protocol p) {
@@ -82,7 +96,7 @@ bool ClusterSpec::parse(std::string_view text, ClusterSpec* out,
   if (!doc.is_object()) return fail(error, "spec must be a JSON object");
   if (!only_keys(doc,
                  {"protocol", "seed", "nodes", "objects_per_node",
-                  "enable_failure_detector", "batching"},
+                  "enable_failure_detector", "batching", "transport"},
                  error))
     return false;
 
@@ -122,6 +136,9 @@ bool ClusterSpec::parse(std::string_view text, ClusterSpec* out,
   if (const auto* v = doc.find("batching")) {
     if (!parse_batching(*v, &spec.runtime.cluster.batching, error))
       return false;
+  }
+  if (const auto* v = doc.find("transport")) {
+    if (!parse_transport(*v, &spec.transport, error)) return false;
   }
 
   *out = std::move(spec);

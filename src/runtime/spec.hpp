@@ -28,6 +28,10 @@ namespace m2::runtime {
 ///       "window_us": 200,
 ///       "max_bytes": 16384,
 ///       "pipeline_depth": 4
+///     },
+///     "transport": {                     // optional; socket wire path
+///       "max_coalesce_bytes": 262144,    // bytes per writer sendmsg()
+///       "max_queue_bytes": 8388608       // per-peer outbound byte cap
 ///     }
 ///   }
 ///
@@ -36,6 +40,8 @@ namespace m2::runtime {
 struct ClusterSpec {
   RuntimeConfig runtime;
   std::vector<Endpoint> endpoints;
+  /// Socket wire-path tuning, handed to TcpTransport by m2node.
+  TransportOptions transport;
   /// Objects per node of the preassigned contiguous ownership map
   /// (OwnerMap::divide); 0 = modulo-N map.
   std::uint64_t objects_per_node = 0;

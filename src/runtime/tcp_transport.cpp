@@ -4,11 +4,14 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <new>
 
+#include "net/arena.hpp"
 #include "net/codec.hpp"
 #include "net/serde.hpp"
 
@@ -16,42 +19,151 @@ namespace m2::runtime {
 
 namespace {
 
-/// Upper bound on a frame body a reader will allocate for; a header
-/// claiming more is treated as corruption.
+/// Upper bound on a frame body a reader will buffer for; a header claiming
+/// more is treated as corruption.
 constexpr std::uint64_t kMaxBodyBytes = 64ull << 20;
 
-bool read_exact(int fd, void* buf, std::size_t n) {
-  auto* p = static_cast<std::uint8_t*>(buf);
-  while (n > 0) {
-    const ssize_t got = ::recv(fd, p, n, 0);
-    if (got <= 0) {
-      if (got < 0 && errno == EINTR) continue;
-      return false;
-    }
-    p += got;
-    n -= static_cast<std::size_t>(got);
-  }
-  return true;
+/// Cap on iovec entries per sendmsg flush (well under IOV_MAX); the byte
+/// bound (max_coalesce_bytes) is usually what limits a batch.
+constexpr std::size_t kMaxIovPerFlush = 64;
+
+/// Per-thread encode scratch: sends from different node threads encode
+/// concurrently, each into its own buffer, capacity recycled per message.
+std::vector<std::uint8_t>& encode_to_scratch(const net::Payload& payload) {
+  static thread_local std::vector<std::uint8_t> scratch;
+  net::encode_payload_into(payload, scratch);
+  return scratch;
 }
 
-bool write_all(int fd, const void* buf, std::size_t n) {
-  const auto* p = static_cast<const std::uint8_t*>(buf);
-  while (n > 0) {
-    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (put <= 0) {
-      if (put < 0 && errno == EINTR) continue;
-      return false;
+enum class WriteResult {
+  kOk,
+  kFailedClean,    // nothing consumed: safe to retry the batch on a new fd
+  kFailedPartial,  // stream position lost mid-batch: drop it
+};
+
+/// Writes every iovec fully, advancing entries across partial writes.
+/// MSG_NOSIGNAL: a dead peer yields EPIPE, not a process signal.
+WriteResult sendmsg_all(int fd, std::vector<iovec>& iov) {
+  std::size_t idx = 0;
+  bool wrote = false;
+  while (idx < iov.size()) {
+    msghdr msg{};
+    msg.msg_iov = iov.data() + idx;
+    msg.msg_iovlen = iov.size() - idx;
+    const ssize_t put = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return wrote ? WriteResult::kFailedPartial : WriteResult::kFailedClean;
     }
-    p += put;
-    n -= static_cast<std::size_t>(put);
+    if (put > 0) wrote = true;
+    auto n = static_cast<std::size_t>(put);
+    while (idx < iov.size() && n >= iov[idx].iov_len) {
+      n -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < iov.size() && n > 0) {
+      iov[idx].iov_base = static_cast<std::uint8_t*>(iov[idx].iov_base) + n;
+      iov[idx].iov_len -= n;
+    }
   }
-  return true;
+  return WriteResult::kOk;
 }
 
 }  // namespace
 
-TcpTransport::TcpTransport(std::vector<Endpoint> endpoints)
+/// Pooled flat wire frame: header + body contiguous right after the struct,
+/// all in one ByteArena block recycled by size class. The intrusive `next`
+/// makes the frame its own queue node — no separate list allocation.
+struct TcpTransport::Frame {
+  std::atomic<Frame*> next{nullptr};
+  std::uint32_t len = 0;          // wire bytes at data(): header + body
+  std::uint32_t alloc_bytes = 0;  // exact size handed to the arena
+
+  std::uint8_t* data() { return reinterpret_cast<std::uint8_t*>(this + 1); }
+
+  static Frame* alloc(std::size_t wire_bytes) {
+    const std::size_t total = sizeof(Frame) + wire_bytes;
+    void* mem = net::ByteArena::wire().allocate(total);
+    auto* f = new (mem) Frame();
+    f->len = static_cast<std::uint32_t>(wire_bytes);
+    f->alloc_bytes = static_cast<std::uint32_t>(total);
+    return f;
+  }
+  static void release(Frame* f) {
+    const std::size_t bytes = f->alloc_bytes;
+    f->~Frame();
+    net::ByteArena::wire().deallocate(f, bytes);
+  }
+};
+
+/// One outbound stream: an intrusive MPSC frame queue (Vyukov scheme — any
+/// node thread pushes, only the writer thread pops) plus the writer thread
+/// that owns the socket. The data path takes no lock: producers exchange
+/// the tail pointer, the writer follows next links.
+struct TcpTransport::Peer {
+  std::atomic<Frame*> tail;
+  Frame* head;  // writer-thread only
+  Frame stub;   // dummy node breaking the empty-queue case; never freed
+
+  /// Bytes sitting in the queue. seq_cst on purpose: paired with `sleeping`
+  /// it forms the Dekker handshake that makes writer sleep vs producer
+  /// wakeup race-free (see writer_loop).
+  std::atomic<std::size_t> queued_bytes{0};
+
+  std::atomic<bool> sleeping{false};
+  std::mutex wake_mu;
+  std::condition_variable wake_cv;
+  bool wake_pending = false;  // guarded by wake_mu
+
+  std::thread writer;
+
+  /// Socket fd, owned by the writer thread. fd_mu only orders stop()'s
+  /// shutdown() against the writer's close/reconnect, so stop can never
+  /// shut down a recycled fd number.
+  std::mutex fd_mu;
+  int fd = -1;
+
+  Peer() : tail(&stub), head(&stub) {}
+
+  void push(Frame* f) {
+    f->next.store(nullptr, std::memory_order_relaxed);
+    Frame* prev = tail.exchange(f, std::memory_order_acq_rel);
+    prev->next.store(f, std::memory_order_release);
+  }
+
+  /// Returns the next frame, or nullptr when the queue is empty *or* a
+  /// producer is mid-push (tail swung, next link not yet stored). The
+  /// caller distinguishes the two via queued_bytes and retries after a
+  /// yield — a producer always completes its two-store push promptly.
+  Frame* pop() {
+    Frame* h = head;
+    Frame* next = h->next.load(std::memory_order_acquire);
+    if (h == &stub) {
+      if (next == nullptr) return nullptr;
+      head = next;
+      h = next;
+      next = h->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      head = next;
+      return h;
+    }
+    if (h != tail.load(std::memory_order_acquire)) return nullptr;
+    // Single element: re-insert the stub so the tail moves off `h`.
+    push(&stub);
+    next = h->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      head = next;
+      return h;
+    }
+    return nullptr;
+  }
+};
+
+TcpTransport::TcpTransport(std::vector<Endpoint> endpoints,
+                           TransportOptions options)
     : endpoints_(std::move(endpoints)),
+      options_(options),
       inboxes_(endpoints_.size(), nullptr) {
   peers_.reserve(endpoints_.size());
   for (std::size_t i = 0; i < endpoints_.size(); ++i)
@@ -66,6 +178,13 @@ void TcpTransport::attach(NodeId node, Inbox* inbox) {
 
 void TcpTransport::start() {
   running_.store(true, std::memory_order_release);
+  // One writer per remote peer (local nodes short-circuit via
+  // deliver_local and never queue frames).
+  for (NodeId n = 0; n < static_cast<NodeId>(inboxes_.size()); ++n) {
+    if (inboxes_[n] != nullptr) continue;
+    Peer* p = peers_[n].get();
+    p->writer = std::thread([this, p, n] { writer_loop(*p, n); });
+  }
   for (NodeId n = 0; n < static_cast<NodeId>(inboxes_.size()); ++n) {
     if (inboxes_[n] == nullptr) continue;  // remote node, not served here
     const Endpoint& ep = endpoints_[n];
@@ -98,6 +217,22 @@ void TcpTransport::start() {
 
 void TcpTransport::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Wake every writer (it observes running_ == false, drains its queue into
+  // the dropped count, and closes its fd) and shut down any connected
+  // socket so a writer blocked in sendmsg — peer alive but not reading —
+  // errors out instead of hanging the join.
+  for (auto& p : peers_) {
+    {
+      std::lock_guard<std::mutex> lock(p->wake_mu);
+      p->wake_pending = true;
+    }
+    p->wake_cv.notify_one();
+    std::lock_guard<std::mutex> lock(p->fd_mu);
+    if (p->fd >= 0) ::shutdown(p->fd, SHUT_RDWR);
+  }
+  for (auto& p : peers_) {
+    if (p->writer.joinable()) p->writer.join();
+  }
   for (auto& l : listeners_) {
     const int fd = l->fd.exchange(-1, std::memory_order_acq_rel);
     if (fd >= 0) {
@@ -126,13 +261,6 @@ void TcpTransport::stop() {
     for (const int fd : reader_fds_) ::close(fd);
     reader_fds_.clear();
   }
-  for (auto& p : peers_) {
-    std::lock_guard<std::mutex> lock(p->mu);
-    if (p->fd >= 0) {
-      ::close(p->fd);
-      p->fd = -1;
-    }
-  }
 }
 
 void TcpTransport::accept_loop(Listener* listener) {
@@ -159,34 +287,59 @@ void TcpTransport::accept_loop(Listener* listener) {
 }
 
 void TcpTransport::reader_loop(int fd, NodeId target) {
-  std::vector<std::uint8_t> header(net::FrameHeader::kEncodedSize);
-  std::vector<std::uint8_t> body;
+  constexpr std::size_t kHeader = net::FrameHeader::kEncodedSize;
+  // One recv can deliver many coalesced frames; parse them all, then
+  // compact the partial tail to the front. The buffer grows (and stays)
+  // at the largest frame seen, so steady state is allocation-free.
+  std::vector<std::uint8_t> buf(64 * 1024);
+  std::size_t have = 0;
   while (running_.load(std::memory_order_acquire)) {
-    if (!read_exact(fd, header.data(), header.size())) return;
-    const auto h = net::FrameHeader::decode(header.data(), header.size());
-    if (!h.has_value() || h->body_bytes > kMaxBodyBytes) return;
-    body.resize(h->body_bytes);
-    if (!read_exact(fd, body.data(), body.size())) return;
-    if (net::crc32c(body.data(), body.size()) != h->checksum) return;
-
-    Inbox* inbox = inboxes_.at(target);
-    if (inbox == nullptr) return;
-    // message_count is 1 per frame today; loop anyway so a future batching
-    // sender stays compatible with this reader.
-    std::size_t offset = 0;
-    for (std::uint32_t i = 0; i < h->message_count; ++i) {
-      net::PayloadPtr decoded =
-          net::decode_payload(body.data() + offset, body.size() - offset);
-      if (decoded == nullptr) {
-        counters_.decode_failures.fetch_add(1, std::memory_order_relaxed);
-        return;  // framing lost; drop the connection
-      }
-      offset += decoded->wire_size();  // wire_size is byte-exact
-      counters_.messages_received.fetch_add(1, std::memory_order_relaxed);
-      inbox->push(Event::message(h->sender, std::move(decoded)));
+    if (have == buf.size()) buf.resize(buf.size() * 2);  // frame > buffer
+    const ssize_t got = ::recv(fd, buf.data() + have, buf.size() - have, 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return;
     }
-    counters_.bytes_received.fetch_add(header.size() + body.size(),
-                                       std::memory_order_relaxed);
+    have += static_cast<std::size_t>(got);
+    std::size_t pos = 0;
+    while (have - pos >= kHeader) {
+      const auto h = net::FrameHeader::decode(buf.data() + pos, kHeader);
+      if (!h.has_value() || h->body_bytes > kMaxBodyBytes) {
+        counters_.decode_failures.fetch_add(1, std::memory_order_relaxed);
+        ::shutdown(fd, SHUT_RDWR);
+        return;  // bad magic/version/length: stream is garbage, drop it
+      }
+      const std::size_t frame = kHeader + static_cast<std::size_t>(h->body_bytes);
+      if (have - pos < frame) break;  // tail frame incomplete; recv more
+      const std::uint8_t* body = buf.data() + pos + kHeader;
+      if (net::crc32c(body, h->body_bytes) != h->checksum) {
+        counters_.decode_failures.fetch_add(1, std::memory_order_relaxed);
+        ::shutdown(fd, SHUT_RDWR);
+        return;  // corrupt body: drop the connection, never deliver
+      }
+
+      Inbox* inbox = inboxes_.at(target);
+      if (inbox == nullptr) return;
+      std::size_t offset = 0;
+      for (std::uint32_t i = 0; i < h->message_count; ++i) {
+        net::PayloadPtr decoded =
+            net::decode_payload(body + offset, h->body_bytes - offset);
+        if (decoded == nullptr) {
+          counters_.decode_failures.fetch_add(1, std::memory_order_relaxed);
+          ::shutdown(fd, SHUT_RDWR);
+          return;  // framing lost; drop the connection
+        }
+        offset += decoded->wire_size();  // wire_size is byte-exact
+        counters_.messages_received.fetch_add(1, std::memory_order_relaxed);
+        inbox->push(Event::message(h->sender, std::move(decoded)));
+      }
+      counters_.bytes_received.fetch_add(frame, std::memory_order_relaxed);
+      pos += frame;
+    }
+    if (pos > 0) {
+      std::memmove(buf.data(), buf.data() + pos, have - pos);
+      have -= pos;
+    }
   }
 }
 
@@ -229,54 +382,191 @@ void TcpTransport::deliver_local(NodeId from, NodeId to,
   inbox->push(Event::message(from, std::move(decoded)));
 }
 
-void TcpTransport::wire_send(NodeId from, NodeId to,
-                             const std::vector<std::uint8_t>& body) {
+void TcpTransport::wire_enqueue(NodeId from, NodeId to,
+                                const std::vector<std::uint8_t>& body,
+                                std::uint32_t crc) {
+  Peer& peer = *peers_.at(to);
+  const std::size_t wire_bytes = net::FrameHeader::kEncodedSize + body.size();
+  // Soft byte cap: concurrent producers can each overshoot by one frame,
+  // which is fine — the cap bounds memory, it is not exact accounting.
+  // Sends outside the started window have no writer to drain them.
+  if (!running_.load(std::memory_order_acquire) ||
+      peer.queued_bytes.load(std::memory_order_relaxed) + wire_bytes >
+          options_.max_queue_bytes) {
+    counters_.messages_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Frame* f = Frame::alloc(wire_bytes);
   net::FrameHeader h;
   h.sender = from;
   h.message_count = 1;
   h.body_bytes = body.size();
-  h.checksum = net::crc32c(body.data(), body.size());
-  const std::vector<std::uint8_t> header = h.encode();
+  h.checksum = crc;
+  h.encode_into(f->data());
+  std::memcpy(f->data() + net::FrameHeader::kEncodedSize, body.data(),
+              body.size());
 
-  Peer& peer = *peers_.at(to);
-  std::lock_guard<std::mutex> lock(peer.mu);
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    if (peer.fd < 0) peer.fd = connect_to(endpoints_[to]);
-    if (peer.fd < 0) return;  // peer down; protocol retries re-send
-    if (write_all(peer.fd, header.data(), header.size()) &&
-        write_all(peer.fd, body.data(), body.size())) {
-      counters_.messages_sent.fetch_add(1, std::memory_order_relaxed);
-      counters_.bytes_sent.fetch_add(header.size() + body.size(),
-                                     std::memory_order_relaxed);
-      return;
+  // Dekker handshake with the writer: bump queued_bytes (seq_cst), push,
+  // then check sleeping (seq_cst). The writer stores sleeping (seq_cst)
+  // then re-checks queued_bytes (seq_cst) before blocking — so either we
+  // see sleeping == true and notify, or the writer sees our bytes and
+  // never blocks. No wakeup is ever lost.
+  peer.queued_bytes.fetch_add(wire_bytes, std::memory_order_seq_cst);
+  peer.push(f);
+  if (peer.sleeping.load(std::memory_order_seq_cst)) {
+    {
+      std::lock_guard<std::mutex> lock(peer.wake_mu);
+      peer.wake_pending = true;
     }
-    ::close(peer.fd);  // broken pipe: reconnect once, then give up
+    peer.wake_cv.notify_one();
+  }
+}
+
+void TcpTransport::writer_loop(Peer& peer, NodeId to) {
+  std::vector<Frame*> batch;
+  batch.reserve(kMaxIovPerFlush);
+  while (true) {
+    if (peer.queued_bytes.load(std::memory_order_seq_cst) == 0) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      peer.sleeping.store(true, std::memory_order_seq_cst);
+      if (peer.queued_bytes.load(std::memory_order_seq_cst) == 0) {
+        std::unique_lock<std::mutex> lock(peer.wake_mu);
+        peer.wake_cv.wait(lock, [&] { return peer.wake_pending; });
+        peer.wake_pending = false;
+      }
+      peer.sleeping.store(false, std::memory_order_relaxed);
+      continue;  // re-check running_ and the queue
+    }
+    // Collect pending frames up to the coalescing bound: under load one
+    // sendmsg covers the whole burst instead of two syscalls per message.
+    batch.clear();
+    std::size_t bytes = 0;
+    while (bytes < options_.max_coalesce_bytes &&
+           batch.size() < kMaxIovPerFlush) {
+      Frame* f = peer.pop();
+      if (f == nullptr) {
+        if (!batch.empty()) break;
+        std::this_thread::yield();  // producer mid-push; bytes are coming
+        continue;
+      }
+      peer.queued_bytes.fetch_sub(f->len, std::memory_order_seq_cst);
+      batch.push_back(f);
+      bytes += f->len;
+    }
+    if (batch.empty()) continue;
+    if (flush_batch(peer, to, batch)) {
+      counters_.messages_sent.fetch_add(batch.size(),
+                                        std::memory_order_relaxed);
+      counters_.bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+      tx_flushes_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Peer unreachable even after a reconnect attempt: the batch is
+      // dropped; protocol retries and anti-entropy recover the loss.
+      counters_.messages_dropped.fetch_add(batch.size(),
+                                           std::memory_order_relaxed);
+    }
+    for (Frame* f : batch) Frame::release(f);
+  }
+  // Shutdown drain: whatever is still queued is dropped and recycled.
+  for (;;) {
+    Frame* f = peer.pop();
+    if (f == nullptr) {
+      if (peer.queued_bytes.load(std::memory_order_seq_cst) == 0) break;
+      std::this_thread::yield();
+      continue;
+    }
+    peer.queued_bytes.fetch_sub(f->len, std::memory_order_seq_cst);
+    counters_.messages_dropped.fetch_add(1, std::memory_order_relaxed);
+    Frame::release(f);
+  }
+  std::lock_guard<std::mutex> lock(peer.fd_mu);
+  if (peer.fd >= 0) {
+    ::close(peer.fd);
     peer.fd = -1;
   }
 }
 
+bool TcpTransport::flush_batch(Peer& peer, NodeId to,
+                               const std::vector<Frame*>& batch) {
+  // Writer-thread local; rebuilt per flush, capacity reused.
+  static thread_local std::vector<iovec> iov;
+  iov.clear();
+  for (Frame* f : batch) iov.push_back(iovec{f->data(), f->len});
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (peer.fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) return false;
+      const int fd = connect_to(endpoints_[to]);
+      if (fd < 0) return false;  // peer down; protocol retries re-send
+      std::lock_guard<std::mutex> lock(peer.fd_mu);
+      peer.fd = fd;
+      // stop() may have run its shutdown pass before we published the fd;
+      // re-check under fd_mu so we never write into a post-stop socket.
+      if (!running_.load(std::memory_order_acquire)) {
+        ::close(peer.fd);
+        peer.fd = -1;
+        return false;
+      }
+    }
+    const WriteResult res = sendmsg_all(peer.fd, iov);
+    if (res == WriteResult::kOk) return true;
+    {
+      std::lock_guard<std::mutex> lock(peer.fd_mu);
+      ::close(peer.fd);  // broken pipe: reconnect once, then give up
+      peer.fd = -1;
+    }
+    // A partial write already put a frame prefix on the old stream; the
+    // receiver discards it at EOF, but this batch's iov state is spent.
+    if (res == WriteResult::kFailedPartial) return false;
+  }
+  return false;
+}
+
 void TcpTransport::send(NodeId from, NodeId to, const net::Payload& payload) {
-  const std::vector<std::uint8_t> bytes = net::encode_payload(payload);
+  const std::vector<std::uint8_t>& bytes = encode_to_scratch(payload);
   if (inboxes_.at(to) != nullptr) {
     counters_.messages_sent.fetch_add(1, std::memory_order_relaxed);
     counters_.bytes_sent.fetch_add(bytes.size(), std::memory_order_relaxed);
     deliver_local(from, to, bytes);
     return;
   }
-  wire_send(from, to, bytes);
+  wire_enqueue(from, to, bytes, net::crc32c(bytes.data(), bytes.size()));
 }
 
 void TcpTransport::broadcast(NodeId from, const net::Payload& payload,
                              bool include_self) {
-  const std::vector<std::uint8_t> bytes = net::encode_payload(payload);
+  // One encode and (for remotes) one checksum for the whole fan-out: local
+  // recipients share a single decode of the scratch bytes (the decoded
+  // tree is immutable and arena-backed, so it may cross threads), remote
+  // ones get the same bytes memcpy'd into their pooled frames.
+  const std::vector<std::uint8_t>& bytes = encode_to_scratch(payload);
+  std::uint32_t crc = 0;
+  bool have_crc = false;
+  net::PayloadPtr decoded;
+  bool decode_failed = false;
   for (NodeId to = 0; to < static_cast<NodeId>(endpoints_.size()); ++to) {
     if (to == from && !include_self) continue;
     if (inboxes_.at(to) != nullptr) {
+      if (decoded == nullptr && !decode_failed) {
+        decoded = net::decode_payload(bytes);
+        if (decoded == nullptr) {
+          counters_.decode_failures.fetch_add(1, std::memory_order_relaxed);
+          decode_failed = true;
+        }
+      }
+      if (decode_failed) continue;
       counters_.messages_sent.fetch_add(1, std::memory_order_relaxed);
       counters_.bytes_sent.fetch_add(bytes.size(), std::memory_order_relaxed);
-      deliver_local(from, to, bytes);
+      counters_.messages_received.fetch_add(1, std::memory_order_relaxed);
+      counters_.bytes_received.fetch_add(bytes.size(),
+                                         std::memory_order_relaxed);
+      inboxes_.at(to)->push(Event::message(from, decoded));
     } else {
-      wire_send(from, to, bytes);
+      if (!have_crc) {
+        crc = net::crc32c(bytes.data(), bytes.size());
+        have_crc = true;
+      }
+      wire_enqueue(from, to, bytes, crc);
     }
   }
 }

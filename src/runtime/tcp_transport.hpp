@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -18,30 +20,56 @@ struct Endpoint {
   std::uint16_t port = 0;
 };
 
+/// Tuning knobs for the socket wire path (spec key "transport", config
+/// m2::Config::transport).
+struct TransportOptions {
+  /// Upper bound on the bytes one writer flush coalesces into a single
+  /// sendmsg() call. Larger values amortize syscalls further under load;
+  /// the bound keeps any one flush from monopolizing the socket buffer.
+  std::size_t max_coalesce_bytes = 256 * 1024;
+  /// Per-peer cap on queued-but-unsent frame bytes. Beyond it, new frames
+  /// are dropped (and counted in messages_dropped) instead of queued:
+  /// consensus tolerates message loss, unbounded buffering it does not.
+  std::size_t max_queue_bytes = 8 * 1024 * 1024;
+};
+
 /// Real-socket transport: one TCP listener per locally attached node, one
-/// lazily connected (and reconnected) outbound stream per remote peer.
+/// outbound stream per remote peer owned by a dedicated writer thread.
 ///
-/// Wire format per message: a net::FrameHeader (magic "M2PX", version,
+/// Send path: the sending node thread encodes the payload once into a
+/// per-thread scratch buffer, copies header+body into a pooled flat frame
+/// (net::ByteArena — recycled by size class, so the steady state allocates
+/// nothing), and pushes the frame onto the peer's lock-free MPSC queue.
+/// The peer's writer thread drains the queue and coalesces pending frames
+/// into a single sendmsg(iovec[]) bounded by max_coalesce_bytes — one
+/// syscall covers many messages, and no node thread ever blocks on a
+/// socket. Broadcast encodes and checksums once for all recipients.
+///
+/// Wire format per frame: a net::FrameHeader (magic "M2PX", version,
 /// sender, message_count=1, body_bytes, CRC32C of the body) followed by
 /// body_bytes of net::encode_payload output. A reader thread per accepted
-/// connection validates magic/version/CRC and pushes decoded payloads onto
+/// connection recv()s into a buffer, parses every complete frame per
+/// syscall, validates magic/version/CRC, and pushes decoded payloads onto
 /// the target node's inbox; corrupt or truncated frames close the
 /// connection (the peer reconnects on its next send).
 ///
 /// Delivery semantics match what consensus needs from TCP: in-order per
-/// connection, messages dropped on connection failure (protocol retries
-/// and anti-entropy recover them) — never duplicated, never corrupted.
+/// connection, messages dropped on connection failure or queue overflow
+/// (protocol retries and anti-entropy recover them) — never duplicated,
+/// never corrupted.
 class TcpTransport final : public Transport {
  public:
   /// `endpoints[i]` is node i's listen address; the cluster size is
   /// endpoints.size(). Local nodes are the ones later attach()ed.
-  explicit TcpTransport(std::vector<Endpoint> endpoints);
+  explicit TcpTransport(std::vector<Endpoint> endpoints,
+                        TransportOptions options = {});
   ~TcpTransport() override;
 
   void attach(NodeId node, Inbox* inbox) override;
 
-  /// Binds and listens for every attached node, spawning accept threads.
-  /// Returns via failed() whether any listener could not bind.
+  /// Binds and listens for every attached node, spawning accept threads
+  /// and one writer thread per remote peer. Returns via error() whether
+  /// any listener could not bind.
   void start() override;
   void stop() override;
 
@@ -52,11 +80,18 @@ class TcpTransport final : public Transport {
   /// Non-empty when start() failed to bind a listener (the error text).
   const std::string& error() const { return error_; }
 
+  /// Number of sendmsg() flushes issued across all peer writers. With N
+  /// messages sent and F flushes, N/F is the achieved coalescing factor
+  /// (tests assert F can be far below N under bursts).
+  std::uint64_t tx_flushes() const {
+    return tx_flushes_.load(std::memory_order_relaxed);
+  }
+
  private:
-  struct Peer {
-    std::mutex mu;
-    int fd = -1;  // guarded by mu
-  };
+  /// Pooled flat wire frame: FrameHeader + body contiguous in one
+  /// ByteArena block, intrusively linked for the MPSC queue.
+  struct Frame;
+  struct Peer;
   struct Listener {
     NodeId node = kNoNode;
     /// Atomic: stop() claims and closes it while accept_loop reads it.
@@ -66,22 +101,29 @@ class TcpTransport final : public Transport {
 
   void deliver_local(NodeId from, NodeId to,
                      const std::vector<std::uint8_t>& bytes);
-  /// Writes one framed message to `to`, (re)connecting as needed. Called
-  /// with the peer's mutex held by wire_send.
-  void wire_send(NodeId from, NodeId to,
-                 const std::vector<std::uint8_t>& body);
+  /// Frames one message and enqueues it on `to`'s writer (dropping it if
+  /// the peer queue is over its byte cap). `crc` is the body's CRC32C,
+  /// computed once by the caller even when fanning out to many peers.
+  void wire_enqueue(NodeId from, NodeId to,
+                    const std::vector<std::uint8_t>& body, std::uint32_t crc);
+  void writer_loop(Peer& peer, NodeId to);
+  /// Writes the batch, (re)connecting as needed: connect once, retry once
+  /// on a broken pipe, then report failure (the batch is dropped).
+  bool flush_batch(Peer& peer, NodeId to, const std::vector<Frame*>& batch);
   int connect_to(const Endpoint& ep);
   void accept_loop(Listener* listener);
   void reader_loop(int fd, NodeId target);
 
   std::vector<Endpoint> endpoints_;
-  std::vector<Inbox*> inboxes_;             // nullptr for remote nodes
+  TransportOptions options_;
+  std::vector<Inbox*> inboxes_;  // nullptr for remote nodes
   std::vector<std::unique_ptr<Peer>> peers_;
   std::vector<std::unique_ptr<Listener>> listeners_;
   std::mutex readers_mu_;
   std::vector<std::thread> reader_threads_;  // guarded by readers_mu_
   std::vector<int> reader_fds_;              // guarded by readers_mu_
   std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> tx_flushes_{0};
   std::string error_;
 };
 

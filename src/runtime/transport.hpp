@@ -18,6 +18,11 @@ struct TransportCounters {
   std::atomic<std::uint64_t> messages_received{0};
   std::atomic<std::uint64_t> bytes_received{0};
   std::atomic<std::uint64_t> decode_failures{0};
+  /// Outbound messages dropped instead of sent: peer unreachable after a
+  /// reconnect attempt, write failure mid-batch, or per-peer queue over its
+  /// byte cap. Exported as the runtime_tx_dropped metric; the protocols'
+  /// retry/anti-entropy machinery recovers the lost messages.
+  std::atomic<std::uint64_t> messages_dropped{0};
 };
 
 /// Message plane between runtime nodes.
@@ -26,9 +31,11 @@ struct TransportCounters {
 /// itself — the message loops back through its inbox, preserving the
 /// no-reentrancy guarantee of Context::broadcast). Every implementation
 /// fully serializes the payload on the sending thread via net::serde and
-/// delivers freshly decoded payloads to the receiver: no object —
-/// including pool-backed payloads allocated by a sender's single-threaded
-/// allocator — ever crosses a thread boundary, only bytes do.
+/// delivers payloads decoded from those bytes to the receiver: an object a
+/// sender built with its single-threaded pool allocator never crosses a
+/// thread boundary. Decoded trees are immutable (shared_ptr<const>
+/// throughout) and draw from the thread-safe wire arena, so one decode may
+/// be shared by several receivers.
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -59,8 +66,13 @@ class Transport {
 /// In-process transport for tests, CI, and single-machine benchmarks: a
 /// send encodes the payload on the sender's thread, decodes the bytes
 /// (exercising the exact same serde path TCP uses), and pushes the decoded
-/// payload onto the target node's inbox. Decoding happens once per
-/// recipient, so no decoded object is shared between receiver threads.
+/// payload onto the target node's inbox. A broadcast decodes once and
+/// shares the immutable decoded tree across all recipients.
+///
+/// Encoding writes into a per-thread scratch buffer whose capacity is
+/// reused across sends, and decode draws from the wire arena — with the
+/// inbox's swap-based drain, a steady-state loopback message performs zero
+/// heap allocations end to end (gated by bench/micro_runtime.cpp).
 class LoopbackTransport final : public Transport {
  public:
   explicit LoopbackTransport(int n_nodes)
@@ -71,7 +83,7 @@ class LoopbackTransport final : public Transport {
   }
 
   void send(NodeId from, NodeId to, const net::Payload& payload) override {
-    const std::vector<std::uint8_t> bytes = net::encode_payload(payload);
+    const std::vector<std::uint8_t>& bytes = encode_to_scratch(payload);
     counters_.messages_sent.fetch_add(1, std::memory_order_relaxed);
     counters_.bytes_sent.fetch_add(bytes.size(), std::memory_order_relaxed);
     deliver(from, to, bytes);
@@ -79,20 +91,46 @@ class LoopbackTransport final : public Transport {
 
   void broadcast(NodeId from, const net::Payload& payload,
                  bool include_self) override {
-    const std::vector<std::uint8_t> bytes = net::encode_payload(payload);
+    // One encode, ONE decode: the decoded tree is immutable
+    // (shared_ptr<const> all the way down) and its storage comes from the
+    // thread-safe wire arena, so every recipient can share the same
+    // decoded payload — fan-out costs one refcount bump per recipient
+    // instead of a full decode.
+    const std::vector<std::uint8_t>& bytes = encode_to_scratch(payload);
+    net::PayloadPtr decoded = net::decode_payload(bytes);
+    if (decoded == nullptr) {
+      counters_.decode_failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     const std::size_t n = inboxes_.size();
     std::size_t recipients = 0;
     for (NodeId to = 0; to < static_cast<NodeId>(n); ++to) {
       if (to == from && !include_self) continue;
-      deliver(from, to, bytes);
+      Inbox* inbox = inboxes_.at(to);
+      if (inbox == nullptr) continue;
+      inbox->push(Event::message(from, decoded));
       ++recipients;
     }
     counters_.messages_sent.fetch_add(recipients, std::memory_order_relaxed);
+    counters_.messages_received.fetch_add(recipients,
+                                          std::memory_order_relaxed);
     counters_.bytes_sent.fetch_add(recipients * bytes.size(),
                                    std::memory_order_relaxed);
+    counters_.bytes_received.fetch_add(recipients * bytes.size(),
+                                       std::memory_order_relaxed);
   }
 
  private:
+  /// Per-thread encode scratch: sends from different node threads encode
+  /// concurrently, each into its own buffer, and the capacity is recycled
+  /// across messages.
+  static std::vector<std::uint8_t>& encode_to_scratch(
+      const net::Payload& payload) {
+    static thread_local std::vector<std::uint8_t> scratch;
+    net::encode_payload_into(payload, scratch);
+    return scratch;
+  }
+
   void deliver(NodeId from, NodeId to,
                const std::vector<std::uint8_t>& bytes) {
     Inbox* inbox = inboxes_.at(to);

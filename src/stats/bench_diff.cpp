@@ -87,6 +87,12 @@ DiffReport diff_bench_docs(const Json& baseline, const Json& fresh,
       else if (e.regression_pct >= thresholds.warn_pct)
         e.severity = DiffSeverity::kWarn;
     }
+    // A speedup_* below 1.0 means the bench itself measured a slowdown
+    // against its in-file baseline — at least a warning even when the
+    // value is unchanged from the committed document.
+    if (contains(key, "speedup") && e.fresh < 1.0 &&
+        severity_rank(e.severity) < severity_rank(DiffSeverity::kWarn))
+      e.severity = DiffSeverity::kWarn;
     if (severity_rank(e.severity) > severity_rank(report.worst))
       report.worst = e.severity;
     report.entries.push_back(std::move(e));
@@ -95,8 +101,22 @@ DiffReport diff_bench_docs(const Json& baseline, const Json& fresh,
   for (const auto& [key, val] : fresh_map->items()) {
     if (!val.is_number()) continue;
     const Json* in_base = base_map->find(key);
-    if (in_base == nullptr || !in_base->is_number())
+    if (in_base == nullptr || !in_base->is_number()) {
       report.only_in_fresh.push_back(key);
+      // New speedups still obey the below-1.0 rule: a first recording of
+      // a slowdown should not slip in unflagged just for lacking history.
+      if (contains(key, "speedup") && val.number() < 1.0) {
+        DiffEntry e;
+        e.key = key;
+        e.baseline = val.number();  // no history: show the value itself
+        e.fresh = val.number();
+        e.direction = classify_metric(key);
+        e.severity = DiffSeverity::kWarn;
+        if (severity_rank(e.severity) > severity_rank(report.worst))
+          report.worst = e.severity;
+        report.entries.push_back(std::move(e));
+      }
+    }
   }
 
   std::stable_sort(report.entries.begin(), report.entries.end(),

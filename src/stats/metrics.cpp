@@ -33,6 +33,7 @@ const char* metric_name(Counter c) {
     case Counter::kBatchFlushBytes: return "batch_flush_bytes";
     case Counter::kBatchFlushWindow: return "batch_flush_window";
     case Counter::kBatchFlushPipeline: return "batch_flush_pipeline";
+    case Counter::kRuntimeTxDropped: return "runtime_tx_dropped";
     case Counter::kCount: break;
   }
   return "?counter";

@@ -47,6 +47,9 @@ enum class Counter : std::uint16_t {
   kBatchFlushBytes,     // byte cap reached
   kBatchFlushWindow,    // batch window expired
   kBatchFlushPipeline,  // pipeline slot freed by a settled round
+  // Runtime transport: outbound messages dropped instead of sent (peer
+  // unreachable, write failure, or per-peer queue over its byte cap).
+  kRuntimeTxDropped,
   kCount
 };
 

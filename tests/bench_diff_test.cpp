@@ -172,6 +172,83 @@ TEST(BenchDiff, SchemaDriftIsReportedNotGated) {
   EXPECT_EQ(report.only_in_fresh[0], "new_metric_per_sec");
 }
 
+TEST(BenchDiff, SpeedupBelowOneWarnsEvenWhenUnchanged) {
+  // A recorded speedup_* under 1.0 is the bench reporting a slowdown
+  // against its own in-file baseline; an identical fresh value means no
+  // regression percentage, but the report must still flag it.
+  Json base = Json::object();
+  base.set("speedup_acquisition", 0.75);
+  Json fresh = Json::object();
+  fresh.set("speedup_acquisition", 0.75);
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kWarn);
+  const DiffEntry* e = entry_for(report, "speedup_acquisition");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->severity, DiffSeverity::kWarn);
+}
+
+TEST(BenchDiff, SpeedupBelowOneDoesNotMaskHarderFailure) {
+  // The warn floor must not downgrade a genuine cross-run regression that
+  // already rates fail.
+  Json base = Json::object();
+  base.set("speedup_acquisition", 1.40);
+  Json fresh = Json::object();
+  fresh.set("speedup_acquisition", 0.80);  // -43%: past fail threshold
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  const DiffEntry* e = entry_for(report, "speedup_acquisition");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->severity, DiffSeverity::kFail);
+}
+
+TEST(BenchDiff, HealthySpeedupDoesNotWarn) {
+  Json base = Json::object();
+  base.set("speedup_acquisition", 1.25);
+  Json fresh = Json::object();
+  fresh.set("speedup_acquisition", 1.20);  // -4%: below warn, above 1.0
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kOk);
+}
+
+TEST(BenchDiff, NewSpeedupBelowOneWarnsWithoutHistory) {
+  // First recording of a slowdown must not slip through the "new metric"
+  // path unflagged.
+  Json base = Json::object();
+  base.set("unrelated_per_sec", 100.0);
+  Json fresh = Json::object();
+  fresh.set("unrelated_per_sec", 100.0);
+  fresh.set("speedup_new_mix", 0.90);
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kWarn);
+  const DiffEntry* e = entry_for(report, "speedup_new_mix");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->severity, DiffSeverity::kWarn);
+  ASSERT_EQ(report.only_in_fresh.size(), 1u);
+  EXPECT_EQ(report.only_in_fresh[0], "speedup_new_mix");
+}
+
+TEST(BenchDiff, NewSpeedupAtOrAboveOnePassesQuietly) {
+  Json base = Json::object();
+  Json fresh = Json::object();
+  fresh.set("speedup_new_mix", 1.05);
+
+  const DiffReport report = diff_bench_docs(
+      doc_with_results(std::move(base)), doc_with_results(std::move(fresh)),
+      DiffThresholds{});
+  EXPECT_EQ(report.worst, DiffSeverity::kOk);
+}
+
 TEST(BenchDiff, CustomThresholdsRespected) {
   Json base = Json::object();
   base.set("throughput_per_sec", 100000.0);

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Smoke check for the self-timed hot-path benchmarks.
 #
-# Builds the micro_sim and micro_protocol targets in Release mode, runs
+# Builds the micro_sim, micro_protocol, and micro_runtime targets in
+# Release mode, runs
 # each in quick mode under a wall-clock cap, and validates that the emitted
 # BENCH_*.json parses as JSON. Fails (nonzero exit) if the build breaks, a
 # bench exceeds its cap, a bench itself reports a regression (nonzero exit,
@@ -26,8 +27,8 @@ jobs="${CTEST_PARALLEL_LEVEL:-$(nproc)}"
 if [[ ! -f "$build/CMakeCache.txt" ]]; then
   cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 fi
-cmake --build "$build" --target micro_sim micro_protocol -j"$jobs" \
-  >/dev/null
+cmake --build "$build" --target micro_sim micro_protocol micro_runtime \
+  -j"$jobs" >/dev/null
 
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
@@ -58,6 +59,7 @@ run_bench() {
 
 run_bench micro_sim 5 BENCH_sim.json
 run_bench micro_protocol 60 BENCH_protocol.json
+run_bench micro_runtime 60 BENCH_runtime.json
 
 if [[ $failures -ne 0 ]]; then
   echo "bench_smoke: $failures bench(es) failed" >&2
@@ -76,6 +78,18 @@ for key in ("speedup_batched_fast_path",
             "batched_fast_path_allocs_per_decided",
             "batched_fast_path_decided"):
     assert key in doc["results"], f"BENCH_protocol.json results missing {key}"
+EOF
+
+# The runtime bench must report every wire-path mix: a silently missing
+# mix would unpin the runtime perf gate the same way.
+python3 - "$out/BENCH_runtime.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc.get("schema") == "m2bench-v1", "BENCH_runtime.json schema tag"
+for key in ("loopback_msgs_per_sec", "loopback_allocs_per_msg",
+            "loopback_bcast_msgs_per_sec", "tcp_msgs_per_sec",
+            "tcp_allocs_per_msg"):
+    assert key in doc["results"], f"BENCH_runtime.json results missing {key}"
 EOF
 
 echo "bench_smoke: OK"

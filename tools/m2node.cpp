@@ -303,7 +303,8 @@ int run_serve(const Options& opt) {
   spec.runtime.seed = opt.seed != 1 ? opt.seed : spec.runtime.seed;
   spec.runtime.audit = opt.audit;
   runtime::Runtime rt(spec.runtime,
-                      std::make_unique<runtime::TcpTransport>(spec.endpoints),
+                      std::make_unique<runtime::TcpTransport>(spec.endpoints,
+                                                              spec.transport),
                       opt.local_nodes);
   if (!rt.start(&error)) {
     std::fprintf(stderr, "start failed: %s\n", error.c_str());
