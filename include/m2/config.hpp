@@ -84,6 +84,17 @@ struct Config {
     /// Per-peer cap on queued-but-unsent frame bytes; frames beyond it are
     /// dropped (and counted) rather than buffered without bound.
     std::size_t max_queue_bytes = 8 * 1024 * 1024;
+    /// Connection lifecycle (milliseconds; mirrors TransportOptions, where
+    /// the semantics are documented in full). Dial timeout per attempt:
+    std::int64_t connect_timeout_ms = 500;
+    /// Reconnect backoff: decorrelated jitter between base and cap.
+    std::int64_t backoff_base_ms = 10;
+    std::int64_t backoff_cap_ms = 2000;
+    /// Consecutive connect failures before a peer is marked suspect / down.
+    int suspect_after = 1;
+    int down_after = 3;
+    /// Probe cadence for re-dialing a down peer.
+    std::int64_t probe_interval_ms = 500;
   };
   Transport transport;
 

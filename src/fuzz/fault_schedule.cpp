@@ -33,6 +33,14 @@ const char* to_string(FaultKind kind) {
       return "dup-spike";
     case FaultKind::kDupClear:
       return "dup-clear";
+    case FaultKind::kReset:
+      return "reset";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kThrottleSpike:
+      return "throttle-spike";
+    case FaultKind::kThrottleClear:
+      return "throttle-clear";
   }
   return "?";
 }
@@ -48,7 +56,13 @@ std::string FaultAction::to_string() const {
       break;
     case FaultKind::kLinkDown:
     case FaultKind::kLinkUp:
+    case FaultKind::kReset:
+    case FaultKind::kCorrupt:
+    case FaultKind::kThrottleClear:
       os << " n" << a << "->n" << b;
+      break;
+    case FaultKind::kThrottleSpike:
+      os << " n" << a << "->n" << b << " x" << value;
       break;
     case FaultKind::kPartition: {
       os << " {";
@@ -89,10 +103,28 @@ enum class Episode {
   kPartition,
   kLoss,
   kLatency,
-  kDup
+  kDup,
+  // Runtime-only (see ScheduleConfig::runtime_faults).
+  kReset,
+  kCorrupt,
+  kThrottle
 };
 
-Episode pick_episode(sim::Rng& rng) {
+Episode pick_episode(sim::Rng& rng, bool runtime_faults) {
+  if (runtime_faults) {
+    // Same weighting philosophy, with ~1/4 of the mass moved onto the
+    // wire-level faults only the real transport can express.
+    const std::uint64_t roll = rng.uniform(100);
+    if (roll < 28) return Episode::kCrash;
+    if (roll < 43) return Episode::kPartition;
+    if (roll < 54) return Episode::kLink;
+    if (roll < 64) return Episode::kLoss;
+    if (roll < 71) return Episode::kLatency;
+    if (roll < 76) return Episode::kDup;
+    if (roll < 86) return Episode::kReset;
+    if (roll < 94) return Episode::kCorrupt;
+    return Episode::kThrottle;
+  }
   const std::uint64_t roll = rng.uniform(100);
   if (roll < 35) return Episode::kCrash;
   if (roll < 55) return Episode::kPartition;
@@ -154,7 +186,7 @@ std::vector<FaultAction> make_schedule(std::uint64_t seed,
     const sim::Time end = std::min(cfg.horizon, start + dwell);
 
     const std::size_t first_action = schedule.size();
-    switch (pick_episode(rng)) {
+    switch (pick_episode(rng, cfg.runtime_faults)) {
       case Episode::kCrash: {
         // Keep a live majority: count existing crash episodes overlapping
         // this window (conservative — any instant in the window then has
@@ -221,6 +253,32 @@ std::vector<FaultAction> make_schedule(std::uint64_t seed,
         spike.value = 0.1 + 0.4 * rng.uniform01();
         schedule.push_back(std::move(spike));
         schedule.push_back(act(end, FaultKind::kDupClear));
+        break;
+      }
+      case Episode::kReset: {
+        // One-shot: nothing to undo — the writer reconnects on its own
+        // (that recovery path is exactly what the episode tests).
+        const auto from = static_cast<NodeId>(rng.uniform(n));
+        auto to = static_cast<NodeId>(rng.uniform(n - 1));
+        if (to >= from) ++to;
+        schedule.push_back(act(start, FaultKind::kReset, from, to));
+        break;
+      }
+      case Episode::kCorrupt: {
+        const auto from = static_cast<NodeId>(rng.uniform(n));
+        auto to = static_cast<NodeId>(rng.uniform(n - 1));
+        if (to >= from) ++to;
+        schedule.push_back(act(start, FaultKind::kCorrupt, from, to));
+        break;
+      }
+      case Episode::kThrottle: {
+        const auto from = static_cast<NodeId>(rng.uniform(n));
+        auto to = static_cast<NodeId>(rng.uniform(n - 1));
+        if (to >= from) ++to;
+        FaultAction spike = act(start, FaultKind::kThrottleSpike, from, to);
+        spike.value = 2.0 + 8.0 * rng.uniform01();
+        schedule.push_back(std::move(spike));
+        schedule.push_back(act(end, FaultKind::kThrottleClear, from, to));
         break;
       }
     }

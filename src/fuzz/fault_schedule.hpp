@@ -22,7 +22,14 @@ enum class FaultKind : std::uint8_t {
   kLatencySpike,  // propagation latency scaled by `value`
   kLatencyClear,  // latency scale restored to 1
   kDupSpike,      // duplicate-delivery probability set to `value`
-  kDupClear       // duplicate-delivery probability restored to 0
+  kDupClear,      // duplicate-delivery probability restored to 0
+  // Runtime-only kinds (generated when ScheduleConfig::runtime_faults is
+  // set; the simulator's apply() ignores them): wire-level faults only a
+  // real connection can express.
+  kReset,          // one-shot: tear down the established connection a -> b
+  kCorrupt,        // one-shot: corrupt the next frame on the wire a -> b
+  kThrottleSpike,  // slow peer: delivery a -> b delayed, scaled by `value`
+  kThrottleClear   // throttle on a -> b removed
 };
 
 const char* to_string(FaultKind kind);
@@ -52,6 +59,10 @@ struct ScheduleConfig {
   sim::Time horizon = 300 * sim::kMillisecond;
   /// 1..10: expected number of fault episodes per 100 ms of horizon.
   int intensity = 3;
+  /// Also generate runtime-only episodes (connection resets, wire
+  /// corruption, slow peers). Off for simulator schedules — the sim has no
+  /// connections to reset — so sim seeds keep their historical meaning.
+  bool runtime_faults = false;
 };
 
 /// Expands `seed` into a deterministic fault schedule, sorted by time.

@@ -49,6 +49,14 @@ void apply(harness::Cluster& cluster, const FaultAction& action) {
     case FaultKind::kDupClear:
       net.set_duplication(0.0);
       break;
+    case FaultKind::kReset:
+    case FaultKind::kCorrupt:
+    case FaultKind::kThrottleSpike:
+    case FaultKind::kThrottleClear:
+      // Runtime-only kinds: the simulator has no connections to reset or
+      // frames to corrupt. Generated only with runtime_faults set, which
+      // the simulator never requests; ignore defensively.
+      break;
   }
 }
 

@@ -153,6 +153,19 @@ class RuntimeCluster final : public Cluster {
   std::unique_ptr<runtime::Runtime> runtime_;
 };
 
+runtime::TransportOptions to_transport_options(const Config::Transport& t) {
+  runtime::TransportOptions options;
+  options.max_coalesce_bytes = t.max_coalesce_bytes;
+  options.max_queue_bytes = t.max_queue_bytes;
+  options.connect_timeout = t.connect_timeout_ms * core::kMillisecond;
+  options.backoff_base = t.backoff_base_ms * core::kMillisecond;
+  options.backoff_cap = t.backoff_cap_ms * core::kMillisecond;
+  options.suspect_after = t.suspect_after;
+  options.down_after = t.down_after;
+  options.probe_interval = t.probe_interval_ms * core::kMillisecond;
+  return options;
+}
+
 runtime::RuntimeConfig to_runtime_config(const Config& cfg, int n_nodes) {
   runtime::RuntimeConfig rt;
   rt.protocol = cfg.protocol;
@@ -199,8 +212,8 @@ std::string Config::validate() const {
       protocol == core::Protocol::kM2Paxos && backend == Backend::kSim)
     return "preassigned ownership needs objects_per_node > 0";
   if (!tuning.batching.valid()) return "invalid batching configuration";
-  if (transport.max_coalesce_bytes == 0 || transport.max_queue_bytes == 0)
-    return "transport byte limits must be positive";
+  if (!to_transport_options(transport).valid())
+    return "invalid transport configuration";
   return {};
 }
 
@@ -224,9 +237,8 @@ std::unique_ptr<Cluster> ClusterBuilder::build(std::string* error) const {
       endpoints.reserve(cfg_.addresses.size());
       for (const auto& a : cfg_.addresses)
         endpoints.push_back({a.host, a.port});
-      runtime::TransportOptions options;
-      options.max_coalesce_bytes = cfg_.transport.max_coalesce_bytes;
-      options.max_queue_bytes = cfg_.transport.max_queue_bytes;
+      const runtime::TransportOptions options =
+          to_transport_options(cfg_.transport);
       auto rt = std::make_unique<runtime::Runtime>(
           to_runtime_config(cfg_, n),
           std::make_unique<runtime::TcpTransport>(std::move(endpoints),

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "core/time.hpp"
+#include "sim/rng.hpp"
+
+namespace m2::runtime {
+
+/// Connection health of one remote peer as classified by its writer
+/// thread's connect history.
+enum class PeerState : std::uint8_t {
+  kUp,       // connected (or never yet dialed); send normally
+  kSuspect,  // recent connect failures; dial again only when backoff allows
+  kDown      // persistently unreachable; drop sends, probe on a fixed cadence
+};
+
+inline const char* to_string(PeerState s) {
+  switch (s) {
+    case PeerState::kUp: return "up";
+    case PeerState::kSuspect: return "suspect";
+    case PeerState::kDown: return "down";
+  }
+  return "?";
+}
+
+/// One decorrelated-jitter backoff step (the AWS scheme): the next wait is
+/// uniform in [base, prev * 3], capped at `cap`. Starting from prev = 0 the
+/// sequence grows roughly exponentially but never synchronizes across peers
+/// — concurrent reconnectors spread out instead of thundering together.
+inline core::Time decorrelated_jitter(core::Time base, core::Time cap,
+                                      core::Time prev, sim::Rng& rng) {
+  const core::Time hi = std::min(cap, std::max(base, prev * 3));
+  if (hi <= base) return base;
+  return base + static_cast<core::Time>(
+                    rng.uniform(static_cast<std::uint64_t>(hi - base) + 1));
+}
+
+/// Per-peer connection health state machine, owned and driven by the
+/// peer's writer thread:
+///
+///   kUp      the last connect succeeded. A lost connection records a
+///            failure and re-enters the backoff ladder.
+///   kSuspect at least `suspect_after` consecutive failures. Sends still
+///            queue, but a flush only dials when the decorrelated-jitter
+///            backoff window has elapsed; otherwise the batch is dropped
+///            and counted (never a blocking connect per send).
+///   kDown    `down_after` consecutive failures. Sends are dropped at
+///            enqueue time and only the probe cadence (`probe_interval`)
+///            dials the peer — a dead peer costs one connect attempt per
+///            probe interval no matter the send rate.
+///
+/// Every method takes the current time explicitly, so tests drive the
+/// machine with a deterministic clock; the jitter stream is seeded.
+class PeerHealth {
+ public:
+  struct Options {
+    core::Time backoff_base = 10 * core::kMillisecond;
+    core::Time backoff_cap = 2 * core::kSecond;
+    int suspect_after = 1;
+    int down_after = 3;
+    core::Time probe_interval = 500 * core::kMillisecond;
+  };
+
+  PeerHealth(const Options& opts, std::uint64_t rng_seed)
+      : opts_(opts), rng_(rng_seed) {}
+
+  PeerState state() const { return state_; }
+  int consecutive_failures() const { return failures_; }
+  /// Earliest time the next connect attempt (backoff retry or down-state
+  /// probe) may be dialed. 0 while up / never failed.
+  core::Time next_attempt() const { return next_attempt_; }
+  bool attempt_due(core::Time now) const { return now >= next_attempt_; }
+
+  /// Records a successful connect. Returns true when the state changed
+  /// (so the caller can count the transition).
+  bool on_connect_success() {
+    failures_ = 0;
+    backoff_ = 0;
+    next_attempt_ = 0;
+    return std::exchange(state_, PeerState::kUp) != PeerState::kUp;
+  }
+
+  /// Records a failed connect attempt — or a lost established connection —
+  /// at `now`, and schedules the next attempt. Returns true when the state
+  /// changed.
+  bool on_failure(core::Time now) {
+    if (failures_ < opts_.down_after) ++failures_;
+    PeerState next = PeerState::kUp;
+    if (failures_ >= opts_.down_after) next = PeerState::kDown;
+    else if (failures_ >= opts_.suspect_after) next = PeerState::kSuspect;
+    if (next == PeerState::kDown) {
+      // Probing, not reconnecting: a fixed, infrequent cadence with no
+      // further growth — the cost of a dead peer is bounded and constant.
+      next_attempt_ = now + opts_.probe_interval;
+    } else {
+      backoff_ = decorrelated_jitter(opts_.backoff_base, opts_.backoff_cap,
+                                     backoff_, rng_);
+      next_attempt_ = now + backoff_;
+    }
+    return std::exchange(state_, next) != next;
+  }
+
+ private:
+  Options opts_;
+  sim::Rng rng_;
+  PeerState state_ = PeerState::kUp;
+  int failures_ = 0;
+  core::Time backoff_ = 0;       // last jitter step (the ladder position)
+  core::Time next_attempt_ = 0;  // absolute time the next dial is allowed
+};
+
+}  // namespace m2::runtime

@@ -69,9 +69,8 @@ bool Runtime::start(std::string* error) {
   if (started_) return true;
   started_ = true;
   transport_->start();
-  if (auto* tcp = dynamic_cast<TcpTransport*>(transport_.get());
-      tcp != nullptr && !tcp->error().empty()) {
-    if (error != nullptr) *error = tcp->error();
+  if (const std::string err = transport_->start_error(); !err.empty()) {
+    if (error != nullptr) *error = err;
     transport_->stop();
     return false;
   }
@@ -97,16 +96,20 @@ void Runtime::propose(NodeId node, core::Command c) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.propose_times.emplace(c.id.value, clock_.now());
   }
+  if (cfg_.observer != nullptr)
+    cfg_.observer->on_propose(clock_.now(), node, c);
   nodes_[node]->propose(std::move(c));
 }
 
 void Runtime::crash(NodeId node) {
   assert(is_local(node));
+  if (cfg_.observer != nullptr) cfg_.observer->on_crash(clock_.now(), node);
   nodes_[node]->crash();
 }
 
 void Runtime::recover(NodeId node) {
   assert(is_local(node));
+  if (cfg_.observer != nullptr) cfg_.observer->on_recover(clock_.now(), node);
   nodes_[node]->recover();
 }
 
@@ -171,11 +174,9 @@ stats::MetricsRegistry Runtime::merged_metrics() const {
   for (const auto& m : metrics_) {
     if (m != nullptr) merged.merge(*m);
   }
-  // Transport-level drops live in the transport's counters, not in any
-  // node registry; surface them under the same roof.
-  merged.inc(stats::Counter::kRuntimeTxDropped,
-             transport_->counters().messages_dropped.load(
-                 std::memory_order_relaxed));
+  // Transport-level counters (drops, connection lifecycle, injected chaos)
+  // live outside the node registries; surface them under the same roof.
+  transport_->fold_metrics(merged);
   return merged;
 }
 
@@ -183,9 +184,26 @@ void Runtime::node_deliver(NodeId node, const core::Command& c) {
   if (c.noop) return;
   delivered_.at(node)->fetch_add(1, std::memory_order_relaxed);
   if (cfg_.audit) cstructs_[node].append(c);
+  if (cfg_.observer != nullptr)
+    cfg_.observer->on_deliver(clock_.now(), node, c);
 }
 
-void Runtime::node_committed(NodeId /*node*/, const core::Command& c) {
+void Runtime::node_decided(NodeId node, core::ObjectId obj,
+                           core::Instance inst, const core::Command& c) {
+  if (cfg_.observer != nullptr)
+    cfg_.observer->on_decided(clock_.now(), node, obj, inst, c);
+}
+
+void Runtime::node_ownership(NodeId node, core::ObjectId obj,
+                             core::Epoch epoch, NodeId owner, bool acquired) {
+  if (cfg_.observer != nullptr)
+    cfg_.observer->on_ownership(clock_.now(), node, obj, epoch, owner,
+                                acquired);
+}
+
+void Runtime::node_committed(NodeId node, const core::Command& c) {
+  if (cfg_.observer != nullptr)
+    cfg_.observer->on_committed(clock_.now(), node, c);
   CommitShard& shard = shard_for(c.id);
   {
     std::lock_guard<std::mutex> lock(shard.mu);

@@ -13,6 +13,7 @@
 #include "core/config.hpp"
 #include "core/cstruct.hpp"
 #include "core/owner_map.hpp"
+#include "harness/cluster.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/node.hpp"
 #include "runtime/transport.hpp"
@@ -36,6 +37,12 @@ struct RuntimeConfig {
   /// (steady-state evaluation, like the harness' preassign_ownership).
   bool preassign_ownership = true;
   core::OwnerMap owner_map = core::OwnerMap::modulo(1);
+  /// Optional trace observer (same interface the simulator harness feeds —
+  /// the SafetyAuditor plugs in here). Called from node threads and from
+  /// whichever threads drive propose()/crash()/recover(), concurrently:
+  /// the observer must be thread-safe (wrap it in a lock; chaos.cpp's
+  /// runner does). Must outlive the Runtime.
+  harness::ClusterObserver* observer = nullptr;
 };
 
 /// A real-clock consensus cluster: the runtime counterpart of
@@ -120,6 +127,10 @@ class Runtime final : public NodeCallbacks {
   // --- NodeCallbacks (node threads) ------------------------------------
   void node_deliver(NodeId node, const core::Command& c) override;
   void node_committed(NodeId node, const core::Command& c) override;
+  void node_decided(NodeId node, core::ObjectId obj, core::Instance inst,
+                    const core::Command& c) override;
+  void node_ownership(NodeId node, core::ObjectId obj, core::Epoch epoch,
+                      NodeId owner, bool acquired) override;
 
  private:
   void build_nodes(const std::vector<NodeId>& local_nodes);

@@ -51,14 +51,29 @@ bool parse_batching(const stats::Json& j, core::ClusterConfig::Batching* out,
 bool parse_transport(const stats::Json& j, TransportOptions* out,
                      std::string* error) {
   if (!j.is_object()) return fail(error, "\"transport\" must be an object");
-  if (!only_keys(j, {"max_coalesce_bytes", "max_queue_bytes"}, error))
+  if (!only_keys(j,
+                 {"max_coalesce_bytes", "max_queue_bytes",
+                  "connect_timeout_ms", "backoff_base_ms", "backoff_cap_ms",
+                  "suspect_after", "down_after", "probe_interval_ms"},
+                 error))
     return false;
   if (const auto* v = j.find("max_coalesce_bytes"))
     out->max_coalesce_bytes = static_cast<std::size_t>(v->integer());
   if (const auto* v = j.find("max_queue_bytes"))
     out->max_queue_bytes = static_cast<std::size_t>(v->integer());
-  if (out->max_coalesce_bytes == 0 || out->max_queue_bytes == 0)
-    return fail(error, "transport byte limits must be positive");
+  if (const auto* v = j.find("connect_timeout_ms"))
+    out->connect_timeout = v->integer() * core::kMillisecond;
+  if (const auto* v = j.find("backoff_base_ms"))
+    out->backoff_base = v->integer() * core::kMillisecond;
+  if (const auto* v = j.find("backoff_cap_ms"))
+    out->backoff_cap = v->integer() * core::kMillisecond;
+  if (const auto* v = j.find("suspect_after"))
+    out->suspect_after = static_cast<int>(v->integer());
+  if (const auto* v = j.find("down_after"))
+    out->down_after = static_cast<int>(v->integer());
+  if (const auto* v = j.find("probe_interval_ms"))
+    out->probe_interval = v->integer() * core::kMillisecond;
+  if (!out->valid()) return fail(error, "invalid transport config");
   return true;
 }
 

@@ -1,19 +1,24 @@
 #include "runtime/tcp_transport.hpp"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <new>
 
 #include "net/arena.hpp"
 #include "net/codec.hpp"
 #include "net/serde.hpp"
+#include "runtime/peer_health.hpp"
 
 namespace m2::runtime {
 
@@ -33,6 +38,14 @@ std::vector<std::uint8_t>& encode_to_scratch(const net::Payload& payload) {
   static thread_local std::vector<std::uint8_t> scratch;
   net::encode_payload_into(payload, scratch);
   return scratch;
+}
+
+/// Monotonic wall time in core::Time units — drives the per-peer backoff
+/// and probe deadlines (immune to system clock steps).
+core::Time mono_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 enum class WriteResult {
@@ -118,10 +131,21 @@ struct TcpTransport::Peer {
   std::thread writer;
 
   /// Socket fd, owned by the writer thread. fd_mu only orders stop()'s
-  /// shutdown() against the writer's close/reconnect, so stop can never
-  /// shut down a recycled fd number.
+  /// (and chaos_reset()'s) shutdown() against the writer's close/reconnect,
+  /// so neither can ever shut down a recycled fd number.
   std::mutex fd_mu;
   int fd = -1;
+
+  /// Connect-history state machine, owned by the writer thread; the
+  /// published mirror lets producer threads drop sends to a down peer at
+  /// enqueue time without touching writer state.
+  std::unique_ptr<PeerHealth> health;
+  std::atomic<PeerState> published_state{PeerState::kUp};
+  bool ever_connected = false;  // writer-thread only; gates `reconnects`
+
+  /// Chaos hook: when set, the next flushed frame has one body byte
+  /// flipped after its CRC was computed.
+  std::atomic<bool> corrupt_next{false};
 
   Peer() : tail(&stub), head(&stub) {}
 
@@ -166,8 +190,20 @@ TcpTransport::TcpTransport(std::vector<Endpoint> endpoints,
       options_(options),
       inboxes_(endpoints_.size(), nullptr) {
   peers_.reserve(endpoints_.size());
-  for (std::size_t i = 0; i < endpoints_.size(); ++i)
-    peers_.push_back(std::make_unique<Peer>());
+  PeerHealth::Options hopts;
+  hopts.backoff_base = options_.backoff_base;
+  hopts.backoff_cap = options_.backoff_cap;
+  hopts.suspect_after = options_.suspect_after;
+  hopts.down_after = options_.down_after;
+  hopts.probe_interval = options_.probe_interval;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    auto p = std::make_unique<Peer>();
+    // Distinct jitter streams per peer so concurrent reconnectors spread
+    // out; the seed only shapes jitter, determinism is not required here.
+    p->health = std::make_unique<PeerHealth>(
+        hopts, 0x7463705f70656572ull ^ (0x9E3779B97F4A7C15ull * (i + 1)));
+    peers_.push_back(std::move(p));
+  }
 }
 
 TcpTransport::~TcpTransport() { stop(); }
@@ -356,7 +392,30 @@ int TcpTransport::connect_to(const Endpoint& ep) {
   for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
     fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
     if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    // Non-blocking dial bounded by poll: a black-holed peer costs at most
+    // options_.connect_timeout, never the kernel's minutes-long default.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    bool connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0;
+    if (!connected && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int timeout_ms = static_cast<int>(
+          std::max<core::Time>(1, options_.connect_timeout / core::kMillisecond));
+      int pr;
+      do {
+        pr = ::poll(&pfd, 1, timeout_ms);
+      } while (pr < 0 && errno == EINTR);
+      if (pr == 1) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        connected = ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 &&
+                    err == 0;
+      }
+    }
+    if (connected) {
+      ::fcntl(fd, F_SETFL, flags);  // back to blocking for sendmsg_all
+      break;
+    }
     ::close(fd);
     fd = -1;
   }
@@ -366,6 +425,60 @@ int TcpTransport::connect_to(const Endpoint& ep) {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
   return fd;
+}
+
+bool TcpTransport::try_connect(Peer& peer, NodeId to) {
+  const int fd = connect_to(endpoints_[to]);
+  if (fd < 0) {
+    counters_.connect_failures.fetch_add(1, std::memory_order_relaxed);
+    if (peer.health->on_failure(mono_now())) {
+      counters_.peer_state_changes.fetch_add(1, std::memory_order_relaxed);
+      peer.published_state.store(peer.health->state(),
+                                 std::memory_order_relaxed);
+    }
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(peer.fd_mu);
+    peer.fd = fd;
+    // stop() may have run its shutdown pass before we published the fd;
+    // re-check under fd_mu so we never write into a post-stop socket.
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(peer.fd);
+      peer.fd = -1;
+      return false;
+    }
+  }
+  if (peer.health->on_connect_success()) {
+    counters_.peer_state_changes.fetch_add(1, std::memory_order_relaxed);
+    peer.published_state.store(peer.health->state(),
+                               std::memory_order_relaxed);
+  }
+  if (peer.ever_connected)
+    counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
+  peer.ever_connected = true;
+  return true;
+}
+
+PeerState TcpTransport::peer_state(NodeId to) const {
+  return peers_.at(to)->published_state.load(std::memory_order_relaxed);
+}
+
+bool TcpTransport::chaos_reset(NodeId to) {
+  Peer& peer = *peers_.at(to);
+  std::lock_guard<std::mutex> lock(peer.fd_mu);
+  if (peer.fd < 0) return false;
+  // Same pattern as stop(): shutdown under fd_mu, the owning writer sees
+  // the write error and closes/reconnects through the backoff path.
+  ::shutdown(peer.fd, SHUT_RDWR);
+  return true;
+}
+
+bool TcpTransport::chaos_corrupt_next(NodeId to) {
+  Peer& peer = *peers_.at(to);
+  if (inboxes_.at(to) != nullptr) return false;  // local delivery: no wire
+  peer.corrupt_next.store(true, std::memory_order_relaxed);
+  return true;
 }
 
 void TcpTransport::deliver_local(NodeId from, NodeId to,
@@ -389,8 +502,13 @@ void TcpTransport::wire_enqueue(NodeId from, NodeId to,
   const std::size_t wire_bytes = net::FrameHeader::kEncodedSize + body.size();
   // Soft byte cap: concurrent producers can each overshoot by one frame,
   // which is fine — the cap bounds memory, it is not exact accounting.
-  // Sends outside the started window have no writer to drain them.
+  // Sends outside the started window have no writer to drain them. A peer
+  // published as down drops here too: its queue would only rot until the
+  // prober revives it, and dropping at enqueue keeps dead-peer broadcasts
+  // free of frame allocation entirely.
   if (!running_.load(std::memory_order_acquire) ||
+      peer.published_state.load(std::memory_order_relaxed) ==
+          PeerState::kDown ||
       peer.queued_bytes.load(std::memory_order_relaxed) + wire_bytes >
           options_.max_queue_bytes) {
     counters_.messages_dropped.fetch_add(1, std::memory_order_relaxed);
@@ -430,11 +548,31 @@ void TcpTransport::writer_loop(Peer& peer, NodeId to) {
       if (!running_.load(std::memory_order_acquire)) break;
       peer.sleeping.store(true, std::memory_order_seq_cst);
       if (peer.queued_bytes.load(std::memory_order_seq_cst) == 0) {
+        // Bound the idle wait by the pending dial deadline (backoff retry
+        // or down-state probe) so a disconnected peer is redialed even
+        // when no traffic arrives. next_attempt() == 0 means connected or
+        // never failed: nothing to probe, sleep until woken.
+        const core::Time next =
+            peer.fd < 0 ? peer.health->next_attempt() : core::Time{0};
         std::unique_lock<std::mutex> lock(peer.wake_mu);
-        peer.wake_cv.wait(lock, [&] { return peer.wake_pending; });
+        if (next == 0) {
+          peer.wake_cv.wait(lock, [&] { return peer.wake_pending; });
+        } else {
+          const core::Time now = mono_now();
+          if (next > now)
+            peer.wake_cv.wait_for(lock, std::chrono::nanoseconds(next - now),
+                                  [&] { return peer.wake_pending; });
+        }
         peer.wake_pending = false;
       }
       peer.sleeping.store(false, std::memory_order_relaxed);
+      // Probe: disconnected with the attempt window open and still no
+      // queued traffic — dial now so a down peer is revived (and its
+      // published state lifted, re-opening enqueue) without a send.
+      if (running_.load(std::memory_order_acquire) && peer.fd < 0 &&
+          peer.health->next_attempt() > 0 &&
+          peer.health->attempt_due(mono_now()))
+        try_connect(peer, to);
       continue;  // re-check running_ and the queue
     }
     // Collect pending frames up to the coalescing bound: under load one
@@ -493,31 +631,37 @@ bool TcpTransport::flush_batch(Peer& peer, NodeId to,
   iov.clear();
   for (Frame* f : batch) iov.push_back(iovec{f->data(), f->len});
 
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    if (peer.fd < 0) {
-      if (!running_.load(std::memory_order_acquire)) return false;
-      const int fd = connect_to(endpoints_[to]);
-      if (fd < 0) return false;  // peer down; protocol retries re-send
-      std::lock_guard<std::mutex> lock(peer.fd_mu);
-      peer.fd = fd;
-      // stop() may have run its shutdown pass before we published the fd;
-      // re-check under fd_mu so we never write into a post-stop socket.
-      if (!running_.load(std::memory_order_acquire)) {
-        ::close(peer.fd);
-        peer.fd = -1;
-        return false;
-      }
-    }
-    const WriteResult res = sendmsg_all(peer.fd, iov);
-    if (res == WriteResult::kOk) return true;
-    {
-      std::lock_guard<std::mutex> lock(peer.fd_mu);
-      ::close(peer.fd);  // broken pipe: reconnect once, then give up
-      peer.fd = -1;
-    }
-    // A partial write already put a frame prefix on the old stream; the
-    // receiver discards it at EOF, but this batch's iov state is spent.
-    if (res == WriteResult::kFailedPartial) return false;
+  if (peer.fd < 0) {
+    if (!running_.load(std::memory_order_acquire)) return false;
+    // Backoff gate: while a retry or probe window is pending, the batch is
+    // dropped without a dial — a down peer never costs more than one
+    // bounded connect attempt per window, no matter the send rate.
+    if (!peer.health->attempt_due(mono_now())) return false;
+    if (!try_connect(peer, to)) return false;
+  }
+  if (peer.corrupt_next.exchange(false, std::memory_order_relaxed)) {
+    // Chaos hook: flip one body byte *after* the CRC went into the header.
+    // The receiver's checksum check fails and it tears the connection down
+    // — the exact corruption path a flaky NIC or middlebox would exercise.
+    Frame* f = batch.front();
+    if (f->len > net::FrameHeader::kEncodedSize)
+      f->data()[net::FrameHeader::kEncodedSize] ^= 0xFF;
+  }
+  const WriteResult res = sendmsg_all(peer.fd, iov);
+  if (res == WriteResult::kOk) return true;
+  {
+    std::lock_guard<std::mutex> lock(peer.fd_mu);
+    ::close(peer.fd);
+    peer.fd = -1;
+  }
+  // Losing an established stream counts as a failure: the next dial waits
+  // out the backoff window instead of reconnecting inline. A partial write
+  // already put a frame prefix on the old stream; the receiver discards it
+  // at EOF, and either way this batch is spent.
+  if (peer.health->on_failure(mono_now())) {
+    counters_.peer_state_changes.fetch_add(1, std::memory_order_relaxed);
+    peer.published_state.store(peer.health->state(),
+                               std::memory_order_relaxed);
   }
   return false;
 }

@@ -9,7 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/time.hpp"
 #include "net/payload.hpp"
+#include "runtime/peer_health.hpp"
 #include "runtime/transport.hpp"
 
 namespace m2::runtime {
@@ -31,6 +33,31 @@ struct TransportOptions {
   /// are dropped (and counted in messages_dropped) instead of queued:
   /// consensus tolerates message loss, unbounded buffering it does not.
   std::size_t max_queue_bytes = 8 * 1024 * 1024;
+  // Connection lifecycle (see runtime/peer_health.hpp for the state
+  // machine these parameterize).
+  /// Hard bound on one connect attempt: non-blocking connect + poll. A
+  /// black-holed peer costs at most this per dial, never a kernel-default
+  /// TCP timeout (minutes).
+  core::Time connect_timeout = 500 * core::kMillisecond;
+  /// Decorrelated-jitter backoff between reconnect attempts: first retry
+  /// waits ~backoff_base, growth is capped at backoff_cap.
+  core::Time backoff_base = 10 * core::kMillisecond;
+  core::Time backoff_cap = 2 * core::kSecond;
+  /// Consecutive connect failures before a peer is marked suspect / down.
+  int suspect_after = 1;
+  int down_after = 3;
+  /// Dial cadence for a down peer. Probing replaces per-send reconnects:
+  /// a dead peer costs one bounded connect attempt per interval.
+  core::Time probe_interval = 500 * core::kMillisecond;
+
+  /// All knobs positive and thresholds ordered (mirrors
+  /// core::Config::Batching::valid()).
+  bool valid() const {
+    return max_coalesce_bytes > 0 && max_queue_bytes > 0 &&
+           connect_timeout > 0 && backoff_base > 0 &&
+           backoff_cap >= backoff_base && suspect_after > 0 &&
+           down_after >= suspect_after && probe_interval > 0;
+  }
 };
 
 /// Real-socket transport: one TCP listener per locally attached node, one
@@ -79,6 +106,17 @@ class TcpTransport final : public Transport {
 
   /// Non-empty when start() failed to bind a listener (the error text).
   const std::string& error() const { return error_; }
+  std::string start_error() const override { return error_; }
+
+  /// Chaos hooks: tear down the live connection to `to` / corrupt the next
+  /// frame written to it (after its CRC is computed, so the receiver's
+  /// checksum-failure teardown path fires). Wired to runtime::ChaosTransport.
+  bool chaos_reset(NodeId to) override;
+  bool chaos_corrupt_next(NodeId to) override;
+
+  /// Published health state of the outbound link to `to` (always kUp for
+  /// locally attached nodes, which bypass the socket path).
+  PeerState peer_state(NodeId to) const;
 
   /// Number of sendmsg() flushes issued across all peer writers. With N
   /// messages sent and F flushes, N/F is the achieved coalescing factor
@@ -107,10 +145,16 @@ class TcpTransport final : public Transport {
   void wire_enqueue(NodeId from, NodeId to,
                     const std::vector<std::uint8_t>& body, std::uint32_t crc);
   void writer_loop(Peer& peer, NodeId to);
-  /// Writes the batch, (re)connecting as needed: connect once, retry once
-  /// on a broken pipe, then report failure (the batch is dropped).
+  /// Writes the batch, (re)connecting as gated by the peer's health state:
+  /// backoff between retries, probe cadence when down, never more than one
+  /// dial per flush. Returns false when the batch was dropped.
   bool flush_batch(Peer& peer, NodeId to, const std::vector<Frame*>& batch);
+  /// One bounded connect attempt (non-blocking connect + poll with
+  /// options_.connect_timeout). Returns the fd, or -1.
   int connect_to(const Endpoint& ep);
+  /// Dials `to` and records the outcome in its health machine, publishing
+  /// the fd and counters. Returns true when connected.
+  bool try_connect(Peer& peer, NodeId to);
   void accept_loop(Listener* listener);
   void reader_loop(int fd, NodeId target);
 

@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "net/payload.hpp"
 #include "net/serde.hpp"
 #include "runtime/inbox.hpp"
+#include "stats/metrics.hpp"
 
 namespace m2::runtime {
 
@@ -18,11 +20,17 @@ struct TransportCounters {
   std::atomic<std::uint64_t> messages_received{0};
   std::atomic<std::uint64_t> bytes_received{0};
   std::atomic<std::uint64_t> decode_failures{0};
-  /// Outbound messages dropped instead of sent: peer unreachable after a
-  /// reconnect attempt, write failure mid-batch, or per-peer queue over its
-  /// byte cap. Exported as the runtime_tx_dropped metric; the protocols'
+  /// Outbound messages dropped instead of sent: peer unreachable or in
+  /// backoff, write failure mid-batch, or per-peer queue over its byte cap.
+  /// Exported as the runtime_tx_dropped metric; the protocols'
   /// retry/anti-entropy machinery recovers the lost messages.
   std::atomic<std::uint64_t> messages_dropped{0};
+  /// Connection lifecycle (TCP transport): successful connects after a
+  /// peer's first, failed/timed-out connect attempts, and peer health
+  /// transitions (up → suspect → down → up; see runtime/peer_health.hpp).
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> connect_failures{0};
+  std::atomic<std::uint64_t> peer_state_changes{0};
 };
 
 /// Message plane between runtime nodes.
@@ -56,6 +64,40 @@ class Transport {
   /// Starts/stops I/O threads (no-ops for in-process transports).
   virtual void start() {}
   virtual void stop() {}
+
+  /// Non-empty when start() failed (e.g. a TCP listener could not bind).
+  /// Decorators forward to the transport they wrap.
+  virtual std::string start_error() const { return {}; }
+
+  /// Folds this transport's counters into a merged cluster registry
+  /// (Runtime::merged_metrics). Decorators add their own and recurse.
+  virtual void fold_metrics(stats::MetricsRegistry& reg) const {
+    const auto relaxed = [](const std::atomic<std::uint64_t>& c) {
+      return c.load(std::memory_order_relaxed);
+    };
+    reg.inc(stats::Counter::kRuntimeTxDropped,
+            relaxed(counters_.messages_dropped));
+    reg.inc(stats::Counter::kRuntimeReconnects, relaxed(counters_.reconnects));
+    reg.inc(stats::Counter::kRuntimeConnectFailures,
+            relaxed(counters_.connect_failures));
+    reg.inc(stats::Counter::kRuntimePeerStateChanges,
+            relaxed(counters_.peer_state_changes));
+  }
+
+  // --- chaos hooks (runtime::ChaosTransport) ---------------------------
+  // Wire-level faults only a real connection can express. Default: not
+  // supported (the chaos layer falls back to a payload-level equivalent).
+
+  /// Tears down the established connection to `to`, if any, as if the
+  /// network reset it; the peer sees EOF and the writer re-enters the
+  /// reconnect/backoff path. Returns true only when a live connection was
+  /// actually torn down (false when unsupported or not connected).
+  virtual bool chaos_reset(NodeId /*to*/) { return false; }
+
+  /// Arranges for the next frame written to `to` to be corrupted after its
+  /// checksum is computed — exercising the receiver's CRC-failure teardown
+  /// path. Returns false when unsupported.
+  virtual bool chaos_corrupt_next(NodeId /*to*/) { return false; }
 
   const TransportCounters& counters() const { return counters_; }
 

@@ -34,6 +34,15 @@ const char* metric_name(Counter c) {
     case Counter::kBatchFlushWindow: return "batch_flush_window";
     case Counter::kBatchFlushPipeline: return "batch_flush_pipeline";
     case Counter::kRuntimeTxDropped: return "runtime_tx_dropped";
+    case Counter::kRuntimeReconnects: return "runtime_reconnects";
+    case Counter::kRuntimeConnectFailures: return "runtime_connect_failures";
+    case Counter::kRuntimePeerStateChanges:
+      return "runtime_peer_state_changes";
+    case Counter::kChaosDropped: return "chaos_dropped";
+    case Counter::kChaosDelayed: return "chaos_delayed";
+    case Counter::kChaosDuplicated: return "chaos_duplicated";
+    case Counter::kChaosCorrupted: return "chaos_corrupted";
+    case Counter::kChaosResets: return "chaos_resets";
     case Counter::kCount: break;
   }
   return "?counter";

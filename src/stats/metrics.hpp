@@ -50,6 +50,16 @@ enum class Counter : std::uint16_t {
   // Runtime transport: outbound messages dropped instead of sent (peer
   // unreachable, write failure, or per-peer queue over its byte cap).
   kRuntimeTxDropped,
+  // Runtime connection lifecycle (TCP transport, per peer writer).
+  kRuntimeReconnects,       // successful connects after the first
+  kRuntimeConnectFailures,  // connect attempts that failed or timed out
+  kRuntimePeerStateChanges, // peer health transitions (up/suspect/down)
+  // Chaos layer: faults injected by runtime::ChaosTransport.
+  kChaosDropped,     // messages dropped by link/partition/loss faults
+  kChaosDelayed,     // messages held back by latency faults (then delivered)
+  kChaosDuplicated,  // extra copies injected by duplication faults
+  kChaosCorrupted,   // frames corrupted on the wire (CRC teardown path)
+  kChaosResets,      // established connections torn down by fault injection
   kCount
 };
 

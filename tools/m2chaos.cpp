@@ -1,0 +1,378 @@
+// m2chaos — seeded chaos soak harness for the real-clock runtime.
+//
+// The runtime sibling of m2fuzz: each seed expands into a workload and a
+// timed fault schedule (crashes, partitions, link failures, loss/latency/
+// duplication spikes, plus the runtime-only connection resets, wire
+// corruption, and slow-peer throttles) applied to a real threaded cluster —
+// in-process loopback or actual TCP sockets on localhost — while an
+// open-loop driver proposes commands. Every protocol event feeds the same
+// SafetyAuditor the simulator fuzzer uses; failing seeds are shrunk (ddmin
+// over fault episodes) and reported with a replayable command line.
+//
+//   m2chaos --protocol m2paxos --nodes 5 --seeds 1..50
+//   m2chaos --protocol all --transport both --seeds 1..20 --json
+//   m2chaos --protocol m2paxos --seeds 17..17 --keep 2,5   # replay a shrink
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/chaos.hpp"
+#include "stats/json.hpp"
+
+using namespace m2;
+
+namespace {
+
+struct Options {
+  std::vector<core::Protocol> protocols;
+  bool loopback = true;
+  bool tcp = false;
+  int nodes = 0;  // 0 = alternate 4- and 5-node clusters across seeds
+  std::uint64_t seed_lo = 1;
+  std::uint64_t seed_hi = 20;
+  int intensity = 3;
+  long horizon_ms = 400;
+  long drain_ms = 2000;
+  int commands = 150;
+  int jobs = 0;  // 0 = a conservative auto pick (each run spawns threads)
+  bool json = false;
+  bool inject_bug = false;
+  bool shrink = true;
+  bool verbose = false;
+  std::vector<int> keep;
+  bool have_keep = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [flags]\n"
+      "  --protocol multipaxos|genpaxos|epaxos|m2paxos|all\n"
+      "                    (default m2paxos,multipaxos)\n"
+      "  --transport loopback|tcp|both                     (default loopback)\n"
+      "  --nodes N         cluster size; 0 alternates 4/5  (default 0)\n"
+      "  --seeds A..B      inclusive seed range            (default 1..20)\n"
+      "  --intensity N     fault episodes per 100ms, 1..10 (default 3)\n"
+      "  --horizon-ms MS   fault-injection window          (default 400)\n"
+      "  --drain-ms MS     post-heal drain                 (default 2000)\n"
+      "  --commands N      proposals per node per run      (default 150)\n"
+      "  --jobs N          concurrent runs; 0 = auto       (default 0)\n"
+      "  --keep I,J,...    replay only these fault episodes\n"
+      "  --inject-bug      enable the deliberate epoch-safety bug\n"
+      "  --no-shrink       report failures without shrinking\n"
+      "  --json            machine-readable output (one object per run)\n"
+      "  --verbose         print every schedule, not just failing ones\n"
+      "\n"
+      "exit status: 0 all seeds clean, 1 violations found, 2 bad usage\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_protocols(const std::string& s, std::vector<core::Protocol>& out) {
+  if (s == "multipaxos") out = {core::Protocol::kMultiPaxos};
+  else if (s == "genpaxos") out = {core::Protocol::kGenPaxos};
+  else if (s == "epaxos") out = {core::Protocol::kEPaxos};
+  else if (s == "m2paxos") out = {core::Protocol::kM2Paxos};
+  else if (s == "all")
+    out = {core::Protocol::kMultiPaxos, core::Protocol::kGenPaxos,
+           core::Protocol::kEPaxos, core::Protocol::kM2Paxos};
+  else return false;
+  return true;
+}
+
+bool parse_transport(const std::string& s, Options& opt) {
+  if (s == "loopback") { opt.loopback = true; opt.tcp = false; }
+  else if (s == "tcp") { opt.loopback = false; opt.tcp = true; }
+  else if (s == "both") { opt.loopback = true; opt.tcp = true; }
+  else return false;
+  return true;
+}
+
+bool parse_seed_range(const std::string& s, std::uint64_t& lo,
+                      std::uint64_t& hi) {
+  const auto dots = s.find("..");
+  if (dots == std::string::npos) {
+    char* end = nullptr;
+    lo = hi = std::strtoull(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+  }
+  lo = std::strtoull(s.substr(0, dots).c_str(), nullptr, 10);
+  hi = std::strtoull(s.substr(dots + 2).c_str(), nullptr, 10);
+  return lo <= hi;
+}
+
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto comma = s.find(',', pos);
+    const auto piece = s.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos);
+    if (!piece.empty()) out.push_back(std::atoi(piece.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  opt.protocols = {core::Protocol::kM2Paxos, core::Protocol::kMultiPaxos};
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--protocol") {
+      if (!parse_protocols(need_value(i), opt.protocols)) usage(argv[0]);
+    } else if (flag == "--transport") {
+      if (!parse_transport(need_value(i), opt)) usage(argv[0]);
+    } else if (flag == "--nodes") {
+      opt.nodes = std::atoi(need_value(i));
+    } else if (flag == "--seeds") {
+      if (!parse_seed_range(need_value(i), opt.seed_lo, opt.seed_hi))
+        usage(argv[0]);
+    } else if (flag == "--intensity") {
+      opt.intensity = std::atoi(need_value(i));
+    } else if (flag == "--horizon-ms") {
+      opt.horizon_ms = std::atol(need_value(i));
+    } else if (flag == "--drain-ms") {
+      opt.drain_ms = std::atol(need_value(i));
+    } else if (flag == "--commands") {
+      opt.commands = std::atoi(need_value(i));
+    } else if (flag == "--jobs") {
+      opt.jobs = std::atoi(need_value(i));
+    } else if (flag == "--keep") {
+      opt.keep = parse_int_list(need_value(i));
+      opt.have_keep = true;
+    } else if (flag == "--inject-bug") {
+      opt.inject_bug = true;
+    } else if (flag == "--no-shrink") {
+      opt.shrink = false;
+    } else if (flag == "--json") {
+      opt.json = true;
+    } else if (flag == "--verbose") {
+      opt.verbose = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.nodes < 0 || opt.nodes == 1 || opt.nodes == 2 ||
+      opt.intensity < 1 || opt.intensity > 10 || opt.horizon_ms < 1 ||
+      opt.drain_ms < 0 || opt.commands < 1 || opt.jobs < 0)
+    usage(argv[0]);
+  return opt;
+}
+
+int nodes_for_seed(const Options& opt, std::uint64_t seed) {
+  if (opt.nodes != 0) return opt.nodes;
+  return seed % 2 == 0 ? 4 : 5;
+}
+
+std::string episode_list(const std::vector<int>& episodes) {
+  std::string out;
+  for (const int e : episodes) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(e);
+  }
+  return out;
+}
+
+/// Protocol name in the exact spelling the --protocol flag accepts (the
+/// display names from core::to_string are capitalized).
+std::string flag_name(core::Protocol protocol) {
+  std::string name = core::to_string(protocol);
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return name;
+}
+
+std::string repro_command(const char* argv0, const runtime::ChaosCase& cc,
+                          const Options& opt, const std::vector<int>& keep) {
+  std::string cmd = argv0;
+  cmd += " --protocol " + flag_name(cc.protocol);
+  cmd += std::string(" --transport ") + (cc.tcp ? "tcp" : "loopback");
+  cmd += " --nodes " + std::to_string(cc.n_nodes);
+  cmd += " --seeds " + std::to_string(cc.seed) + ".." +
+         std::to_string(cc.seed);
+  cmd += " --intensity " + std::to_string(cc.intensity);
+  if (opt.horizon_ms != 400)
+    cmd += " --horizon-ms " + std::to_string(opt.horizon_ms);
+  if (opt.inject_bug) cmd += " --inject-bug";
+  if (!keep.empty()) cmd += " --keep " + episode_list(keep);
+  return cmd;
+}
+
+// NDJSON via the shared stats::Json writer: one compact object per run,
+// with the same escaping and number formatting as every BENCH_*.json.
+void print_json_run(const runtime::ChaosCase& cc,
+                    const runtime::ChaosResult& result,
+                    const std::vector<int>* shrunk, const std::string& repro) {
+  stats::Json doc = stats::Json::object();
+  doc.set("protocol", core::to_string(cc.protocol));
+  doc.set("transport", cc.tcp ? "tcp" : "loopback");
+  doc.set("nodes", cc.n_nodes);
+  doc.set("seed", cc.seed);
+  doc.set("ok", result.ok);
+  doc.set("proposals", result.proposals);
+  doc.set("committed", result.committed);
+  doc.set("decisions", result.decisions);
+  doc.set("deliveries", result.deliveries);
+  doc.set("crashes", result.nodes_crashed);
+  doc.set("chaos_injected", result.chaos_injected);
+  doc.set("tx_dropped", result.tx_dropped);
+  doc.set("lossy", result.lossy);
+  stats::Json violations = stats::Json::array();
+  for (const std::string& v : result.violations) violations.push(v);
+  doc.set("violations", std::move(violations));
+  if (shrunk != nullptr) {
+    stats::Json episodes = stats::Json::array();
+    for (const int e : *shrunk) episodes.push(e);
+    doc.set("shrunk_episodes", std::move(episodes));
+  }
+  if (!repro.empty()) doc.set("repro", repro);
+  std::printf("%s\n", doc.dump(0).c_str());
+}
+
+/// One sweep entry plus the slot its outcome lands in. Cases run on a
+/// worker pool but report strictly in sweep order.
+struct SweepCase {
+  runtime::ChaosCase chaos_case;
+  runtime::ChaosResult result;
+  std::vector<int> shrunk;
+  bool have_shrunk = false;
+};
+
+void run_sweep(std::vector<SweepCase>& cases, const Options& opt) {
+  // Unlike m2fuzz, every case spawns n_nodes node threads plus transport
+  // threads and burns real wall time — so the auto job count is deliberately
+  // conservative (cases are still independent; nothing shares state).
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::size_t jobs = opt.jobs != 0
+                         ? static_cast<std::size_t>(opt.jobs)
+                         : std::max<std::size_t>(1, (hw != 0 ? hw : 8) / 8);
+  jobs = std::min(jobs, cases.size());
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cases.size()) return;
+      SweepCase& sc = cases[i];
+      sc.result = runtime::run_chaos_case(sc.chaos_case);
+      if (!sc.result.ok && opt.shrink && !opt.have_keep) {
+        sc.shrunk = runtime::shrink_chaos_schedule(sc.chaos_case, sc.result);
+        sc.have_shrunk = true;
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  std::vector<SweepCase> cases;
+  std::vector<bool> transports;
+  if (opt.loopback) transports.push_back(false);
+  if (opt.tcp) transports.push_back(true);
+  for (const core::Protocol protocol : opt.protocols) {
+    for (const bool tcp : transports) {
+      for (std::uint64_t seed = opt.seed_lo; seed <= opt.seed_hi; ++seed) {
+        SweepCase sc;
+        sc.chaos_case.protocol = protocol;
+        sc.chaos_case.tcp = tcp;
+        sc.chaos_case.n_nodes = nodes_for_seed(opt, seed);
+        sc.chaos_case.seed = seed;
+        sc.chaos_case.intensity = opt.intensity;
+        sc.chaos_case.horizon = opt.horizon_ms * core::kMillisecond;
+        sc.chaos_case.drain = opt.drain_ms * core::kMillisecond;
+        sc.chaos_case.commands_per_node = opt.commands;
+        sc.chaos_case.inject_bug = opt.inject_bug;
+        if (opt.have_keep) {
+          sc.chaos_case.keep_episodes = opt.keep;
+          if (sc.chaos_case.keep_episodes.empty())
+            sc.chaos_case.keep_episodes.push_back(-2);  // --keep "" = calm
+        }
+        cases.push_back(std::move(sc));
+      }
+    }
+  }
+
+  run_sweep(cases, opt);
+
+  std::uint64_t runs = 0, failures = 0;
+  for (const SweepCase& sc : cases) {
+    const runtime::ChaosCase& cc = sc.chaos_case;
+    const runtime::ChaosResult& result = sc.result;
+    ++runs;
+
+    if (opt.verbose && !opt.json) {
+      std::printf("# %s %s nodes=%d seed=%llu: %s (%llu committed, "
+                  "%llu chaos faults)\n",
+                  core::to_string(cc.protocol).c_str(),
+                  cc.tcp ? "tcp" : "loopback", cc.n_nodes,
+                  static_cast<unsigned long long>(cc.seed),
+                  result.ok ? "ok" : "FAIL",
+                  static_cast<unsigned long long>(result.committed),
+                  static_cast<unsigned long long>(result.chaos_injected));
+      std::fputs(fuzz::to_string(result.schedule).c_str(), stdout);
+    }
+
+    if (result.ok) {
+      if (opt.json && opt.verbose)
+        print_json_run(cc, result, nullptr, "");
+      continue;
+    }
+    ++failures;
+
+    const std::string repro = repro_command(
+        argv[0], cc, opt, sc.have_shrunk ? sc.shrunk : cc.keep_episodes);
+
+    if (opt.json) {
+      print_json_run(cc, result, sc.have_shrunk ? &sc.shrunk : nullptr,
+                     repro);
+    } else {
+      std::printf("FAIL %s %s nodes=%d seed=%llu intensity=%d\n",
+                  core::to_string(cc.protocol).c_str(),
+                  cc.tcp ? "tcp" : "loopback", cc.n_nodes,
+                  static_cast<unsigned long long>(cc.seed), opt.intensity);
+      for (const auto& v : result.violations)
+        std::printf("  violation: %s\n", v.c_str());
+      if (sc.have_shrunk)
+        std::printf("  shrunk to %zu episode(s): %s\n", sc.shrunk.size(),
+                    episode_list(sc.shrunk).c_str());
+      std::fputs(fuzz::to_string(result.schedule).c_str(), stdout);
+      std::printf("  repro: %s\n", repro.c_str());
+    }
+  }
+
+  if (opt.json) {
+    stats::Json summary = stats::Json::object();
+    summary.set("runs", runs);
+    summary.set("failures", failures);
+    std::printf("%s\n", summary.dump(0).c_str());
+  } else {
+    std::printf("%llu run(s), %llu failure(s)\n",
+                static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(failures));
+  }
+  return failures == 0 ? 0 : 1;
+}
